@@ -1,0 +1,80 @@
+// Fig. 10 reproduction: sensitivity of ModelRace to the scoring
+// coefficients. Part (a) sweeps alpha (the F1 weight) and part (b) sweeps
+// gamma (the runtime weight), reporting F1 and CPU time. Expected shape:
+// F1 saturates near alpha = 0.5; gamma <= 0.75 barely affects F1 while
+// lowering CPU; gamma = 1 hurts F1.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace adarts::bench {
+namespace {
+
+int Run() {
+  std::printf("=== Fig. 10: Score Function (coefficient sweeps) ===\n\n");
+
+  // A category hard enough that the coefficients visibly matter, averaged
+  // over race seeds to suppress selection noise.
+  ExperimentOptions opts;
+  opts.variants = 3;
+  opts.series_per_variant = 26;
+  auto exp = BuildCategoryExperiment(data::Category::kPower, opts);
+  if (!exp.ok()) {
+    std::printf("experiment failed: %s\n", exp.status().ToString().c_str());
+    return 1;
+  }
+
+  const double sweep[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const std::uint64_t repeat_seeds[] = {7, 21, 77, 101, 202};
+
+  const auto run_point = [&](double alpha, double gamma, double* f1,
+                             double* cpu) {
+    double f1_total = 0.0, cpu_total = 0.0;
+    int runs = 0;
+    for (std::uint64_t seed : repeat_seeds) {
+      automl::ModelRaceOptions race;
+      race.num_seed_pipelines = 36;
+      race.num_partial_sets = 4;
+      race.alpha = alpha;
+      race.beta = 0.5;
+      race.gamma = gamma;
+      race.seed = seed;
+      auto scores = EvaluateAdarts(*exp, race);
+      if (scores.ok()) {
+        f1_total += scores->f1;
+        cpu_total += scores->train_seconds;
+        ++runs;
+      }
+    }
+    *f1 = runs > 0 ? f1_total / runs : 0.0;
+    *cpu = runs > 0 ? cpu_total / runs : 0.0;
+  };
+
+  std::printf("--- (a) varying alpha (beta = 0.5, gamma = 0.75) ---\n");
+  std::printf("%-8s %10s %12s\n", "alpha", "F1", "CPU (s)");
+  PrintRule(34);
+  for (double alpha : sweep) {
+    double f1 = 0.0, cpu = 0.0;
+    run_point(alpha, 0.75, &f1, &cpu);
+    std::printf("%-8s %10s %12s\n", Fmt(alpha).c_str(), Fmt(f1, 3).c_str(),
+                Fmt(cpu, 3).c_str());
+  }
+
+  std::printf("\n--- (b) varying gamma (alpha = beta = 0.5) ---\n");
+  std::printf("%-8s %10s %12s\n", "gamma", "F1", "CPU (s)");
+  PrintRule(34);
+  for (double gamma : sweep) {
+    double f1 = 0.0, cpu = 0.0;
+    run_point(0.5, gamma, &f1, &cpu);
+    std::printf("%-8s %10s %12s\n", Fmt(gamma).c_str(), Fmt(f1, 3).c_str(),
+                Fmt(cpu, 3).c_str());
+  }
+  std::printf("\n(paper knee points: alpha = 0.5, gamma = 0.75)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace adarts::bench
+
+int main() { return adarts::bench::Run(); }

@@ -1,0 +1,111 @@
+// Fig. 11 reproduction: the incremental correlation-gain clustering vs three
+// k-shape variants (default k=8, grid search, iterative splitting).
+// Part (a): average intra-cluster correlation and runtime. Part (b): number
+// of final clusters vs the grid-search "ground truth". Expected shape:
+// incremental reaches high correlation at moderate runtime and lands close
+// to the ground-truth cluster count; k-shape default is fast but poorly
+// correlated; grid search is accurate but slow; iterative over-fragments.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/incremental.h"
+#include "cluster/kshape.h"
+#include "common/stopwatch.h"
+
+namespace adarts::bench {
+namespace {
+
+int Run() {
+  std::printf("=== Fig. 11: Clustering Performance ===\n\n");
+
+  // Mixed corpus across all six categories: several natural groups.
+  data::GeneratorOptions gopts;
+  gopts.num_series = 12;
+  gopts.length = 160;
+  const std::vector<ts::TimeSeries> corpus = data::GenerateMixedCorpus(2, gopts);
+  std::printf("corpus: %zu series from 6 categories x 2 variants\n\n",
+              corpus.size());
+  const la::Matrix corr = cluster::PairwiseCorrelationMatrix(corpus);
+
+  struct Row {
+    const char* name;
+    double correlation;
+    double seconds;
+    std::size_t clusters;
+  };
+  std::vector<Row> rows;
+
+  {
+    Stopwatch w;
+    cluster::IncrementalOptions opts;
+    opts.correlation_threshold = 0.75;
+    opts.small_cluster_size = 6;
+    opts.merge_correlation_slack = 0.8;
+    auto c = cluster::IncrementalClustering(corpus, opts);
+    if (c.ok()) {
+      rows.push_back({"incremental (A-DARTS)",
+                      cluster::AverageIntraClusterCorrelation(*c, corr),
+                      w.ElapsedSeconds(), c->NumClusters()});
+    }
+  }
+  {
+    Stopwatch w;
+    cluster::KShapeOptions opts;  // default k = 8
+    auto c = cluster::KShapeClustering(corpus, opts);
+    if (c.ok()) {
+      rows.push_back({"k-shape (default k=8)",
+                      cluster::AverageIntraClusterCorrelation(*c, corr),
+                      w.ElapsedSeconds(), c->NumClusters()});
+    }
+  }
+  std::size_t ground_truth_clusters = 0;
+  {
+    Stopwatch w;
+    auto c = cluster::KShapeGridSearch(corpus, 20, corr);
+    if (c.ok()) {
+      ground_truth_clusters = c->NumClusters();
+      rows.push_back({"k-shape (grid search)",
+                      cluster::AverageIntraClusterCorrelation(*c, corr),
+                      w.ElapsedSeconds(), c->NumClusters()});
+    }
+  }
+  {
+    Stopwatch w;
+    auto c = cluster::KShapeIterativeSplit(corpus, 0.8, corr);
+    if (c.ok()) {
+      rows.push_back({"k-shape (iterative)",
+                      cluster::AverageIntraClusterCorrelation(*c, corr),
+                      w.ElapsedSeconds(), c->NumClusters()});
+    }
+  }
+
+  std::printf("--- (a) cluster quality and runtime ---\n");
+  std::printf("%-24s %14s %12s\n", "Method", "avg corr", "runtime (s)");
+  PrintRule(54);
+  for (const Row& r : rows) {
+    std::printf("%-24s %14s %12s\n", r.name, Fmt(r.correlation, 3).c_str(),
+                Fmt(r.seconds, 3).c_str());
+  }
+
+  std::printf("\n--- (b) number of final clusters (ground truth via grid "
+              "search: %zu) ---\n",
+              ground_truth_clusters);
+  std::printf("%-24s %10s %18s\n", "Method", "#clusters", "|delta vs truth|");
+  PrintRule(56);
+  for (const Row& r : rows) {
+    const auto delta = r.clusters > ground_truth_clusters
+                           ? r.clusters - ground_truth_clusters
+                           : ground_truth_clusters - r.clusters;
+    std::printf("%-24s %10zu %18zu\n", r.name, r.clusters, delta);
+  }
+  std::printf("\n(paper shape: incremental ~0.87 corr at reasonable runtime "
+              "and closest-to-truth cluster count; iterative high corr but "
+              "cluster explosion; default k-shape fast but ~0.61 corr)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace adarts::bench
+
+int main() { return adarts::bench::Run(); }

@@ -1,0 +1,84 @@
+// Fig. 9 reproduction: ModelRace fed with statistical features only,
+// topological features only, or both, per dataset category. Expected shape:
+// the combination wins on the complex categories (Water, Lightning), while
+// statistical-only can suffice on simple ones (e.g. Motion).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace adarts::bench {
+namespace {
+
+int Run() {
+  std::printf("=== Fig. 9: Feature Analysis (F1 per feature configuration) "
+              "===\n\n");
+
+  ExperimentOptions opts;
+  opts.variants = 3;
+  opts.series_per_variant = 24;
+
+  automl::ModelRaceOptions race;
+  race.num_seed_pipelines = 36;
+  race.num_partial_sets = 4;
+  const std::uint64_t repeat_seeds[] = {7, 21, 77};
+
+  struct Config {
+    const char* name;
+    bool statistical;
+    bool topological;
+  };
+  const Config configs[] = {{"statistical", true, false},
+                            {"topological", false, true},
+                            {"combined", true, true}};
+
+  std::printf("%-10s %14s %14s %14s  best\n", "Category", "statistical",
+              "topological", "combined");
+  PrintRule(68);
+  int combined_best = 0;
+  int categories = 0;
+  for (data::Category c : data::AllCategories()) {
+    double f1s[3] = {0, 0, 0};
+    for (int k = 0; k < 3; ++k) {
+      features::FeatureExtractorOptions fopts;
+      fopts.statistical = configs[k].statistical;
+      fopts.topological = configs[k].topological;
+      auto exp = BuildCategoryExperiment(c, opts, fopts);
+      if (!exp.ok()) continue;
+      // Average over race seeds: a single race run is too noisy to compare
+      // feature configurations fairly.
+      double total = 0.0;
+      int runs = 0;
+      for (std::uint64_t seed : repeat_seeds) {
+        automl::ModelRaceOptions seeded = race;
+        seeded.seed = seed;
+        auto scores = EvaluateAdarts(*exp, seeded);
+        if (scores.ok()) {
+          total += scores->f1;
+          ++runs;
+        }
+      }
+      f1s[k] = runs > 0 ? total / runs : 0.0;
+    }
+    int best = 0;
+    for (int k = 1; k < 3; ++k) {
+      if (f1s[k] > f1s[best]) best = k;
+    }
+    ++categories;
+    if (f1s[2] >= f1s[0] - 0.02 && f1s[2] >= f1s[1] - 0.02) ++combined_best;
+    std::printf("%-10s %14s %14s %14s  %s\n",
+                std::string(data::CategoryToString(c)).c_str(),
+                Fmt(f1s[0]).c_str(), Fmt(f1s[1]).c_str(), Fmt(f1s[2]).c_str(),
+                configs[best].name);
+  }
+  PrintRule(68);
+  std::printf("\nCategories where the combined set is best or within 0.02: "
+              "%d / %d (paper: both families needed on complex categories)\n",
+              combined_best, categories);
+  return 0;
+}
+
+}  // namespace
+}  // namespace adarts::bench
+
+int main() { return adarts::bench::Run(); }

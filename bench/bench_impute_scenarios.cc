@@ -1,0 +1,107 @@
+// ImputeBench-style scenario sweep of the imputation library itself: RMSE
+// of every algorithm across missing-block sizes and dataset categories.
+// This is the substrate experiment behind the labeling step — it shows that
+// different categories/scenarios have different winning algorithms, which
+// is the premise of the recommendation problem.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "ts/metrics.h"
+#include "ts/missing.h"
+
+namespace adarts::bench {
+namespace {
+
+double ScenarioRmse(impute::Algorithm algorithm,
+                    const std::vector<ts::TimeSeries>& set,
+                    double missing_fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ts::TimeSeries> masked = set;
+  for (auto& s : masked) {
+    const auto block = static_cast<std::size_t>(
+        missing_fraction * static_cast<double>(s.length()));
+    if (!ts::InjectSingleBlock(std::max<std::size_t>(block, 2), &rng, &s).ok()) {
+      return -1.0;
+    }
+  }
+  auto repaired = impute::CreateImputer(algorithm)->ImputeSet(masked);
+  if (!repaired.ok()) return -1.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    auto rmse = ts::ImputationRmse(masked[i], (*repaired)[i]);
+    if (!rmse.ok()) return -1.0;
+    total += *rmse;
+  }
+  return total / static_cast<double>(masked.size());
+}
+
+int Run() {
+  std::printf("=== Imputation scenario sweep (RMSE on z-normalised sets; "
+              "lower is better, * = scenario winner) ===\n");
+
+  const std::vector<impute::Algorithm> pool = BenchPool();
+  const double fractions[] = {0.05, 0.1, 0.2};
+
+  std::map<std::string, int> wins;
+  for (data::Category category : data::AllCategories()) {
+    data::GeneratorOptions gopts;
+    gopts.num_series = 10;
+    gopts.length = 192;
+    std::vector<ts::TimeSeries> set = data::GenerateCategory(category, gopts);
+    // Z-normalise so RMSE is comparable across categories.
+    for (auto& s : set) s = s.ZNormalized();
+
+    std::printf("\n%s (block size as fraction of series length)\n",
+                std::string(data::CategoryToString(category)).c_str());
+    std::printf("%-14s", "algorithm");
+    for (double f : fractions) std::printf(" %9.0f%%", 100.0 * f);
+    std::printf("\n");
+    PrintRule(46);
+
+    std::map<double, std::pair<double, std::string>> best;
+    std::map<std::pair<std::string, double>, double> table;
+    for (impute::Algorithm a : pool) {
+      const std::string name(impute::AlgorithmToString(a));
+      for (double f : fractions) {
+        const double rmse = ScenarioRmse(a, set, f, 97);
+        table[{name, f}] = rmse;
+        if (rmse >= 0.0 &&
+            (!best.count(f) || rmse < best[f].first)) {
+          best[f] = {rmse, name};
+        }
+      }
+    }
+    for (impute::Algorithm a : pool) {
+      const std::string name(impute::AlgorithmToString(a));
+      std::printf("%-14s", name.c_str());
+      for (double f : fractions) {
+        const double rmse = table[{name, f}];
+        if (rmse < 0.0) {
+          std::printf(" %10s", "fail");
+        } else {
+          std::printf(" %9.3f%s", rmse, best[f].second == name ? "*" : " ");
+        }
+      }
+      std::printf("\n");
+    }
+    for (double f : fractions) ++wins[best[f].second];
+  }
+
+  std::printf("\nScenario wins per algorithm:");
+  for (const auto& [name, count] : wins) {
+    std::printf(" %s=%d", name.c_str(), count);
+  }
+  std::printf("\nDistinct winning algorithms: %zu (the premise of the "
+              "selection problem: no algorithm dominates)\n",
+              wins.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace adarts::bench
+
+int main() { return adarts::bench::Run(); }

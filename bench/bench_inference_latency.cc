@@ -1,0 +1,98 @@
+// Section VII-D claim check (google-benchmark): a trained A-DARTS engine's
+// recommendation is "almost instantaneous" — feature extraction plus a
+// committee vote per faulty series.
+
+#include <benchmark/benchmark.h>
+
+#include "adarts/adarts.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "ts/missing.h"
+
+namespace adarts {
+namespace {
+
+/// A process-lifetime engine trained once and shared by all benchmarks
+/// (training itself is benchmarked separately in the figure benches).
+const Adarts& SharedEngine() {
+  static const Adarts& engine = []() -> const Adarts& {
+    data::GeneratorOptions gopts;
+    gopts.num_series = 12;
+    gopts.length = 160;
+    std::vector<ts::TimeSeries> corpus;
+    for (data::Category c : {data::Category::kClimate, data::Category::kPower,
+                             data::Category::kMotion}) {
+      for (auto& s : data::GenerateCategory(c, gopts)) {
+        corpus.push_back(std::move(s));
+      }
+    }
+    TrainOptions opts;
+    opts.labeling.algorithms = {
+        impute::Algorithm::kCdRec, impute::Algorithm::kSvdImpute,
+        impute::Algorithm::kTkcm, impute::Algorithm::kLinearInterp};
+    opts.race.num_seed_pipelines = 12;
+    opts.race.num_partial_sets = 2;
+    opts.race.num_folds = 2;
+    auto engine_result = Adarts::Train(corpus, opts);
+    ADARTS_CHECK(engine_result.ok());
+    return *new Adarts(std::move(*engine_result));
+  }();
+  return engine;
+}
+
+ts::TimeSeries FaultySeries(std::size_t length) {
+  data::GeneratorOptions gopts;
+  gopts.num_series = 1;
+  gopts.length = length;
+  gopts.seed = 55;
+  ts::TimeSeries s = data::GenerateCategory(data::Category::kClimate, gopts)[0];
+  Rng rng(5);
+  (void)ts::InjectSingleBlock(length / 10, &rng, &s);
+  return s;
+}
+
+void BM_Recommend(benchmark::State& state) {
+  const Adarts& engine = SharedEngine();
+  const ts::TimeSeries faulty =
+      FaultySeries(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto algo = engine.Recommend(faulty);
+    benchmark::DoNotOptimize(algo);
+  }
+}
+BENCHMARK(BM_Recommend)->Arg(160)->Arg(320)->Arg(640);
+
+void BM_RecommendRanked(benchmark::State& state) {
+  const Adarts& engine = SharedEngine();
+  const ts::TimeSeries faulty = FaultySeries(160);
+  for (auto _ : state) {
+    auto ranking = engine.RecommendRanked(faulty);
+    benchmark::DoNotOptimize(ranking);
+  }
+}
+BENCHMARK(BM_RecommendRanked);
+
+void BM_FeatureExtractionShare(benchmark::State& state) {
+  const Adarts& engine = SharedEngine();
+  const ts::TimeSeries faulty = FaultySeries(160);
+  for (auto _ : state) {
+    auto f = engine.ExtractFeatures(faulty);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_FeatureExtractionShare);
+
+void BM_EndToEndRepair(benchmark::State& state) {
+  const Adarts& engine = SharedEngine();
+  const ts::TimeSeries faulty = FaultySeries(160);
+  for (auto _ : state) {
+    auto repaired = engine.Repair(faulty);
+    benchmark::DoNotOptimize(repaired);
+  }
+}
+BENCHMARK(BM_EndToEndRepair);
+
+}  // namespace
+}  // namespace adarts
+
+BENCHMARK_MAIN();

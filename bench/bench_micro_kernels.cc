@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) of the numeric kernels underlying the
+// imputation algorithms and the feature extractor.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "features/feature_extractor.h"
+#include "impute/cdrec.h"
+#include "impute/imputer.h"
+#include "la/decompositions.h"
+#include "la/matrix.h"
+#include "tda/delay_embedding.h"
+#include "tda/persistence.h"
+#include "ts/correlation.h"
+#include "ts/fft.h"
+#include "ts/missing.h"
+
+namespace adarts {
+namespace {
+
+la::Matrix RandomMatrix(std::size_t rows, std::size_t cols) {
+  Rng rng(1);
+  la::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.Normal(0, 1);
+  }
+  return m;
+}
+
+la::Vector SineSignal(std::size_t n) {
+  la::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 24.0);
+  }
+  return v;
+}
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const la::Matrix m =
+      RandomMatrix(static_cast<std::size_t>(state.range(0)),
+                   static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto svd = la::ComputeSvd(m);
+    benchmark::DoNotOptimize(svd);
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Args({128, 16})->Args({256, 32})->Args({64, 64});
+
+void BM_CentroidDecomposition(benchmark::State& state) {
+  const la::Matrix m =
+      RandomMatrix(static_cast<std::size_t>(state.range(0)), 16);
+  for (auto _ : state) {
+    auto cd = impute::ComputeCentroidDecomposition(m, 3);
+    benchmark::DoNotOptimize(cd);
+  }
+}
+BENCHMARK(BM_CentroidDecomposition)->Arg(128)->Arg(512);
+
+void BM_Fft(benchmark::State& state) {
+  const la::Vector signal = SineSignal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto spec = ts::PowerSpectrum(signal);
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_NccAllLags(benchmark::State& state) {
+  const la::Vector a = SineSignal(static_cast<std::size_t>(state.range(0)));
+  const la::Vector b = SineSignal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ncc = ts::NccAllLags(a, b);
+    benchmark::DoNotOptimize(ncc);
+  }
+}
+BENCHMARK(BM_NccAllLags)->Arg(128)->Arg(512);
+
+void BM_RipsPersistence(benchmark::State& state) {
+  const la::Vector signal = SineSignal(256);
+  auto cloud = tda::DelayEmbed(signal, 3, 4);
+  const tda::PointCloud landmarks = tda::MaxMinLandmarks(
+      *cloud, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto diagram = tda::ComputeRipsPersistence(landmarks);
+    benchmark::DoNotOptimize(diagram);
+  }
+}
+BENCHMARK(BM_RipsPersistence)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const features::FeatureExtractor extractor{
+      features::FeatureExtractorOptions{}};
+  const ts::TimeSeries series(SineSignal(
+      static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto f = extractor.Extract(series);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Imputer(benchmark::State& state) {
+  const auto algo = static_cast<impute::Algorithm>(state.range(0));
+  const auto imputer = impute::CreateImputer(algo);
+  std::vector<ts::TimeSeries> set;
+  Rng rng(3);
+  for (int s = 0; s < 8; ++s) {
+    la::Vector v = SineSignal(192);
+    for (double& x : v) x += rng.Normal(0, 0.05);
+    ts::TimeSeries series(std::move(v));
+    (void)ts::InjectSingleBlock(19, &rng, &series);
+    set.push_back(std::move(series));
+  }
+  for (auto _ : state) {
+    auto repaired = imputer->ImputeSet(set);
+    benchmark::DoNotOptimize(repaired);
+  }
+  state.SetLabel(std::string(impute::AlgorithmToString(algo)));
+}
+BENCHMARK(BM_Imputer)->DenseRange(0, impute::kNumAlgorithms - 1);
+
+}  // namespace
+}  // namespace adarts
+
+BENCHMARK_MAIN();

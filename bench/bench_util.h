@@ -1,0 +1,81 @@
+#ifndef ADARTS_BENCH_BENCH_UTIL_H_
+#define ADARTS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "adarts/adarts.h"
+#include "baselines/baselines.h"
+#include "data/generators.h"
+#include "ml/dataset.h"
+
+namespace adarts::bench {
+
+/// The default algorithm pool used by the paper-reproduction benches: a
+/// diverse subset of the registry (matrix-completion, pattern, regression
+/// and smoothing families all represented) so that different categories
+/// genuinely have different winners.
+std::vector<impute::Algorithm> BenchPool();
+
+/// Knobs for building one category's labeled experiment.
+struct ExperimentOptions {
+  std::size_t variants = 4;            ///< datasets per category
+  std::size_t series_per_variant = 30;
+  std::size_t length = 192;
+  double missing_fraction = 0.1;
+  double train_fraction = 0.65;        ///< the paper's 65/35 holdout
+  std::uint64_t seed = 7;
+};
+
+/// A labeled train/test experiment for one dataset category: ground-truth
+/// labels from the exhaustive imputation bench, features extracted from
+/// masked copies.
+struct CategoryExperiment {
+  ml::Dataset train;
+  ml::Dataset test;
+  std::vector<impute::Algorithm> pool;
+};
+
+/// Builds the experiment for `category` (generation + labeling + feature
+/// extraction + stratified holdout).
+Result<CategoryExperiment> BuildCategoryExperiment(
+    data::Category category, const ExperimentOptions& options,
+    const features::FeatureExtractorOptions& feature_options = {});
+
+/// One system's evaluation on a category experiment.
+struct SystemScores {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double mrr = 0.0;
+  bool has_mrr = false;
+  double train_seconds = 0.0;
+};
+
+/// Trains A-DARTS (ModelRace + soft voting) on the experiment's train side
+/// and scores it on the test side.
+Result<SystemScores> EvaluateAdarts(const CategoryExperiment& experiment,
+                                    const automl::ModelRaceOptions& race);
+
+/// EvaluateAdarts averaged over `repeats` race seeds (race selection is
+/// stochastic; reported numbers are means over repeated runs).
+Result<SystemScores> EvaluateAdartsAveraged(
+    const CategoryExperiment& experiment, const automl::ModelRaceOptions& race,
+    int repeats);
+
+/// Trains one baseline selector and scores it.
+Result<SystemScores> EvaluateBaseline(baselines::ModelSelector* selector,
+                                      const CategoryExperiment& experiment);
+
+/// Mean / sample standard deviation of a vector.
+double MeanOf(const std::vector<double>& v);
+double StdDevOf(const std::vector<double>& v);
+
+/// Fixed-width cell printing helpers for the table output.
+void PrintRule(int width);
+std::string Fmt(double v, int precision = 2);
+
+}  // namespace adarts::bench
+
+#endif  // ADARTS_BENCH_BENCH_UTIL_H_

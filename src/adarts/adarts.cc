@@ -1,0 +1,124 @@
+#include "adarts/adarts.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "ts/missing.h"
+
+namespace adarts {
+
+Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
+                             const TrainOptions& options) {
+  if (corpus.size() < 8) {
+    return Status::InvalidArgument("training corpus too small (< 8 series)");
+  }
+  Rng rng(options.seed);
+
+  // --- (1) Labeling, via clusters (fast) or exhaustively.
+  labeling::LabelingResult labels;
+  if (options.use_cluster_labeling) {
+    ADARTS_ASSIGN_OR_RETURN(
+        cluster::Clustering clustering,
+        cluster::IncrementalClustering(corpus, options.clustering));
+    ADARTS_ASSIGN_OR_RETURN(
+        labels, labeling::LabelByClusters(corpus, clustering, options.labeling));
+  } else {
+    ADARTS_ASSIGN_OR_RETURN(labels,
+                            labeling::LabelSeriesFull(corpus, options.labeling));
+  }
+
+  // --- (2) Feature extraction from faulty copies of the corpus: inference
+  // sees incomplete series, so training features must too.
+  features::FeatureExtractor extractor(options.features);
+  ml::Dataset labeled;
+  labeled.num_classes = static_cast<int>(labels.algorithms.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    ts::TimeSeries masked = corpus[i];
+    ADARTS_RETURN_NOT_OK(ts::InjectPattern(options.labeling.pattern,
+                                           options.labeling.missing_fraction,
+                                           &rng, &masked));
+    ADARTS_ASSIGN_OR_RETURN(la::Vector f, extractor.Extract(masked));
+    labeled.features.push_back(std::move(f));
+    labeled.labels.push_back(labels.labels[i]);
+  }
+
+  // --- (3)-(5) ModelRace over the labeled data, then the voting committee.
+  automl::ModelRaceOptions race_options = options.race;
+  race_options.seed = rng.NextU64();
+  ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
+                          ml::StratifiedSplit(labeled,
+                                              options.race_train_fraction,
+                                              &rng));
+  ADARTS_ASSIGN_OR_RETURN(
+      automl::ModelRaceReport report,
+      automl::RunModelRace(split.train, split.test, race_options));
+  ADARTS_ASSIGN_OR_RETURN(automl::VotingRecommender recommender,
+                          automl::VotingRecommender::FromRace(report, labeled));
+  return Adarts(std::move(extractor), std::move(recommender), std::move(report),
+                labels.algorithms, std::move(labeled));
+}
+
+Result<Adarts> Adarts::TrainFromLabeled(
+    const ml::Dataset& labeled, const std::vector<impute::Algorithm>& pool,
+    const features::FeatureExtractorOptions& feature_options,
+    const automl::ModelRaceOptions& race_options, std::uint64_t seed) {
+  ADARTS_RETURN_NOT_OK(labeled.Validate());
+  if (static_cast<int>(pool.size()) != labeled.num_classes) {
+    return Status::InvalidArgument("pool size != num_classes");
+  }
+  Rng rng(seed);
+  ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
+                          ml::StratifiedSplit(labeled, 0.9, &rng));
+  ADARTS_ASSIGN_OR_RETURN(
+      automl::ModelRaceReport report,
+      automl::RunModelRace(split.train, split.test, race_options));
+  ADARTS_ASSIGN_OR_RETURN(automl::VotingRecommender recommender,
+                          automl::VotingRecommender::FromRace(report, labeled));
+  return Adarts(features::FeatureExtractor(feature_options),
+                std::move(recommender), std::move(report), pool, labeled);
+}
+
+Result<impute::Algorithm> Adarts::Recommend(const ts::TimeSeries& faulty) const {
+  ADARTS_ASSIGN_OR_RETURN(la::Vector f, extractor_.Extract(faulty));
+  const int cls = recommender_.Recommend(f);
+  return pool_[static_cast<std::size_t>(cls)];
+}
+
+Result<std::vector<impute::Algorithm>> Adarts::RecommendRanked(
+    const ts::TimeSeries& faulty) const {
+  ADARTS_ASSIGN_OR_RETURN(la::Vector f, extractor_.Extract(faulty));
+  std::vector<impute::Algorithm> out;
+  for (int cls : recommender_.Ranking(f)) {
+    out.push_back(pool_[static_cast<std::size_t>(cls)]);
+  }
+  return out;
+}
+
+Result<ts::TimeSeries> Adarts::Repair(const ts::TimeSeries& faulty) const {
+  if (!faulty.HasMissing()) return faulty;
+  ADARTS_ASSIGN_OR_RETURN(impute::Algorithm algo, Recommend(faulty));
+  return impute::CreateImputer(algo)->Impute(faulty);
+}
+
+Result<std::vector<ts::TimeSeries>> Adarts::RepairSet(
+    const std::vector<ts::TimeSeries>& faulty_set) const {
+  if (faulty_set.empty()) return Status::InvalidArgument("empty set");
+  // Majority vote of per-series recommendations picks the set's algorithm.
+  std::map<int, std::size_t> votes;
+  for (const auto& s : faulty_set) {
+    ADARTS_ASSIGN_OR_RETURN(impute::Algorithm algo, Recommend(s));
+    ++votes[static_cast<int>(algo)];
+  }
+  const auto winner = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  const auto algo = static_cast<impute::Algorithm>(winner->first);
+  return impute::CreateImputer(algo)->ImputeSet(faulty_set);
+}
+
+Result<la::Vector> Adarts::ExtractFeatures(const ts::TimeSeries& series) const {
+  return extractor_.Extract(series);
+}
+
+}  // namespace adarts

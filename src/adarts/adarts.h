@@ -1,0 +1,121 @@
+#ifndef ADARTS_ADARTS_ADARTS_H_
+#define ADARTS_ADARTS_ADARTS_H_
+
+#include <vector>
+
+#include "automl/model_race.h"
+#include "automl/recommender.h"
+#include "cluster/incremental.h"
+#include "common/status.h"
+#include "features/feature_extractor.h"
+#include "impute/imputer.h"
+#include "labeling/labeler.h"
+#include "ml/dataset.h"
+#include "ts/time_series.h"
+
+namespace adarts {
+
+/// End-to-end training configuration for the A-DARTS engine.
+struct TrainOptions {
+  /// Label propagation via incremental clustering (fast path, the paper's
+  /// default) or exhaustive per-series labeling (ground truth).
+  bool use_cluster_labeling = true;
+  cluster::IncrementalOptions clustering;
+  labeling::LabelingOptions labeling;
+  features::FeatureExtractorOptions features;
+  automl::ModelRaceOptions race;
+  /// Fraction of the labeled data used as ModelRace's training side; the
+  /// rest is the race's evaluation set T (the paper trains on e.g. 80%).
+  double race_train_fraction = 0.9;
+  std::uint64_t seed = 17;
+};
+
+/// The A-DARTS recommendation engine: train once on a corpus of series,
+/// then recommend (and apply) the best imputation algorithm for new faulty
+/// series. See Fig. 2 of the paper for the component flow this class wires
+/// together: clustering -> labeling -> feature extraction -> ModelRace ->
+/// soft-voting recommendation.
+class Adarts {
+ public:
+  /// Trains the engine on a corpus of complete series. The corpus series
+  /// must share one length (the imputation bench runs set-wise).
+  static Result<Adarts> Train(const std::vector<ts::TimeSeries>& corpus,
+                              const TrainOptions& options = {});
+
+  /// Trains the recommendation engine from an already-labeled dataset
+  /// (labels index `pool`). Used by the benches that control labeling.
+  static Result<Adarts> TrainFromLabeled(
+      const ml::Dataset& labeled, const std::vector<impute::Algorithm>& pool,
+      const features::FeatureExtractorOptions& feature_options,
+      const automl::ModelRaceOptions& race_options, std::uint64_t seed = 17);
+
+  /// Best imputation algorithm for a faulty series.
+  Result<impute::Algorithm> Recommend(const ts::TimeSeries& faulty) const;
+
+  /// Full ranking, best first (the basis of the MRR metric).
+  Result<std::vector<impute::Algorithm>> RecommendRanked(
+      const ts::TimeSeries& faulty) const;
+
+  /// Recommends and applies the winning algorithm to one series.
+  Result<ts::TimeSeries> Repair(const ts::TimeSeries& faulty) const;
+
+  /// Recommends on the set (majority of per-series recommendations) and
+  /// repairs every series with the winning algorithm.
+  Result<std::vector<ts::TimeSeries>> RepairSet(
+      const std::vector<ts::TimeSeries>& faulty_set) const;
+
+  /// Persists the engine as a deterministic model bundle: extractor
+  /// options, algorithm pool, committee pipeline specs, and the labeled
+  /// training dataset. Because every classifier is deterministic given its
+  /// stored seed, Load refits the committee exactly and the loaded engine
+  /// reproduces this engine's recommendations bit-for-bit.
+  Status Save(const std::string& path) const;
+
+  /// Restores an engine saved with Save.
+  static Result<Adarts> Load(const std::string& path);
+
+  /// Feature vector of a (possibly incomplete) series under the engine's
+  /// configured extractor.
+  Result<la::Vector> ExtractFeatures(const ts::TimeSeries& series) const;
+
+  /// Soft-vote class probabilities for a raw feature vector.
+  la::Vector PredictProba(const la::Vector& features) const {
+    return recommender_.PredictProba(features);
+  }
+
+  const automl::ModelRaceReport& race_report() const { return race_report_; }
+  const std::vector<impute::Algorithm>& algorithm_pool() const { return pool_; }
+  const features::FeatureExtractor& feature_extractor() const {
+    return extractor_;
+  }
+  std::size_t committee_size() const { return recommender_.committee_size(); }
+  /// The fitted winning pipelines behind the soft vote.
+  const std::vector<automl::TrainedPipeline>& committee() const {
+    return recommender_.committee();
+  }
+
+  /// The labeled dataset the committee was fitted on (kept for Save and
+  /// for incremental retraining).
+  const ml::Dataset& training_data() const { return training_data_; }
+
+ private:
+  Adarts(features::FeatureExtractor extractor,
+         automl::VotingRecommender recommender,
+         automl::ModelRaceReport report, std::vector<impute::Algorithm> pool,
+         ml::Dataset training_data)
+      : extractor_(std::move(extractor)),
+        recommender_(std::move(recommender)),
+        race_report_(std::move(report)),
+        pool_(std::move(pool)),
+        training_data_(std::move(training_data)) {}
+
+  features::FeatureExtractor extractor_;
+  automl::VotingRecommender recommender_;
+  automl::ModelRaceReport race_report_;
+  std::vector<impute::Algorithm> pool_;
+  ml::Dataset training_data_;
+};
+
+}  // namespace adarts
+
+#endif  // ADARTS_ADARTS_ADARTS_H_

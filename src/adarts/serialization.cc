@@ -1,0 +1,197 @@
+// Save/Load of trained engines as deterministic model bundles (see
+// Adarts::Save in adarts.h). The format is a whitespace-separated text
+// archive: doubles round-trip at 17 significant digits and classifier
+// training is fully deterministic given the stored seeds, so a loaded
+// engine's committee is bit-identical to the saved one.
+
+#include <fstream>
+#include <sstream>
+
+#include "adarts/adarts.h"
+
+namespace adarts {
+
+namespace {
+
+constexpr char kMagic[] = "ADARTS_MODEL_V1";
+
+Status Expect(std::istream& in, const std::string& token) {
+  std::string got;
+  if (!(in >> got) || got != token) {
+    return Status::InvalidArgument("model bundle: expected '" + token +
+                                   "', got '" + got + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Adarts::Save(const std::string& path) const {
+  std::ostringstream out;
+  out.precision(17);
+  out << kMagic << '\n';
+
+  const features::FeatureExtractorOptions& fopts = extractor_.options();
+  out << "extractor " << (fopts.statistical ? 1 : 0) << ' '
+      << (fopts.topological ? 1 : 0) << ' ' << fopts.embedding_dimension << ' '
+      << fopts.embedding_tau << ' ' << fopts.landmarks << ' '
+      << fopts.max_acf_lag << '\n';
+
+  out << "pool " << pool_.size();
+  for (impute::Algorithm a : pool_) {
+    out << ' ' << impute::AlgorithmToString(a);
+  }
+  out << '\n';
+
+  out << "committee " << committee().size() << '\n';
+  for (const automl::TrainedPipeline& member : committee()) {
+    const automl::Pipeline& spec = member.spec;
+    out << "pipeline " << ml::ClassifierKindToString(spec.classifier) << ' '
+        << ml::ScalerKindToString(spec.scaler) << ' ' << spec.scaler_param
+        << ' ' << spec.id << ' ' << spec.params.size();
+    for (const auto& [key, value] : spec.params) {
+      out << ' ' << key << ' ' << value;
+    }
+    out << '\n';
+  }
+
+  out << "dataset " << training_data_.size() << ' ' << training_data_.dim()
+      << ' ' << training_data_.num_classes << '\n';
+  for (std::size_t i = 0; i < training_data_.size(); ++i) {
+    out << training_data_.labels[i];
+    for (double v : training_data_.features[i]) {
+      out << ' ' << v;
+    }
+    out << '\n';
+  }
+  out << "end\n";
+
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::NotFound("cannot open for writing: " + path);
+  file << out.str();
+  return file.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Result<Adarts> Adarts::Load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open: " + path);
+
+  ADARTS_RETURN_NOT_OK(Expect(file, kMagic));
+
+  ADARTS_RETURN_NOT_OK(Expect(file, "extractor"));
+  features::FeatureExtractorOptions fopts;
+  int statistical = 0;
+  int topological = 0;
+  if (!(file >> statistical >> topological >> fopts.embedding_dimension >>
+        fopts.embedding_tau >> fopts.landmarks >> fopts.max_acf_lag)) {
+    return Status::InvalidArgument("model bundle: bad extractor block");
+  }
+  fopts.statistical = statistical != 0;
+  fopts.topological = topological != 0;
+
+  ADARTS_RETURN_NOT_OK(Expect(file, "pool"));
+  std::size_t pool_size = 0;
+  if (!(file >> pool_size) || pool_size == 0) {
+    return Status::InvalidArgument("model bundle: bad pool size");
+  }
+  std::vector<impute::Algorithm> pool;
+  pool.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    std::string name;
+    if (!(file >> name)) {
+      return Status::InvalidArgument("model bundle: truncated pool");
+    }
+    ADARTS_ASSIGN_OR_RETURN(impute::Algorithm a,
+                            impute::AlgorithmFromString(name));
+    pool.push_back(a);
+  }
+
+  ADARTS_RETURN_NOT_OK(Expect(file, "committee"));
+  std::size_t committee_size = 0;
+  if (!(file >> committee_size) || committee_size == 0) {
+    return Status::InvalidArgument("model bundle: bad committee size");
+  }
+  std::vector<automl::Pipeline> specs;
+  specs.reserve(committee_size);
+  for (std::size_t i = 0; i < committee_size; ++i) {
+    ADARTS_RETURN_NOT_OK(Expect(file, "pipeline"));
+    automl::Pipeline spec;
+    std::string classifier_name;
+    std::string scaler_name;
+    std::size_t num_params = 0;
+    if (!(file >> classifier_name >> scaler_name >> spec.scaler_param >>
+          spec.id >> num_params)) {
+      return Status::InvalidArgument("model bundle: bad pipeline header");
+    }
+    ADARTS_ASSIGN_OR_RETURN(spec.classifier,
+                            ml::ClassifierKindFromString(classifier_name));
+    bool found_scaler = false;
+    for (ml::ScalerKind kind : ml::AllScalerKinds()) {
+      if (ml::ScalerKindToString(kind) == scaler_name) {
+        spec.scaler = kind;
+        found_scaler = true;
+      }
+    }
+    if (!found_scaler) {
+      return Status::NotFound("model bundle: unknown scaler " + scaler_name);
+    }
+    for (std::size_t p = 0; p < num_params; ++p) {
+      std::string key;
+      double value = 0.0;
+      if (!(file >> key >> value)) {
+        return Status::InvalidArgument("model bundle: truncated params");
+      }
+      spec.params[key] = value;
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  ADARTS_RETURN_NOT_OK(Expect(file, "dataset"));
+  std::size_t samples = 0;
+  std::size_t dim = 0;
+  ml::Dataset labeled;
+  if (!(file >> samples >> dim >> labeled.num_classes) || samples == 0 ||
+      dim == 0) {
+    return Status::InvalidArgument("model bundle: bad dataset header");
+  }
+  labeled.features.reserve(samples);
+  labeled.labels.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    int label = 0;
+    if (!(file >> label)) {
+      return Status::InvalidArgument("model bundle: truncated labels");
+    }
+    la::Vector f(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (!(file >> f[j])) {
+        return Status::InvalidArgument("model bundle: truncated features");
+      }
+    }
+    labeled.labels.push_back(label);
+    labeled.features.push_back(std::move(f));
+  }
+  ADARTS_RETURN_NOT_OK(Expect(file, "end"));
+  ADARTS_RETURN_NOT_OK(labeled.Validate());
+  if (static_cast<int>(pool.size()) != labeled.num_classes) {
+    return Status::InvalidArgument("model bundle: pool/classes mismatch");
+  }
+
+  // Refit the committee deterministically on the stored dataset.
+  std::vector<automl::TrainedPipeline> committee;
+  committee.reserve(specs.size());
+  automl::ModelRaceReport report;  // reconstructed spec-only report
+  for (const automl::Pipeline& spec : specs) {
+    ADARTS_ASSIGN_OR_RETURN(automl::TrainedPipeline fitted,
+                            automl::FitPipeline(spec, labeled));
+    committee.push_back(std::move(fitted));
+    report.elites.push_back({spec, {}, 0, 0, 0, 0});
+  }
+  ADARTS_ASSIGN_OR_RETURN(
+      automl::VotingRecommender recommender,
+      automl::VotingRecommender::FromPipelines(std::move(committee),
+                                               labeled.num_classes));
+  return Adarts(features::FeatureExtractor(fopts), std::move(recommender),
+                std::move(report), std::move(pool), std::move(labeled));
+}
+
+}  // namespace adarts

@@ -1,0 +1,76 @@
+#ifndef ADARTS_AUTOML_MODEL_RACE_H_
+#define ADARTS_AUTOML_MODEL_RACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "automl/pipeline.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace adarts::automl {
+
+/// Configuration of ModelRace (Algorithm 1).
+struct ModelRaceOptions {
+  /// |Theta|: seed pipelines (>= one per classifier family is enforced).
+  std::size_t num_seed_pipelines = 24;
+  /// m = |S|: growing partial training sets consumed by the outer loop.
+  std::size_t num_partial_sets = 4;
+  /// k of the stratified k-fold evaluation inside each iteration.
+  std::size_t num_folds = 3;
+  /// Scoring coefficients of line 9: score = (a*F1 + b*R@3 - g*time)/(a+b+g).
+  double alpha = 0.5;
+  double beta = 0.5;
+  double gamma = 0.75;
+  /// Early termination (lines 11-12): a pipeline whose fold score trails the
+  /// fold's best by more than this margin leaves the race immediately.
+  double early_termination_margin = 0.15;
+  /// Second-phase pruning (line 13, irace-style): for each pipeline pair a
+  /// Welch t-test compares the score distributions. p-value below
+  /// `ttest_worse_pvalue` = the lower-mean pipeline is statistically worse
+  /// and is eliminated; p-value above `ttest_similarity_pvalue` = the two
+  /// are redundant and the lower mean is eliminated. Pipelines in the
+  /// ambiguous band survive — that is the diversity the voting relies on.
+  double ttest_worse_pvalue = 0.05;
+  double ttest_similarity_pvalue = 0.4;
+  /// Children generated per surviving elite each iteration.
+  std::size_t synth_per_elite = 3;
+  /// Cap on the number of surviving pipelines per iteration.
+  std::size_t max_survivors = 10;
+  std::uint64_t seed = 7;
+};
+
+/// A pipeline together with its accumulated race statistics.
+struct RacedPipeline {
+  Pipeline spec;
+  la::Vector scores;  ///< one entry per evaluated fold (all iterations)
+  double mean_score = 0.0;
+  double mean_f1 = 0.0;
+  double mean_recall_at3 = 0.0;
+  double mean_time_seconds = 0.0;
+};
+
+/// Outcome of one ModelRace run.
+struct ModelRaceReport {
+  /// Theta-elite: the surviving pipelines, best mean score first.
+  std::vector<RacedPipeline> elites;
+  std::size_t pipelines_evaluated = 0;
+  std::size_t pipelines_pruned_early = 0;
+  std::size_t pipelines_pruned_ttest = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs ModelRace: iterates over growing partial training sets, synthesizes
+/// children of the surviving elites, trains every candidate per stratified
+/// fold, scores with the weighted F1/R@3/runtime objective, early-terminates
+/// stragglers per fold, and prunes statistically redundant pipelines per
+/// iteration. `train` provides the partial sets; `test` is the fixed
+/// evaluation set T of Algorithm 1.
+Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
+                                     const ml::Dataset& test,
+                                     const ModelRaceOptions& options = {});
+
+}  // namespace adarts::automl
+
+#endif  // ADARTS_AUTOML_MODEL_RACE_H_

@@ -1,0 +1,50 @@
+#include "automl/pipeline.h"
+
+#include <sstream>
+
+namespace adarts::automl {
+
+std::string Pipeline::ToString() const {
+  std::ostringstream os;
+  os << ml::ClassifierKindToString(classifier) << "(";
+  bool first = true;
+  for (const auto& [name, value] : params) {
+    if (name == "seed") continue;
+    if (!first) os << ",";
+    os << name << "=" << value;
+    first = false;
+  }
+  os << ")+" << ml::ScalerKindToString(scaler);
+  if (scaler == ml::ScalerKind::kPca) os << "(" << scaler_param << ")";
+  return os.str();
+}
+
+la::Vector TrainedPipeline::PredictProba(const la::Vector& features) const {
+  return classifier->PredictProba(scaler->Transform(features));
+}
+
+Result<TrainedPipeline> FitPipeline(const Pipeline& spec,
+                                    const ml::Dataset& train) {
+  ADARTS_RETURN_NOT_OK(train.Validate());
+  TrainedPipeline fitted;
+  fitted.spec = spec;
+  fitted.scaler = ml::CreateScaler(spec.scaler, spec.scaler_param);
+  if (fitted.scaler == nullptr) {
+    return Status::Internal("unknown scaler kind");
+  }
+  ADARTS_RETURN_NOT_OK(fitted.scaler->Fit(train.features));
+
+  ml::Dataset scaled;
+  scaled.num_classes = train.num_classes;
+  scaled.labels = train.labels;
+  scaled.features = fitted.scaler->TransformBatch(train.features);
+
+  fitted.classifier = ml::CreateClassifier(spec.classifier, spec.params);
+  if (fitted.classifier == nullptr) {
+    return Status::Internal("unknown classifier kind");
+  }
+  ADARTS_RETURN_NOT_OK(fitted.classifier->Fit(scaled));
+  return fitted;
+}
+
+}  // namespace adarts::automl

@@ -1,0 +1,45 @@
+#ifndef ADARTS_AUTOML_PIPELINE_H_
+#define ADARTS_AUTOML_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/scaler.h"
+
+namespace adarts::automl {
+
+/// A pipeline is the unit ModelRace races: a tuple <classifier,
+/// hyperparameters, feature scaler> (Section V-A). Pipelines are cheap
+/// value objects; training materialises them into TrainedPipeline.
+struct Pipeline {
+  ml::ClassifierKind classifier = ml::ClassifierKind::kKnn;
+  ml::HyperParams params;  ///< resolved against the classifier's spec
+  ml::ScalerKind scaler = ml::ScalerKind::kStandard;
+  double scaler_param = 0.5;  ///< e.g. PCA keep-fraction
+  std::uint64_t id = 0;       ///< unique within one race, for bookkeeping
+
+  /// "knn(k=5,weight_by_distance=1)+standard" style description.
+  std::string ToString() const;
+};
+
+/// A pipeline fitted on concrete training data: the scaler's statistics and
+/// the classifier's model. Move-only (owns the models).
+struct TrainedPipeline {
+  Pipeline spec;
+  std::unique_ptr<ml::Scaler> scaler;
+  std::unique_ptr<ml::Classifier> classifier;
+
+  /// Class-probability prediction for raw (unscaled) features.
+  la::Vector PredictProba(const la::Vector& features) const;
+};
+
+/// Fits `spec` on `train`: fits the scaler, transforms, fits the classifier.
+Result<TrainedPipeline> FitPipeline(const Pipeline& spec,
+                                    const ml::Dataset& train);
+
+}  // namespace adarts::automl
+
+#endif  // ADARTS_AUTOML_PIPELINE_H_

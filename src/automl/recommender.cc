@@ -1,0 +1,81 @@
+#include "automl/recommender.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace adarts::automl {
+
+Result<VotingRecommender> VotingRecommender::FromRace(
+    const ModelRaceReport& report, const ml::Dataset& full_train) {
+  ADARTS_RETURN_NOT_OK(full_train.Validate());
+  if (report.elites.empty()) {
+    return Status::InvalidArgument("race produced no elites");
+  }
+  VotingRecommender rec;
+  rec.num_classes_ = full_train.num_classes;
+  // Quality gate: diversity helps the vote only among pipelines of
+  // comparable strength; stragglers that survived the t-test's ambiguity
+  // band would dilute the committee.
+  double best_score = report.elites[0].mean_score;
+  for (const RacedPipeline& elite : report.elites) {
+    best_score = std::max(best_score, elite.mean_score);
+  }
+  for (const RacedPipeline& elite : report.elites) {
+    if (elite.mean_score < best_score - 0.1) continue;
+    auto fitted = FitPipeline(elite.spec, full_train);
+    if (!fitted.ok()) continue;  // skip configurations that fail on full data
+    rec.committee_.push_back(std::move(*fitted));
+  }
+  if (rec.committee_.empty()) {
+    // Gate removed everything fit-able: fall back to the ungated elites.
+    for (const RacedPipeline& elite : report.elites) {
+      auto fitted = FitPipeline(elite.spec, full_train);
+      if (fitted.ok()) rec.committee_.push_back(std::move(*fitted));
+    }
+  }
+  if (rec.committee_.empty()) {
+    return Status::Internal("no elite pipeline could be fitted on full data");
+  }
+  return rec;
+}
+
+Result<VotingRecommender> VotingRecommender::FromPipelines(
+    std::vector<TrainedPipeline> committee, int num_classes) {
+  if (committee.empty()) {
+    return Status::InvalidArgument("empty committee");
+  }
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  VotingRecommender rec;
+  rec.num_classes_ = num_classes;
+  rec.committee_ = std::move(committee);
+  return rec;
+}
+
+la::Vector VotingRecommender::PredictProba(const la::Vector& features) const {
+  la::Vector acc(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const TrainedPipeline& member : committee_) {
+    const la::Vector p = member.PredictProba(features);
+    for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+  }
+  for (double& v : acc) v /= static_cast<double>(committee_.size());
+  return acc;
+}
+
+int VotingRecommender::Recommend(const la::Vector& features) const {
+  const la::Vector p = PredictProba(features);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<int> VotingRecommender::Ranking(const la::Vector& features) const {
+  const la::Vector p = PredictProba(features);
+  std::vector<int> order(p.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return p[static_cast<std::size_t>(a)] > p[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace adarts::automl

@@ -1,0 +1,45 @@
+#ifndef ADARTS_AUTOML_RECOMMENDER_H_
+#define ADARTS_AUTOML_RECOMMENDER_H_
+
+#include <vector>
+
+#include "automl/model_race.h"
+#include "automl/pipeline.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace adarts::automl {
+
+/// The inference side of A-DARTS (Fig. 2, steps 6-7): the winning pipelines,
+/// re-fitted on the full training data, vote softly — the probability matrix
+/// is averaged per class and the class with the highest mean wins.
+class VotingRecommender {
+ public:
+  /// Fits every elite of `report` on `full_train` and assembles the voter.
+  static Result<VotingRecommender> FromRace(const ModelRaceReport& report,
+                                            const ml::Dataset& full_train);
+
+  /// Assembles a voter from already-fitted pipelines (deserialization path).
+  static Result<VotingRecommender> FromPipelines(
+      std::vector<TrainedPipeline> committee, int num_classes);
+
+  /// Average per-class probability over the committee.
+  la::Vector PredictProba(const la::Vector& features) const;
+
+  /// The recommended class (argmax of the soft vote).
+  int Recommend(const la::Vector& features) const;
+
+  /// Classes sorted by descending soft-vote probability (for MRR).
+  std::vector<int> Ranking(const la::Vector& features) const;
+
+  std::size_t committee_size() const { return committee_.size(); }
+  const std::vector<TrainedPipeline>& committee() const { return committee_; }
+
+ private:
+  std::vector<TrainedPipeline> committee_;
+  int num_classes_ = 0;
+};
+
+}  // namespace adarts::automl
+
+#endif  // ADARTS_AUTOML_RECOMMENDER_H_

@@ -1,0 +1,89 @@
+#include <algorithm>
+
+#include "baselines/baselines.h"
+#include "baselines/common.h"
+#include "common/rng.h"
+
+namespace adarts::baselines {
+
+namespace {
+
+/// AutoFolio-lite: configures a single classifier (an MLP) from random seed
+/// configurations, perturbing one parameter at a time, evaluating each
+/// candidate across several data partitions and keeping the configuration
+/// with the best average performance.
+class AutoFolioLite final : public ModelSelector {
+ public:
+  explicit AutoFolioLite(const BaselineOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "autofolio_lite"; }
+
+  Status Train(const ml::Dataset& data) override {
+    Rng rng(options_.seed);
+    constexpr ml::ClassifierKind kKind = ml::ClassifierKind::kMlp;
+
+    // Data partitions for the averaged evaluation.
+    constexpr std::size_t kPartitions = 3;
+    std::vector<ml::TrainTestSplit> partitions;
+    for (std::size_t p = 0; p < kPartitions; ++p) {
+      ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
+                              ml::StratifiedSplit(data, 0.7, &rng));
+      partitions.push_back(std::move(split));
+    }
+    const auto average_f1 = [&](const ml::HyperParams& params) {
+      double total = 0.0;
+      for (const auto& part : partitions) {
+        total += internal::FitAndScore(kKind, params, part.train, part.test);
+      }
+      return total / static_cast<double>(partitions.size());
+    };
+
+    // Random seed configurations.
+    const std::size_t num_seeds = std::max<std::size_t>(
+        options_.num_configurations / 3, 2);
+    ml::HyperParams best = internal::RandomConfig(kKind, &rng);
+    double best_f1 = average_f1(best);
+    for (std::size_t s = 1; s < num_seeds; ++s) {
+      ml::HyperParams candidate = internal::RandomConfig(kKind, &rng);
+      const double f1 = average_f1(candidate);
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        best = std::move(candidate);
+      }
+    }
+    // Local search: perturb one parameter at a time; configurations that do
+    // not improve are discarded.
+    const std::size_t num_perturbations =
+        options_.num_configurations - num_seeds;
+    for (std::size_t s = 0; s < num_perturbations; ++s) {
+      ml::HyperParams candidate = internal::PerturbOneParam(kKind, best, &rng);
+      const double f1 = average_f1(candidate);
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        best = std::move(candidate);
+      }
+    }
+
+    model_ = ml::CreateClassifier(kKind, best);
+    return model_->Fit(data);
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    return model_->PredictProba(x);
+  }
+
+  bool SupportsRanking() const override { return false; }
+
+ private:
+  BaselineOptions options_;
+  std::unique_ptr<ml::Classifier> model_;
+};
+
+}  // namespace
+
+std::unique_ptr<ModelSelector> CreateAutoFolioLite(
+    const BaselineOptions& options) {
+  return std::make_unique<AutoFolioLite>(options);
+}
+
+}  // namespace adarts::baselines

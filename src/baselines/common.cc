@@ -1,0 +1,78 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "ml/metrics.h"
+
+namespace adarts::baselines::internal {
+
+double ValidationF1(const ml::Classifier& clf, const ml::Dataset& val) {
+  if (val.empty()) return 0.0;
+  std::vector<int> preds;
+  preds.reserve(val.size());
+  for (const auto& f : val.features) preds.push_back(clf.Predict(f));
+  auto report =
+      ml::ComputeClassificationReport(val.labels, preds, val.num_classes);
+  return report.ok() ? report->f1 : 0.0;
+}
+
+double FitAndScore(ml::ClassifierKind kind, const ml::HyperParams& params,
+                   const ml::Dataset& train, const ml::Dataset& val,
+                   double* elapsed_seconds) {
+  Stopwatch watch;
+  auto clf = ml::CreateClassifier(kind, params);
+  if (clf == nullptr || !clf->Fit(train).ok()) {
+    if (elapsed_seconds != nullptr) *elapsed_seconds = watch.ElapsedSeconds();
+    return 0.0;
+  }
+  const double f1 = ValidationF1(*clf, val);
+  if (elapsed_seconds != nullptr) *elapsed_seconds = watch.ElapsedSeconds();
+  return f1;
+}
+
+ml::HyperParams RandomConfig(ml::ClassifierKind kind, Rng* rng) {
+  ml::HyperParams params;
+  for (const ml::ParamSpec& spec : ml::ParamSpecsFor(kind)) {
+    double v;
+    if (spec.integer) {
+      v = static_cast<double>(rng->UniformInt(
+          static_cast<int>(spec.min_value), static_cast<int>(spec.max_value)));
+    } else if (spec.log_scale && spec.min_value > 0.0) {
+      v = std::exp(
+          rng->Uniform(std::log(spec.min_value), std::log(spec.max_value)));
+    } else {
+      v = rng->Uniform(spec.min_value, spec.max_value);
+    }
+    params[spec.name] = v;
+  }
+  params["seed"] = static_cast<double>(rng->NextU64() % 10000);
+  return ml::ResolveParams(kind, params);
+}
+
+ml::HyperParams PerturbOneParam(ml::ClassifierKind kind,
+                                const ml::HyperParams& base, Rng* rng) {
+  const auto& specs = ml::ParamSpecsFor(kind);
+  ml::HyperParams params = base;
+  if (specs.empty()) return params;
+  const ml::ParamSpec& spec =
+      specs[static_cast<std::size_t>(rng->UniformInt(specs.size()))];
+  const double current = params.at(spec.name);
+  double v;
+  if (spec.integer) {
+    const int span =
+        std::max(1, static_cast<int>(spec.max_value - spec.min_value) / 8);
+    v = current + static_cast<double>(rng->UniformInt(-span, span));
+    if (v == current) v = current + 1.0;
+  } else if (spec.log_scale && current > 0.0) {
+    v = current * std::exp(rng->Uniform(-0.7, 0.7));
+  } else {
+    const double span = spec.max_value - spec.min_value;
+    v = current + rng->Uniform(-0.25 * span, 0.25 * span);
+  }
+  params[spec.name] = std::clamp(v, spec.min_value, spec.max_value);
+  return ml::ResolveParams(kind, params);
+}
+
+}  // namespace adarts::baselines::internal

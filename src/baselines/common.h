@@ -1,0 +1,30 @@
+#ifndef ADARTS_BASELINES_COMMON_H_
+#define ADARTS_BASELINES_COMMON_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace adarts::baselines::internal {
+
+/// Weighted F1 of `clf` trained elsewhere, evaluated on `val`.
+double ValidationF1(const ml::Classifier& clf, const ml::Dataset& val);
+
+/// Fits a fresh classifier of (kind, params) on `train` and returns its
+/// validation F1; 0 on any failure.
+double FitAndScore(ml::ClassifierKind kind, const ml::HyperParams& params,
+                   const ml::Dataset& train, const ml::Dataset& val,
+                   double* elapsed_seconds = nullptr);
+
+/// A random configuration drawn from the family's parameter specs.
+ml::HyperParams RandomConfig(ml::ClassifierKind kind, Rng* rng);
+
+/// Mutates exactly one hyperparameter of `base`.
+ml::HyperParams PerturbOneParam(ml::ClassifierKind kind,
+                                const ml::HyperParams& base, Rng* rng);
+
+}  // namespace adarts::baselines::internal
+
+#endif  // ADARTS_BASELINES_COMMON_H_

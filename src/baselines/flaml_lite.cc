@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <limits>
+
+#include "baselines/baselines.h"
+#include "baselines/common.h"
+#include "common/rng.h"
+
+namespace adarts::baselines {
+
+namespace {
+
+/// One search branch of FLAML-lite: a classifier family with its current
+/// best configuration and cost.
+struct Branch {
+  ml::ClassifierKind kind;
+  ml::HyperParams best_config;
+  double best_cost = std::numeric_limits<double>::infinity();
+  int stale_rounds = 0;  ///< rounds without improvement
+  bool alive = true;
+};
+
+class FlamlLite final : public ModelSelector {
+ public:
+  explicit FlamlLite(const BaselineOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "flaml_lite"; }
+
+  Status Train(const ml::Dataset& data) override {
+    Rng rng(options_.seed);
+    ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
+                            ml::StratifiedSplit(data, 0.75, &rng));
+
+    // One branch per classifier family, seeded with defaults.
+    std::vector<Branch> branches;
+    for (ml::ClassifierKind kind : ml::AllClassifierKinds()) {
+      Branch b;
+      b.kind = kind;
+      b.best_config = ml::ResolveParams(kind, {});
+      branches.push_back(std::move(b));
+    }
+
+    // Training sample grows when the search stops improving (FLAML resizes
+    // the sample based on cost improvement between iterations).
+    double sample_fraction = 0.4;
+    const std::size_t budget = std::max<std::size_t>(
+        options_.num_configurations, branches.size());
+
+    // Initial evaluation of every branch's default.
+    ml::Dataset sample = SampleOf(split.train, sample_fraction, &rng);
+    for (Branch& b : branches) {
+      b.best_cost = CostOf(b.kind, b.best_config, sample, split.test);
+    }
+
+    for (std::size_t step = branches.size(); step < budget; ++step) {
+      // Expand the most promising live branch (epsilon-greedy to keep some
+      // exploration).
+      Branch* target = nullptr;
+      if (rng.Bernoulli(0.2)) {
+        std::vector<Branch*> alive;
+        for (Branch& b : branches) {
+          if (b.alive) alive.push_back(&b);
+        }
+        if (alive.empty()) break;
+        target = alive[static_cast<std::size_t>(rng.UniformInt(alive.size()))];
+      } else {
+        for (Branch& b : branches) {
+          if (b.alive && (target == nullptr || b.best_cost < target->best_cost)) {
+            target = &b;
+          }
+        }
+      }
+      if (target == nullptr) break;
+
+      const ml::HyperParams candidate =
+          internal::PerturbOneParam(target->kind, target->best_config, &rng);
+      const double cost = CostOf(target->kind, candidate, sample, split.test);
+      if (cost < target->best_cost) {
+        target->best_cost = cost;
+        target->best_config = candidate;
+        target->stale_rounds = 0;
+      } else {
+        ++target->stale_rounds;
+        // No improvement: enlarge the training sample, and eventually kill
+        // the branch. FLAML treats all variations of a classifier as one
+        // pipeline — a dead branch removes the whole family from the race.
+        if (target->stale_rounds == 2 && sample_fraction < 1.0) {
+          sample_fraction = std::min(1.0, sample_fraction * 1.6);
+          sample = SampleOf(split.train, sample_fraction, &rng);
+        }
+        if (target->stale_rounds >= 4) target->alive = false;
+      }
+    }
+
+    // The single winner is the branch with the lowest cost.
+    const Branch* winner = &branches[0];
+    for (const Branch& b : branches) {
+      if (b.best_cost < winner->best_cost) winner = &b;
+    }
+    model_ = ml::CreateClassifier(winner->kind, winner->best_config);
+    return model_->Fit(data);
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    return model_->PredictProba(x);
+  }
+
+  bool SupportsRanking() const override { return false; }
+
+ private:
+  static ml::Dataset SampleOf(const ml::Dataset& data, double fraction,
+                              Rng* rng) {
+    const auto count = std::max<std::size_t>(
+        static_cast<std::size_t>(fraction * static_cast<double>(data.size())),
+        std::min<std::size_t>(data.size(), 10));
+    return data.Subset(rng->SampleWithoutReplacement(data.size(), count));
+  }
+
+  static double CostOf(ml::ClassifierKind kind, const ml::HyperParams& params,
+                       const ml::Dataset& train, const ml::Dataset& val) {
+    double seconds = 0.0;
+    const double f1 = internal::FitAndScore(kind, params, train, val, &seconds);
+    // FLAML's cost combines error and time.
+    return (1.0 - f1) + 0.05 * seconds;
+  }
+
+  BaselineOptions options_;
+  std::unique_ptr<ml::Classifier> model_;
+};
+
+}  // namespace
+
+std::unique_ptr<ModelSelector> CreateFlamlLite(const BaselineOptions& options) {
+  return std::make_unique<FlamlLite>(options);
+}
+
+}  // namespace adarts::baselines

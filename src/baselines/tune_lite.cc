@@ -1,0 +1,80 @@
+#include <algorithm>
+
+#include "baselines/baselines.h"
+#include "baselines/common.h"
+#include "common/rng.h"
+
+namespace adarts::baselines {
+
+namespace {
+
+/// Tune-lite: successive halving (the core of Hyperband) over random
+/// configurations of one user-picked classifier. The budget dimension is
+/// the training-sample size, doubled at every rung.
+class TuneLite final : public ModelSelector {
+ public:
+  explicit TuneLite(const BaselineOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "tune_lite"; }
+
+  Status Train(const ml::Dataset& data) override {
+    Rng rng(options_.seed);
+    ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
+                            ml::StratifiedSplit(data, 0.75, &rng));
+
+    // The hand-picked classifier (Tune configures a single model chosen by
+    // the user; kNN is the standard first pick, and, trained on unscaled
+    // features, reproduces Tune's reported fast-but-brittle profile).
+    constexpr ml::ClassifierKind kKind = ml::ClassifierKind::kKnn;
+
+    struct Candidate {
+      ml::HyperParams params;
+      double f1 = 0.0;
+    };
+    std::vector<Candidate> pool;
+    for (std::size_t i = 0; i < options_.num_configurations; ++i) {
+      pool.push_back({internal::RandomConfig(kKind, &rng), 0.0});
+    }
+
+    double fraction = 0.25;
+    while (pool.size() > 1) {
+      const auto count = std::max<std::size_t>(
+          static_cast<std::size_t>(fraction *
+                                   static_cast<double>(split.train.size())),
+          std::min<std::size_t>(split.train.size(), 10));
+      const ml::Dataset sample = split.train.Subset(
+          rng.SampleWithoutReplacement(split.train.size(), count));
+      for (Candidate& c : pool) {
+        c.f1 = internal::FitAndScore(kKind, c.params, sample, split.test);
+      }
+      std::sort(pool.begin(), pool.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.f1 > b.f1;
+                });
+      // Keep the best half; double the budget for the next rung.
+      pool.resize(std::max<std::size_t>(pool.size() / 2, 1));
+      fraction = std::min(1.0, fraction * 2.0);
+    }
+
+    model_ = ml::CreateClassifier(kKind, pool[0].params);
+    return model_->Fit(data);
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    return model_->PredictProba(x);
+  }
+
+  bool SupportsRanking() const override { return false; }
+
+ private:
+  BaselineOptions options_;
+  std::unique_ptr<ml::Classifier> model_;
+};
+
+}  // namespace
+
+std::unique_ptr<ModelSelector> CreateTuneLite(const BaselineOptions& options) {
+  return std::make_unique<TuneLite>(options);
+}
+
+}  // namespace adarts::baselines

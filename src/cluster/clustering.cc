@@ -1,0 +1,70 @@
+#include "cluster/clustering.h"
+
+#include <cmath>
+
+#include "ts/correlation.h"
+
+namespace adarts::cluster {
+
+std::vector<std::size_t> Clustering::Assignments(std::size_t n) const {
+  std::vector<std::size_t> out(n, 0);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (std::size_t i : clusters[c]) out[i] = c;
+  }
+  return out;
+}
+
+la::Matrix PairwiseCorrelationMatrix(
+    const std::vector<ts::TimeSeries>& series) {
+  const std::size_t n = series.size();
+  la::Matrix corr(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    corr(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double c = ts::Pearson(series[i], series[j]);
+      corr(i, j) = c;
+      corr(j, i) = c;
+    }
+  }
+  return corr;
+}
+
+double ClusterAvgCorrelation(const std::vector<std::size_t>& cluster,
+                             const la::Matrix& corr) {
+  if (cluster.size() < 2) return 1.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < cluster.size(); ++a) {
+    for (std::size_t b = a + 1; b < cluster.size(); ++b) {
+      sum += std::fabs(corr(cluster[a], cluster[b]));
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+double AverageIntraClusterCorrelation(const Clustering& clustering,
+                                      const la::Matrix& corr) {
+  double sum = 0.0;
+  std::size_t total = 0;
+  for (const auto& c : clustering.clusters) {
+    sum += ClusterAvgCorrelation(c, corr) * static_cast<double>(c.size());
+    total += c.size();
+  }
+  return total > 0 ? sum / static_cast<double>(total) : 0.0;
+}
+
+double CorrelationGain(const std::vector<std::size_t>& a,
+                       const std::vector<std::size_t>& b,
+                       const la::Matrix& corr, std::size_t total_series) {
+  if (total_series == 0) return 0.0;
+  std::vector<std::size_t> merged = a;
+  merged.insert(merged.end(), b.begin(), b.end());
+  const double rho_merged = ClusterAvgCorrelation(merged, corr);
+  const double rho_a = ClusterAvgCorrelation(a, corr);
+  const double rho_b = ClusterAvgCorrelation(b, corr);
+  const double m = static_cast<double>(total_series);
+  return (1.0 / (2.0 * m)) * (rho_merged - rho_a * rho_b / m);
+}
+
+}  // namespace adarts::cluster

@@ -1,0 +1,45 @@
+#ifndef ADARTS_CLUSTER_CLUSTERING_H_
+#define ADARTS_CLUSTER_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "ts/time_series.h"
+
+namespace adarts::cluster {
+
+/// A partition of series indices into clusters.
+struct Clustering {
+  std::vector<std::vector<std::size_t>> clusters;
+
+  std::size_t NumClusters() const { return clusters.size(); }
+
+  /// Inverse map: series index -> cluster id. `n` is the number of series.
+  std::vector<std::size_t> Assignments(std::size_t n) const;
+};
+
+/// Pairwise Pearson correlation matrix of a series set (symmetric, unit
+/// diagonal). The labeling pipeline computes this once and reuses it.
+la::Matrix PairwiseCorrelationMatrix(const std::vector<ts::TimeSeries>& series);
+
+/// Average absolute pairwise correlation inside one cluster (rho-bar of
+/// Algorithm 2); 1.0 for singletons.
+double ClusterAvgCorrelation(const std::vector<std::size_t>& cluster,
+                             const la::Matrix& corr);
+
+/// Mean of ClusterAvgCorrelation over all clusters, weighted by cluster
+/// size (the Fig. 11a quality measure).
+double AverageIntraClusterCorrelation(const Clustering& clustering,
+                                      const la::Matrix& corr);
+
+/// Correlation gain of merging clusters `a` and `b` (Definition 1):
+/// Delta G = (1/2m) * (rho(a u b) - rho(a) * rho(b) / m).
+double CorrelationGain(const std::vector<std::size_t>& a,
+                       const std::vector<std::size_t>& b, const la::Matrix& corr,
+                       std::size_t total_series);
+
+}  // namespace adarts::cluster
+
+#endif  // ADARTS_CLUSTER_CLUSTERING_H_

@@ -1,0 +1,128 @@
+#include "cluster/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "cluster/kshape.h"
+
+namespace adarts::cluster {
+
+Result<Clustering> IncrementalClustering(
+    const std::vector<ts::TimeSeries>& series,
+    const IncrementalOptions& options) {
+  if (series.empty()) return Status::InvalidArgument("no series to cluster");
+  const std::size_t n = series.size();
+  const la::Matrix corr = PairwiseCorrelationMatrix(series);
+
+  // ---- Phase 1: recursive splitting (Algorithm 2, lines 2-8).
+  std::deque<std::vector<std::size_t>> pending;
+  {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    pending.push_back(std::move(all));
+  }
+
+  Clustering result;
+  std::uint64_t seed = options.seed;
+  while (!pending.empty()) {
+    std::vector<std::size_t> cur = std::move(pending.front());
+    pending.pop_front();
+    if (cur.size() <= 1 ||
+        ClusterAvgCorrelation(cur, corr) >= options.correlation_threshold) {
+      result.clusters.push_back(std::move(cur));
+      continue;
+    }
+    const auto num_sub = std::max<std::size_t>(
+        2, static_cast<std::size_t>(options.split_fraction *
+                                    static_cast<double>(cur.size())));
+    std::vector<ts::TimeSeries> subset;
+    subset.reserve(cur.size());
+    for (std::size_t i : cur) subset.push_back(series[i]);
+    KShapeOptions kopts;
+    kopts.k = std::min(num_sub, cur.size());
+    kopts.max_iters = 10;
+    kopts.seed = ++seed;
+    ADARTS_ASSIGN_OR_RETURN(Clustering split, KShapeClustering(subset, kopts));
+    if (split.NumClusters() < 2) {
+      // The sub-clusterer could not separate the set; accept it as-is to
+      // guarantee termination.
+      result.clusters.push_back(std::move(cur));
+      continue;
+    }
+    for (const auto& part : split.clusters) {
+      std::vector<std::size_t> mapped;
+      mapped.reserve(part.size());
+      for (std::size_t local : part) mapped.push_back(cur[local]);
+      pending.push_back(std::move(mapped));
+    }
+  }
+
+  // ---- Phase 2: refinement by merge and move (lines 10-18). A merge or
+  // move is applied only when the correlation gain is positive AND the
+  // receiving cluster stays above the correlation threshold, preserving the
+  // invariant established by phase 1.
+  auto& clusters = result.clusters;
+
+  const double merge_floor =
+      options.merge_correlation_slack * options.correlation_threshold;
+  const auto merged_corr_ok = [&](const std::vector<std::size_t>& a,
+                                  const std::vector<std::size_t>& b) {
+    std::vector<std::size_t> merged = a;
+    merged.insert(merged.end(), b.begin(), b.end());
+    return ClusterAvgCorrelation(merged, corr) >= merge_floor;
+  };
+
+  // Merge small clusters into their best partner.
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    if (clusters[i].empty() || clusters[i].size() > options.small_cluster_size) {
+      continue;
+    }
+    double best_gain = 0.0;
+    std::size_t best_j = clusters.size();
+    for (std::size_t j = 0; j < clusters.size(); ++j) {
+      if (j == i || clusters[j].empty()) continue;
+      const double gain = CorrelationGain(clusters[i], clusters[j], corr, n);
+      if (gain > best_gain && merged_corr_ok(clusters[i], clusters[j])) {
+        best_gain = gain;
+        best_j = j;
+      }
+    }
+    if (best_j < clusters.size()) {
+      clusters[best_j].insert(clusters[best_j].end(), clusters[i].begin(),
+                              clusters[i].end());
+      clusters[i].clear();
+      continue;
+    }
+    // No whole-cluster merge: try moving individual series (lines 15-18).
+    // A series never moves back into a cluster it left (guaranteed here by
+    // the single pass over members).
+    std::vector<std::size_t> remaining;
+    for (std::size_t x : clusters[i]) {
+      double best_move_gain = 0.0;
+      std::size_t target = clusters.size();
+      const std::vector<std::size_t> singleton = {x};
+      for (std::size_t j = 0; j < clusters.size(); ++j) {
+        if (j == i || clusters[j].empty()) continue;
+        const double gain = CorrelationGain(singleton, clusters[j], corr, n);
+        if (gain > best_move_gain && merged_corr_ok(singleton, clusters[j])) {
+          best_move_gain = gain;
+          target = j;
+        }
+      }
+      if (target < clusters.size()) {
+        clusters[target].push_back(x);
+      } else {
+        remaining.push_back(x);
+      }
+    }
+    clusters[i] = std::move(remaining);
+  }
+
+  std::erase_if(clusters,
+                [](const std::vector<std::size_t>& c) { return c.empty(); });
+  return result;
+}
+
+}  // namespace adarts::cluster

@@ -1,0 +1,38 @@
+#ifndef ADARTS_CLUSTER_INCREMENTAL_H_
+#define ADARTS_CLUSTER_INCREMENTAL_H_
+
+#include <cstdint>
+
+#include "cluster/clustering.h"
+
+namespace adarts::cluster {
+
+/// Options for A-DARTS's incremental clustering (Algorithm 2).
+struct IncrementalOptions {
+  /// Minimum average intra-cluster correlation delta; clusters below it are
+  /// split further during the initial phase.
+  double correlation_threshold = 0.8;
+  /// Split factor p: a low-correlation cluster of size s is re-clustered
+  /// into max(2, p * s) sub-clusters (paper sets p to 20%).
+  double split_fraction = 0.2;
+  /// Clusters of at most this size are "small" and candidates for merging
+  /// during the refinement phase.
+  std::size_t small_cluster_size = 3;
+  /// The refinement phase may trade a little correlation for fewer clusters
+  /// (the labeling cost scales with the cluster count): a merge is accepted
+  /// while the merged cluster stays above slack * threshold.
+  double merge_correlation_slack = 0.85;
+  std::uint64_t seed = 1;
+};
+
+/// Two-phase incremental clustering: (1) recursively split clusters whose
+/// average correlation is below the threshold; (2) merge small clusters and
+/// move individual series guided by the correlation gain of Definition 1,
+/// never letting a merge drop a cluster below the threshold.
+Result<Clustering> IncrementalClustering(
+    const std::vector<ts::TimeSeries>& series,
+    const IncrementalOptions& options = {});
+
+}  // namespace adarts::cluster
+
+#endif  // ADARTS_CLUSTER_INCREMENTAL_H_

@@ -1,0 +1,35 @@
+#ifndef ADARTS_COMMON_CHECK_H_
+#define ADARTS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace adarts::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "ADARTS_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace adarts::internal
+
+/// Aborts the process when `cond` is false. Used for programming-error
+/// invariants (dimension mismatches, index bounds) that are not recoverable
+/// at runtime; recoverable conditions return Status instead.
+#define ADARTS_CHECK(cond)                                        \
+  do {                                                            \
+    if (!(cond)) ::adarts::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+/// Debug-only invariant check; compiled out in NDEBUG (Release) builds on
+/// hot paths.
+#ifdef NDEBUG
+#define ADARTS_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define ADARTS_DCHECK(cond) ADARTS_CHECK(cond)
+#endif
+
+#endif  // ADARTS_COMMON_CHECK_H_

@@ -1,0 +1,32 @@
+#ifndef ADARTS_COMMON_STOPWATCH_H_
+#define ADARTS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace adarts {
+
+/// Wall-clock stopwatch used by ModelRace's runtime-aware scoring and by the
+/// reproduction benchmarks. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace adarts
+
+#endif  // ADARTS_COMMON_STOPWATCH_H_

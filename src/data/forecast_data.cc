@@ -1,0 +1,111 @@
+#include "data/forecast_data.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace adarts::data {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// A seasonal + trend + noise composer shared by all forecast datasets.
+/// `coupling` controls how much of the signal is shared across the
+/// dataset's series: coupled fleets favour cross-series repairs, decoupled
+/// (independently shifted) fleets favour within-series pattern repairs —
+/// the spread that makes adaptive algorithm selection matter downstream.
+struct Recipe {
+  double period;         ///< main seasonal period in samples
+  double seasonal_amp;   ///< seasonal amplitude
+  double second_period;  ///< secondary seasonality (0 = none)
+  double second_amp;
+  double trend_slope;    ///< deterministic drift per sample
+  double noise;          ///< observation noise sigma
+  double spike_rate;     ///< sporadic spikes (events)
+  double spike_amp;
+  double coupling;       ///< in [0, 1]: shared-signal fraction
+  double shift_scale;    ///< per-series phase shift, fraction of the period
+};
+
+Recipe RecipeFor(std::string_view name) {
+  //                      per    amp  per2 amp2 trend noise spk amp  cpl shift
+  if (name == "ATM") return {24, 3.0, 120, 1.5, 0.000, 0.30, 0.01, 3.0, 0.9, 0.05};
+  if (name == "Weather") return {48, 8.0, 0, 0.0, 0.002, 0.30, 0.0, 0.0, 0.2, 0.5};
+  if (name == "ParisMobility") return {24, 5.0, 120, 2.5, 0.000, 0.20, 0.0, 0.0, 0.85, 0.04};
+  if (name == "Electricity") return {24, 4.0, 120, 1.5, 0.004, 0.30, 0.005, 2.0, 0.5, 0.2};
+  if (name == "Tourism") return {12, 6.0, 0, 0.0, 0.010, 0.20, 0.0, 0.0, 0.1, 0.6};
+  if (name == "Traffic") return {24, 3.5, 120, 2.0, 0.000, 0.40, 0.02, 2.0, 0.8, 0.08};
+  if (name == "Solar") return {24, 7.0, 0, 0.0, 0.000, 0.25, 0.01, -2.0, 0.3, 0.4};
+  return {24, 1.0, 0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.5, 0.1};
+}
+
+}  // namespace
+
+std::vector<std::string> ForecastDatasetNames() {
+  return {"ATM",     "Weather", "ParisMobility", "Electricity",
+          "Tourism", "Traffic", "Solar"};
+}
+
+std::vector<ts::TimeSeries> GenerateForecastDataset(std::string_view name,
+                                                    std::size_t num_series,
+                                                    std::size_t length,
+                                                    std::uint64_t seed) {
+  const Recipe r = RecipeFor(name);
+  Rng rng(seed * 31ULL + std::hash<std::string_view>{}(name));
+
+  // One shared realisation of the structured signal for the whole fleet.
+  la::Vector shared(length, 0.0);
+  {
+    const double phase = rng.Uniform(0.0, r.period);
+    for (std::size_t t = 0; t < length; ++t) {
+      double x = r.trend_slope * static_cast<double>(t);
+      x += r.seasonal_amp *
+           std::sin(kTwoPi * (static_cast<double>(t) + phase) / r.period);
+      if (r.second_period > 0.0) {
+        x += r.second_amp *
+             std::sin(kTwoPi * static_cast<double>(t) / r.second_period);
+      }
+      if (r.spike_rate > 0.0 && rng.Bernoulli(r.spike_rate)) {
+        x += r.spike_amp * rng.Uniform(0.5, 1.5);
+      }
+      shared[t] = x;
+    }
+  }
+
+  std::vector<ts::TimeSeries> out;
+  for (std::size_t s = 0; s < num_series; ++s) {
+    // The series' own structured component: same recipe, its own phase
+    // shift (and light period jitter for strongly decoupled fleets).
+    const double shift = rng.Uniform(0.0, r.shift_scale * r.period);
+    const double own_period =
+        r.period * (1.0 + (r.coupling < 0.5 ? rng.Uniform(-0.06, 0.06) : 0.0));
+    const double level = rng.Uniform(15.0, 25.0);
+    const double scale = rng.Uniform(0.9, 1.1);
+    la::Vector v(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      double own = r.trend_slope * static_cast<double>(t);
+      own += r.seasonal_amp *
+             std::sin(kTwoPi * (static_cast<double>(t) + shift) / own_period);
+      if (r.second_period > 0.0) {
+        own += r.second_amp *
+               std::sin(kTwoPi * (static_cast<double>(t) + shift) /
+                        r.second_period);
+      }
+      double x = level + scale * (r.coupling * shared[t] +
+                                  (1.0 - r.coupling) * own);
+      if (r.spike_rate > 0.0 && rng.Bernoulli(r.spike_rate)) {
+        x += r.spike_amp * rng.Uniform(0.5, 1.5);
+      }
+      x += rng.Normal(0.0, r.noise);
+      v[t] = x;
+    }
+    ts::TimeSeries series(std::move(v));
+    series.set_name(std::string(name) + "_" + std::to_string(s));
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace adarts::data

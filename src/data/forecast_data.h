@@ -1,0 +1,28 @@
+#ifndef ADARTS_DATA_FORECAST_DATA_H_
+#define ADARTS_DATA_FORECAST_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace adarts::data {
+
+/// The seven forecasting datasets of the downstream experiment (Fig. 12),
+/// modeled after the Monash-benchmark sources the paper cites: each has a
+/// distinctive mix of seasonality, trend, and noise so that repair quality
+/// visibly moves the forecast error.
+std::vector<std::string> ForecastDatasetNames();
+
+/// Generates the named dataset (`num_series` series of `length` points).
+/// Unknown names return an empty vector.
+std::vector<ts::TimeSeries> GenerateForecastDataset(std::string_view name,
+                                                    std::size_t num_series,
+                                                    std::size_t length,
+                                                    std::uint64_t seed);
+
+}  // namespace adarts::data
+
+#endif  // ADARTS_DATA_FORECAST_DATA_H_

@@ -1,0 +1,73 @@
+#include "features/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace adarts::features {
+
+Result<CoverageReport> ComputeFeatureCoverage(
+    const std::vector<std::vector<la::Vector>>& features_per_dataset,
+    std::size_t num_buckets) {
+  if (features_per_dataset.empty() || num_buckets == 0) {
+    return Status::InvalidArgument("empty coverage input");
+  }
+  std::size_t dim = 0;
+  for (const auto& ds : features_per_dataset) {
+    for (const auto& f : ds) {
+      if (dim == 0) dim = f.size();
+      if (f.size() != dim) {
+        return Status::InvalidArgument("inconsistent feature dimensionality");
+      }
+    }
+  }
+  if (dim == 0) return Status::InvalidArgument("no feature vectors");
+
+  // Global min/max per feature for [0, 1] normalisation.
+  la::Vector lo(dim, std::numeric_limits<double>::infinity());
+  la::Vector hi(dim, -std::numeric_limits<double>::infinity());
+  for (const auto& ds : features_per_dataset) {
+    for (const auto& f : ds) {
+      for (std::size_t k = 0; k < dim; ++k) {
+        lo[k] = std::min(lo[k], f[k]);
+        hi[k] = std::max(hi[k], f[k]);
+      }
+    }
+  }
+
+  const std::size_t num_datasets = features_per_dataset.size();
+  CoverageReport report;
+  report.num_buckets = num_buckets;
+  report.coverage = la::Matrix(dim, num_datasets);
+  report.feature_presence.assign(dim, 0.0);
+
+  std::vector<bool> hit(num_buckets);
+  for (std::size_t d = 0; d < num_datasets; ++d) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      std::fill(hit.begin(), hit.end(), false);
+      const double span = hi[k] - lo[k];
+      for (const auto& f : features_per_dataset[d]) {
+        double x = span > 0.0 ? (f[k] - lo[k]) / span : 0.0;
+        auto b = static_cast<std::size_t>(x * static_cast<double>(num_buckets));
+        b = std::min(b, num_buckets - 1);
+        hit[b] = true;
+      }
+      std::size_t covered = 0;
+      for (bool h : hit) covered += h ? 1 : 0;
+      report.coverage(k, d) =
+          static_cast<double>(covered) / static_cast<double>(num_buckets);
+    }
+  }
+
+  for (std::size_t k = 0; k < dim; ++k) {
+    std::size_t present = 0;
+    for (std::size_t d = 0; d < num_datasets; ++d) {
+      if (report.coverage(k, d) > 0.0) ++present;
+    }
+    report.feature_presence[k] =
+        static_cast<double>(present) / static_cast<double>(num_datasets);
+  }
+  return report;
+}
+
+}  // namespace adarts::features

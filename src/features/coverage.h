@@ -1,0 +1,34 @@
+#ifndef ADARTS_FEATURES_COVERAGE_H_
+#define ADARTS_FEATURES_COVERAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace adarts::features {
+
+/// Feature-coverage analysis backing Fig. 6: each feature value is
+/// normalised to [0, 1] over the whole corpus, the interval is divided into
+/// `num_buckets`, and for every (feature, dataset) cell we count the
+/// fraction of buckets covered by at least one series of that dataset.
+struct CoverageReport {
+  /// coverage(f, d) in [0, 1]: rows = features, cols = datasets.
+  la::Matrix coverage;
+  /// Per-feature fraction of datasets covering at least one bucket.
+  la::Vector feature_presence;
+  std::size_t num_buckets = 0;
+};
+
+/// Computes the coverage report.
+///
+/// `features_per_dataset[d]` holds the feature vectors of dataset d's
+/// series; all vectors must share one dimensionality.
+Result<CoverageReport> ComputeFeatureCoverage(
+    const std::vector<std::vector<la::Vector>>& features_per_dataset,
+    std::size_t num_buckets = 10);
+
+}  // namespace adarts::features
+
+#endif  // ADARTS_FEATURES_COVERAGE_H_

@@ -1,0 +1,502 @@
+#include "features/feature_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/pca.h"
+#include "ts/acf.h"
+#include "ts/fft.h"
+#include "tda/delay_embedding.h"
+#include "tda/diagram_stats.h"
+#include "tda/persistence.h"
+
+namespace adarts::features {
+
+namespace {
+
+double Median(la::Vector v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double Quantile(la::Vector v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Skewness(const la::Vector& v) {
+  const double m = la::Mean(v);
+  const double sd = la::StdDev(v);
+  if (sd <= 0.0 || v.size() < 3) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += std::pow((x - m) / sd, 3.0);
+  return s / static_cast<double>(v.size());
+}
+
+double Kurtosis(const la::Vector& v) {
+  const double m = la::Mean(v);
+  const double sd = la::StdDev(v);
+  if (sd <= 0.0 || v.size() < 4) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += std::pow((x - m) / sd, 4.0);
+  return s / static_cast<double>(v.size()) - 3.0;  // excess kurtosis
+}
+
+double MeanAbsChange(const la::Vector& v) {
+  if (v.size() < 2) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 1; i < v.size(); ++i) s += std::fabs(v[i] - v[i - 1]);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double ZeroCrossingRate(const la::Vector& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = la::Mean(v);
+  std::size_t crossings = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if ((v[i] - m) * (v[i - 1] - m) < 0.0) ++crossings;
+  }
+  return static_cast<double>(crossings) / static_cast<double>(v.size() - 1);
+}
+
+double LongestStreakAboveMean(const la::Vector& v) {
+  const double m = la::Mean(v);
+  std::size_t best = 0, cur = 0;
+  for (double x : v) {
+    cur = x > m ? cur + 1 : 0;
+    best = std::max(best, cur);
+  }
+  return v.empty() ? 0.0
+                   : static_cast<double>(best) / static_cast<double>(v.size());
+}
+
+double OutlierFraction(const la::Vector& v, double sigmas) {
+  const double m = la::Mean(v);
+  const double sd = la::StdDev(v);
+  if (sd <= 0.0 || v.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double x : v) {
+    if (std::fabs(x - m) > sigmas * sd) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(v.size());
+}
+
+/// Least-squares line fit; returns {slope, r_squared}.
+std::pair<double, double> LinearTrend(const la::Vector& v) {
+  const std::size_t n = v.size();
+  if (n < 2) return {0.0, 0.0};
+  const double tm = static_cast<double>(n - 1) / 2.0;
+  const double vm = la::Mean(v);
+  double stv = 0.0, stt = 0.0, svv = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double dt = static_cast<double>(t) - tm;
+    const double dv = v[t] - vm;
+    stv += dt * dv;
+    stt += dt * dt;
+    svv += dv * dv;
+  }
+  if (stt <= 0.0 || svv <= 0.0) return {0.0, 0.0};
+  const double slope = stv / stt;
+  const double r2 = (stv * stv) / (stt * svv);
+  return {slope, r2};
+}
+
+/// Moving-average smoother with centred window.
+la::Vector Smooth(const la::Vector& v, std::size_t window) {
+  if (window < 2 || v.size() < window) return v;
+  la::Vector out(v.size(), 0.0);
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(window / 2);
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(v.size()); ++i) {
+    double s = 0.0;
+    std::size_t c = 0;
+    for (std::ptrdiff_t j = i - half; j <= i + half; ++j) {
+      if (j < 0 || j >= static_cast<std::ptrdiff_t>(v.size())) continue;
+      s += v[static_cast<std::size_t>(j)];
+      ++c;
+    }
+    out[static_cast<std::size_t>(i)] = s / static_cast<double>(c);
+  }
+  return out;
+}
+
+/// Fraction of sign changes of the smoothed derivative — the "perturbation"
+/// shape property (trend breaks, e.g. after a sensor malfunction).
+double TrendChangeRate(const la::Vector& v) {
+  const la::Vector s = Smooth(v, std::max<std::size_t>(v.size() / 16, 3));
+  if (s.size() < 3) return 0.0;
+  std::size_t changes = 0;
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const double d1 = s[i - 1] - s[i - 2];
+    const double d2 = s[i] - s[i - 1];
+    if (d1 * d2 < 0.0) ++changes;
+  }
+  return static_cast<double>(changes) / static_cast<double>(s.size() - 2);
+}
+
+/// Strength of the trend component: 1 - Var(detrended) / Var(raw).
+double TrendStrength(const la::Vector& v) {
+  const la::Vector trend = Smooth(v, std::max<std::size_t>(v.size() / 8, 5));
+  const double var_raw = la::Variance(v);
+  if (var_raw <= 0.0) return 0.0;
+  la::Vector resid(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) resid[i] = v[i] - trend[i];
+  return std::clamp(1.0 - la::Variance(resid) / var_raw, 0.0, 1.0);
+}
+
+/// Seasonality strength: ACF value at the dominant period (0 if aperiodic).
+double SeasonalityStrength(const la::Vector& v) {
+  const double period = ts::EstimatePeriod(v);
+  if (period < 2.0 || period >= static_cast<double>(v.size()) / 2.0) {
+    return 0.0;
+  }
+  const auto lag = static_cast<std::size_t>(std::lround(period));
+  const la::Vector acf = ts::Acf(v, lag);
+  return std::max(acf[lag], 0.0);
+}
+
+}  // namespace
+
+const char* FeatureGroupToString(FeatureGroup group) {
+  switch (group) {
+    case FeatureGroup::kCanonical:
+      return "canonical";
+    case FeatureGroup::kDependency:
+      return "dependency";
+    case FeatureGroup::kTrend:
+      return "trend";
+    case FeatureGroup::kTopological:
+      return "topological";
+    case FeatureGroup::kMissingness:
+      return "missingness";
+  }
+  return "unknown";
+}
+
+FeatureExtractor::FeatureExtractor(FeatureExtractorOptions options)
+    : options_(options) {
+  const auto add = [&](const char* name, FeatureGroup group) {
+    schema_.push_back({name, group});
+  };
+  if (options_.statistical) {
+    // Canonical.
+    add("mean", FeatureGroup::kCanonical);
+    add("std_dev", FeatureGroup::kCanonical);
+    add("variance", FeatureGroup::kCanonical);
+    add("min", FeatureGroup::kCanonical);
+    add("max", FeatureGroup::kCanonical);
+    add("range", FeatureGroup::kCanonical);
+    add("median", FeatureGroup::kCanonical);
+    add("iqr", FeatureGroup::kCanonical);
+    add("skewness", FeatureGroup::kCanonical);
+    add("kurtosis", FeatureGroup::kCanonical);
+    add("rms", FeatureGroup::kCanonical);
+    add("mean_abs_change", FeatureGroup::kCanonical);
+    add("zero_crossing_rate", FeatureGroup::kCanonical);
+    add("longest_streak_above_mean", FeatureGroup::kCanonical);
+    add("fraction_above_mean", FeatureGroup::kCanonical);
+    add("outlier_fraction_3sigma", FeatureGroup::kCanonical);
+    add("coefficient_of_variation", FeatureGroup::kCanonical);
+    add("is_symmetric", FeatureGroup::kCanonical);
+    add("quantile_05", FeatureGroup::kCanonical);
+    add("quantile_95", FeatureGroup::kCanonical);
+    // Dependencies.
+    add("acf_lag1", FeatureGroup::kDependency);
+    add("acf_lag2", FeatureGroup::kDependency);
+    add("acf_lag5", FeatureGroup::kDependency);
+    add("acf_lag10", FeatureGroup::kDependency);
+    add("acf_sum10", FeatureGroup::kDependency);
+    add("first_acf_crossing", FeatureGroup::kDependency);
+    add("pacf_lag1", FeatureGroup::kDependency);
+    add("pacf_lag2", FeatureGroup::kDependency);
+    add("pacf_lag3", FeatureGroup::kDependency);
+    add("diff_acf_lag1", FeatureGroup::kDependency);
+    add("abs_acf_mean10", FeatureGroup::kDependency);
+    // Trends.
+    add("linear_trend_slope", FeatureGroup::kTrend);
+    add("linear_trend_r2", FeatureGroup::kTrend);
+    add("dominant_period_fraction", FeatureGroup::kTrend);
+    add("spectral_entropy", FeatureGroup::kTrend);
+    add("seasonality_strength", FeatureGroup::kTrend);
+    add("trend_strength", FeatureGroup::kTrend);
+    add("trend_change_rate", FeatureGroup::kTrend);
+    add("pca_top1_variance_ratio", FeatureGroup::kTrend);
+    add("pca_top2_variance_ratio", FeatureGroup::kTrend);
+  }
+  if (options_.topological) {
+    const char* h0_names[] = {
+        "h0_count",         "h0_total_persistence", "h0_max_persistence",
+        "h0_mean_persistence", "h0_persistence_std",
+        "h0_persistence_entropy", "h0_mean_birth",  "h0_mean_death"};
+    const char* h1_names[] = {
+        "h1_count",         "h1_total_persistence", "h1_max_persistence",
+        "h1_mean_persistence", "h1_persistence_std",
+        "h1_persistence_entropy", "h1_mean_birth",  "h1_mean_death"};
+    for (const char* n : h0_names) add(n, FeatureGroup::kTopological);
+    for (const char* n : h1_names) add(n, FeatureGroup::kTopological);
+  }
+  if (options_.missingness) {
+    add("missing_fraction", FeatureGroup::kMissingness);
+    add("gap_count", FeatureGroup::kMissingness);
+    add("max_gap_fraction", FeatureGroup::kMissingness);
+    add("mean_gap_fraction", FeatureGroup::kMissingness);
+    add("first_gap_position", FeatureGroup::kMissingness);
+    add("last_gap_end_position", FeatureGroup::kMissingness);
+    add("is_tip_gap", FeatureGroup::kMissingness);
+    add("gap_dispersion", FeatureGroup::kMissingness);
+  }
+}
+
+la::Vector InterpolateMissing(const ts::TimeSeries& series) {
+  const std::size_t n = series.length();
+  la::Vector out(n, 0.0);
+  // Collect observed anchors.
+  std::vector<std::size_t> observed;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = series.value(i);
+    if (!series.IsMissing(i)) observed.push_back(i);
+  }
+  if (observed.empty()) return la::Vector(n, 0.0);
+
+  // Leading / trailing gaps take the nearest observed value.
+  for (std::size_t i = 0; i < observed.front(); ++i) {
+    out[i] = series.value(observed.front());
+  }
+  for (std::size_t i = observed.back() + 1; i < n; ++i) {
+    out[i] = series.value(observed.back());
+  }
+  // Interior gaps: linear interpolation between bracketing anchors.
+  for (std::size_t k = 0; k + 1 < observed.size(); ++k) {
+    const std::size_t a = observed[k];
+    const std::size_t b = observed[k + 1];
+    if (b == a + 1) continue;
+    const double va = series.value(a);
+    const double vb = series.value(b);
+    for (std::size_t i = a + 1; i < b; ++i) {
+      const double t = static_cast<double>(i - a) / static_cast<double>(b - a);
+      out[i] = va + t * (vb - va);
+    }
+  }
+  return out;
+}
+
+Result<la::Vector> FeatureExtractor::Extract(
+    const ts::TimeSeries& series) const {
+  if (series.length() - series.MissingCount() < 8) {
+    return Status::InvalidArgument(
+        "feature extraction needs at least 8 observed points");
+  }
+  const la::Vector v = InterpolateMissing(series);
+  la::Vector out;
+  out.reserve(schema_.size());
+
+  if (options_.statistical) {
+    const double mean = la::Mean(v);
+    const double sd = la::StdDev(v);
+    const double var = la::Variance(v);
+    const double vmin = *std::min_element(v.begin(), v.end());
+    const double vmax = *std::max_element(v.begin(), v.end());
+    const double med = Median(v);
+    const double q25 = Quantile(v, 0.25);
+    const double q75 = Quantile(v, 0.75);
+    double rms = 0.0;
+    for (double x : v) rms += x * x;
+    rms = std::sqrt(rms / static_cast<double>(v.size()));
+    double above = 0.0;
+    for (double x : v) above += x > mean ? 1.0 : 0.0;
+    above /= static_cast<double>(v.size());
+    const double symmetric =
+        (sd > 0.0 && std::fabs(mean - med) / sd < 0.1) ? 1.0 : 0.0;
+
+    out.push_back(mean);
+    out.push_back(sd);
+    out.push_back(var);
+    out.push_back(vmin);
+    out.push_back(vmax);
+    out.push_back(vmax - vmin);
+    out.push_back(med);
+    out.push_back(q75 - q25);
+    out.push_back(Skewness(v));
+    out.push_back(Kurtosis(v));
+    out.push_back(rms);
+    out.push_back(MeanAbsChange(v));
+    out.push_back(ZeroCrossingRate(v));
+    out.push_back(LongestStreakAboveMean(v));
+    out.push_back(above);
+    out.push_back(OutlierFraction(v, 3.0));
+    out.push_back(std::fabs(mean) > 1e-12 ? sd / std::fabs(mean) : 0.0);
+    out.push_back(symmetric);
+    out.push_back(Quantile(v, 0.05));
+    out.push_back(Quantile(v, 0.95));
+
+    const std::size_t max_lag =
+        std::min(options_.max_acf_lag, v.size() / 2);
+    const la::Vector acf = ts::Acf(v, std::max<std::size_t>(max_lag, 10));
+    const la::Vector pacf = ts::Pacf(v, 3);
+    const auto acf_at = [&](std::size_t lag) {
+      return lag < acf.size() ? acf[lag] : 0.0;
+    };
+    double acf_sum10 = 0.0;
+    double abs_acf_mean10 = 0.0;
+    for (std::size_t lag = 1; lag <= 10; ++lag) {
+      acf_sum10 += acf_at(lag);
+      abs_acf_mean10 += std::fabs(acf_at(lag));
+    }
+    abs_acf_mean10 /= 10.0;
+    la::Vector diffs(v.size() > 1 ? v.size() - 1 : 0);
+    for (std::size_t i = 1; i < v.size(); ++i) diffs[i - 1] = v[i] - v[i - 1];
+    const la::Vector dacf = ts::Acf(diffs, 1);
+
+    out.push_back(acf_at(1));
+    out.push_back(acf_at(2));
+    out.push_back(acf_at(5));
+    out.push_back(acf_at(10));
+    out.push_back(acf_sum10);
+    out.push_back(static_cast<double>(ts::FirstAcfCrossing(v, max_lag)) /
+                  static_cast<double>(std::max<std::size_t>(max_lag, 1)));
+    out.push_back(pacf.size() > 0 ? pacf[0] : 0.0);
+    out.push_back(pacf.size() > 1 ? pacf[1] : 0.0);
+    out.push_back(pacf.size() > 2 ? pacf[2] : 0.0);
+    out.push_back(dacf.size() > 1 ? dacf[1] : 0.0);
+    out.push_back(abs_acf_mean10);
+
+    const auto [slope, r2] = LinearTrend(v);
+    const double period = ts::EstimatePeriod(v);
+    out.push_back(sd > 0.0 ? slope / sd : 0.0);
+    out.push_back(r2);
+    out.push_back(period / static_cast<double>(v.size()));
+    out.push_back(ts::SpectralEntropy(v));
+    out.push_back(SeasonalityStrength(v));
+    out.push_back(TrendStrength(v));
+    out.push_back(TrendChangeRate(v));
+
+    // PCA trend of the delay-embedded matrix: how one-dimensional the
+    // underlying dynamics are.
+    double pca1 = 0.0, pca2 = 0.0;
+    auto embedded = tda::DelayEmbed(v, 3, 1);
+    if (embedded.ok() && embedded->size() >= 4) {
+      la::Matrix m(embedded->size(), 3);
+      for (std::size_t i = 0; i < embedded->size(); ++i) {
+        m.SetRow(i, (*embedded)[i]);
+      }
+      la::Pca pca;
+      if (pca.Fit(m, 2).ok()) {
+        const la::Vector& ratio = pca.explained_variance_ratio();
+        pca1 = !ratio.empty() ? ratio[0] : 0.0;
+        pca2 = ratio.size() > 1 ? ratio[1] : 0.0;
+      }
+    }
+    out.push_back(pca1);
+    out.push_back(pca2);
+  }
+
+  if (options_.topological) {
+    // Z-normalise so diagram scale is comparable across series, then embed
+    // and reduce to landmarks.
+    la::Vector z = v;
+    const double m = la::Mean(z);
+    double sd = la::StdDev(z);
+    if (sd <= 0.0) sd = 1.0;
+    for (double& x : z) x = (x - m) / sd;
+
+    std::size_t tau = options_.embedding_tau;
+    if (tau == 0) {
+      tau = std::max<std::size_t>(
+          ts::FirstAcfCrossing(z, std::min<std::size_t>(z.size() / 4, 32)), 1);
+    }
+    tda::DiagramStats h0, h1;
+    auto embedded = tda::DelayEmbed(z, options_.embedding_dimension, tau);
+    if (!embedded.ok()) {
+      embedded = tda::DelayEmbed(z, options_.embedding_dimension, 1);
+    }
+    if (embedded.ok() && embedded->size() >= 3) {
+      const tda::PointCloud landmarks =
+          tda::MaxMinLandmarks(*embedded, options_.landmarks);
+      auto diagram = tda::ComputeRipsPersistence(landmarks);
+      if (diagram.ok()) {
+        h0 = tda::ComputeDiagramStats(*diagram, 0);
+        h1 = tda::ComputeDiagramStats(*diagram, 1);
+      }
+    }
+    for (double x : tda::DiagramStatsToVector(h0)) out.push_back(x);
+    for (double x : tda::DiagramStatsToVector(h1)) out.push_back(x);
+  }
+
+  if (options_.missingness) {
+    // Descriptors of the gap structure itself (the paper's future-work
+    // extension): contiguous missing runs, their sizes and positions,
+    // normalised by the series length.
+    const double n = static_cast<double>(series.length());
+    std::vector<std::pair<std::size_t, std::size_t>> gaps;  // [start, end)
+    std::size_t t = 0;
+    while (t < series.length()) {
+      if (!series.IsMissing(t)) {
+        ++t;
+        continue;
+      }
+      std::size_t end = t;
+      while (end < series.length() && series.IsMissing(end)) ++end;
+      gaps.emplace_back(t, end);
+      t = end;
+    }
+    const double missing_fraction =
+        static_cast<double>(series.MissingCount()) / n;
+    double max_gap = 0.0;
+    double mean_gap = 0.0;
+    double position_mean = 0.0;
+    double position_sq = 0.0;
+    for (const auto& [start, end] : gaps) {
+      const double len = static_cast<double>(end - start) / n;
+      max_gap = std::max(max_gap, len);
+      mean_gap += len;
+      const double center =
+          (static_cast<double>(start) + static_cast<double>(end)) / (2.0 * n);
+      position_mean += center;
+      position_sq += center * center;
+    }
+    if (!gaps.empty()) {
+      const double g = static_cast<double>(gaps.size());
+      mean_gap /= g;
+      position_mean /= g;
+      position_sq /= g;
+    }
+    const double dispersion =
+        gaps.size() > 1 ? std::sqrt(std::max(
+                              position_sq - position_mean * position_mean, 0.0))
+                        : 0.0;
+    const bool tip = !gaps.empty() && gaps.back().second == series.length();
+
+    out.push_back(missing_fraction);
+    out.push_back(static_cast<double>(gaps.size()));
+    out.push_back(max_gap);
+    out.push_back(mean_gap);
+    out.push_back(gaps.empty() ? 1.0
+                               : static_cast<double>(gaps.front().first) / n);
+    out.push_back(gaps.empty() ? 0.0
+                               : static_cast<double>(gaps.back().second) / n);
+    out.push_back(tip ? 1.0 : 0.0);
+    out.push_back(dispersion);
+  }
+
+  ADARTS_DCHECK(out.size() == schema_.size());
+  return out;
+}
+
+Result<std::vector<la::Vector>> FeatureExtractor::ExtractBatch(
+    const std::vector<ts::TimeSeries>& series) const {
+  std::vector<la::Vector> out;
+  out.reserve(series.size());
+  for (const auto& s : series) {
+    ADARTS_ASSIGN_OR_RETURN(la::Vector f, Extract(s));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace adarts::features

@@ -1,0 +1,201 @@
+#include "forecast/forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/decompositions.h"
+#include "la/matrix.h"
+#include "ts/acf.h"
+#include "ts/fft.h"
+
+namespace adarts::forecast {
+
+namespace {
+
+std::size_t DetectPeriod(const la::Vector& history) {
+  // FFT gives a coarse candidate (bin-quantised, so possibly off by a
+  // sample or two); refine by maximising the ACF in a +-20% lag window —
+  // a one-sample period error compounds across seasonal cycles otherwise.
+  const double coarse = ts::EstimatePeriod(history);
+  if (coarse < 2.0 || coarse > static_cast<double>(history.size()) / 3.0) {
+    return 0;
+  }
+  const auto lo = static_cast<std::size_t>(std::floor(coarse * 0.8));
+  const auto hi = std::min(static_cast<std::size_t>(std::ceil(coarse * 1.2)),
+                           history.size() / 3);
+  const la::Vector acf = ts::Acf(history, hi);
+  std::size_t best = static_cast<std::size_t>(std::lround(coarse));
+  double best_acf = -2.0;
+  for (std::size_t lag = std::max<std::size_t>(lo, 2); lag <= hi; ++lag) {
+    if (acf[lag] > best_acf) {
+      best_acf = acf[lag];
+      best = lag;
+    }
+  }
+  return best;
+}
+
+class SeasonalNaive final : public Forecaster {
+ public:
+  std::string_view name() const override { return "seasonal_naive"; }
+  Result<la::Vector> Forecast(const la::Vector& history,
+                              std::size_t horizon) const override {
+    if (history.empty()) return Status::InvalidArgument("empty history");
+    const std::size_t period = DetectPeriod(history);
+    la::Vector out(horizon);
+    for (std::size_t h = 0; h < horizon; ++h) {
+      if (period >= 1 && history.size() >= period) {
+        out[h] = history[history.size() - period + (h % period)];
+      } else {
+        out[h] = history.back();
+      }
+    }
+    return out;
+  }
+};
+
+class Drift final : public Forecaster {
+ public:
+  std::string_view name() const override { return "drift"; }
+  Result<la::Vector> Forecast(const la::Vector& history,
+                              std::size_t horizon) const override {
+    if (history.size() < 2) return Status::InvalidArgument("history too short");
+    const double slope = (history.back() - history.front()) /
+                         static_cast<double>(history.size() - 1);
+    la::Vector out(horizon);
+    for (std::size_t h = 0; h < horizon; ++h) {
+      out[h] = history.back() + slope * static_cast<double>(h + 1);
+    }
+    return out;
+  }
+};
+
+class HoltLinear final : public Forecaster {
+ public:
+  HoltLinear(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+  std::string_view name() const override { return "holt_linear"; }
+  Result<la::Vector> Forecast(const la::Vector& history,
+                              std::size_t horizon) const override {
+    if (history.size() < 3) return Status::InvalidArgument("history too short");
+    double level = history[0];
+    double trend = history[1] - history[0];
+    for (std::size_t t = 1; t < history.size(); ++t) {
+      const double prev_level = level;
+      level = alpha_ * history[t] + (1.0 - alpha_) * (level + trend);
+      trend = beta_ * (level - prev_level) + (1.0 - beta_) * trend;
+    }
+    la::Vector out(horizon);
+    for (std::size_t h = 0; h < horizon; ++h) {
+      out[h] = level + trend * static_cast<double>(h + 1);
+    }
+    return out;
+  }
+
+ private:
+  double alpha_, beta_;
+};
+
+class HoltWinters final : public Forecaster {
+ public:
+  HoltWinters(double alpha, double beta, double gamma)
+      : alpha_(alpha), beta_(beta), gamma_(gamma) {}
+  std::string_view name() const override { return "holt_winters"; }
+  Result<la::Vector> Forecast(const la::Vector& history,
+                              std::size_t horizon) const override {
+    const std::size_t period = DetectPeriod(history);
+    if (period < 2 || history.size() < 2 * period) {
+      // Aperiodic series degrade gracefully to Holt's linear method.
+      return HoltLinear(alpha_, beta_).Forecast(history, horizon);
+    }
+    // Initial components from the first cycle.
+    double level = 0.0;
+    for (std::size_t i = 0; i < period; ++i) level += history[i];
+    level /= static_cast<double>(period);
+    double trend = 0.0;
+    for (std::size_t i = 0; i < period; ++i) {
+      trend += (history[period + i] - history[i]) / static_cast<double>(period);
+    }
+    trend /= static_cast<double>(period);
+    la::Vector seasonal(period);
+    for (std::size_t i = 0; i < period; ++i) seasonal[i] = history[i] - level;
+
+    for (std::size_t t = period; t < history.size(); ++t) {
+      const std::size_t s = t % period;
+      const double prev_level = level;
+      level = alpha_ * (history[t] - seasonal[s]) +
+              (1.0 - alpha_) * (level + trend);
+      trend = beta_ * (level - prev_level) + (1.0 - beta_) * trend;
+      seasonal[s] =
+          gamma_ * (history[t] - level) + (1.0 - gamma_) * seasonal[s];
+    }
+    la::Vector out(horizon);
+    for (std::size_t h = 0; h < horizon; ++h) {
+      out[h] = level + trend * static_cast<double>(h + 1) +
+               seasonal[(history.size() + h) % period];
+    }
+    return out;
+  }
+
+ private:
+  double alpha_, beta_, gamma_;
+};
+
+class AutoRegressive final : public Forecaster {
+ public:
+  explicit AutoRegressive(std::size_t order) : order_(order) {}
+  std::string_view name() const override { return "ar_yule_walker"; }
+  Result<la::Vector> Forecast(const la::Vector& history,
+                              std::size_t horizon) const override {
+    const std::size_t p = std::min(order_, history.size() / 3);
+    if (p < 1) return Status::InvalidArgument("history too short for AR");
+
+    // Yule-Walker: R phi = r with R the Toeplitz autocorrelation matrix.
+    const la::Vector acf = ts::Acf(history, p);
+    la::Matrix r_mat(p, p);
+    la::Vector r_vec(p);
+    for (std::size_t i = 0; i < p; ++i) {
+      r_vec[i] = acf[i + 1];
+      for (std::size_t j = 0; j < p; ++j) {
+        r_mat(i, j) = acf[static_cast<std::size_t>(
+            std::abs(static_cast<int>(i) - static_cast<int>(j)))];
+      }
+      r_mat(i, i) += 1e-6;  // ridge for near-singular Toeplitz systems
+    }
+    ADARTS_ASSIGN_OR_RETURN(la::Vector phi, la::SolveLinear(r_mat, r_vec));
+
+    const double mean = la::Mean(history);
+    la::Vector extended = history;
+    la::Vector out(horizon);
+    for (std::size_t h = 0; h < horizon; ++h) {
+      double pred = mean;
+      for (std::size_t j = 0; j < p; ++j) {
+        pred += phi[j] * (extended[extended.size() - 1 - j] - mean);
+      }
+      extended.push_back(pred);
+      out[h] = pred;
+    }
+    return out;
+  }
+
+ private:
+  std::size_t order_;
+};
+
+}  // namespace
+
+std::unique_ptr<Forecaster> CreateSeasonalNaive() {
+  return std::make_unique<SeasonalNaive>();
+}
+std::unique_ptr<Forecaster> CreateDrift() { return std::make_unique<Drift>(); }
+std::unique_ptr<Forecaster> CreateHoltLinear(double alpha, double beta) {
+  return std::make_unique<HoltLinear>(alpha, beta);
+}
+std::unique_ptr<Forecaster> CreateHoltWinters(double alpha, double beta,
+                                              double gamma) {
+  return std::make_unique<HoltWinters>(alpha, beta, gamma);
+}
+std::unique_ptr<Forecaster> CreateAutoRegressive(std::size_t order) {
+  return std::make_unique<AutoRegressive>(order);
+}
+
+}  // namespace adarts::forecast

@@ -1,0 +1,46 @@
+#ifndef ADARTS_FORECAST_FORECASTER_H_
+#define ADARTS_FORECAST_FORECASTER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "la/vector_ops.h"
+
+namespace adarts::forecast {
+
+/// Forecasting models for the downstream experiment (Fig. 12). A forecaster
+/// consumes a fully observed history and emits `horizon` future values.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Predicts `horizon` values following `history`. Fails when the history
+  /// is too short for the model.
+  virtual Result<la::Vector> Forecast(const la::Vector& history,
+                                      std::size_t horizon) const = 0;
+};
+
+/// Repeats the last observed seasonal cycle (period auto-detected via the
+/// spectrum; falls back to the last value when aperiodic).
+std::unique_ptr<Forecaster> CreateSeasonalNaive();
+
+/// Last value plus the average historical increment ("drift" method).
+std::unique_ptr<Forecaster> CreateDrift();
+
+/// Holt's linear trend method (double exponential smoothing).
+std::unique_ptr<Forecaster> CreateHoltLinear(double alpha = 0.4,
+                                             double beta = 0.1);
+
+/// Additive Holt-Winters (level + trend + seasonal component).
+std::unique_ptr<Forecaster> CreateHoltWinters(double alpha = 0.3,
+                                              double beta = 0.05,
+                                              double gamma = 0.2);
+
+/// AR(p) model fitted by the Yule-Walker equations.
+std::unique_ptr<Forecaster> CreateAutoRegressive(std::size_t order = 8);
+
+}  // namespace adarts::forecast
+
+#endif  // ADARTS_FORECAST_FORECASTER_H_

@@ -1,0 +1,76 @@
+#ifndef ADARTS_IMPUTE_IMPUTER_H_
+#define ADARTS_IMPUTE_IMPUTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace adarts::impute {
+
+/// The imputation-algorithm pool recommended over by A-DARTS. Mirrors the
+/// matrix/pattern-based family covered by ImputeBench (Fig. 3 of the paper);
+/// deep-learning imputers are substituted out as documented in DESIGN.md.
+enum class Algorithm {
+  kCdRec = 0,     ///< centroid-decomposition recovery
+  kSvdImpute,     ///< iterative rank-k SVD completion (Troyanskaya)
+  kSoftImpute,    ///< soft-thresholded SVD (Mazumder et al.)
+  kSvt,           ///< singular value thresholding (Cai et al.)
+  kGrouse,        ///< Grassmannian rank-one subspace tracking
+  kDynaMmo,       ///< linear-dynamics smoothing (Li et al. style)
+  kTrmf,          ///< temporal regularized matrix factorization
+  kTeNmf,         ///< nonnegative matrix factorization recovery
+  kRosl,          ///< robust orthonormal subspace learning
+  kStMvl,         ///< spatio-temporal multi-view blending
+  kTkcm,          ///< pattern-matching continuation (TKCM)
+  kIim,           ///< regression-based individual imputation
+  kMeanImpute,    ///< observed-mean baseline
+  kLinearInterp,  ///< linear interpolation baseline
+  kKnnImpute,     ///< correlated-neighbour average baseline
+};
+
+/// Number of algorithms in the enum (contiguous from 0).
+inline constexpr int kNumAlgorithms = 15;
+
+/// Short identifier, e.g. "cdrec".
+std::string_view AlgorithmToString(Algorithm a);
+
+/// Parses an identifier; fails on unknown names.
+Result<Algorithm> AlgorithmFromString(std::string_view name);
+
+/// All algorithms, enum order.
+std::vector<Algorithm> AllAlgorithms();
+
+/// Interface shared by every imputation algorithm.
+///
+/// Imputers operate on a *set* of equal-length series (the columns of an
+/// ImputeBench-style matrix): cross-series algorithms exploit correlation
+/// across the set, univariate ones process each series independently.
+/// Returned series have all positions observed.
+class Imputer {
+ public:
+  virtual ~Imputer() = default;
+
+  /// Algorithm identifier matching AlgorithmToString.
+  virtual std::string_view name() const = 0;
+
+  /// Repairs every missing position in every series of the set.
+  /// All series must have the same non-zero length and at least one
+  /// observed value each.
+  virtual Result<std::vector<ts::TimeSeries>> ImputeSet(
+      const std::vector<ts::TimeSeries>& set) const = 0;
+
+  /// Convenience wrapper for a single series.
+  Result<ts::TimeSeries> Impute(const ts::TimeSeries& series) const;
+};
+
+/// Instantiates the implementation of `algorithm` with its ImputeBench-style
+/// default parameterisation.
+std::unique_ptr<Imputer> CreateImputer(Algorithm algorithm);
+
+}  // namespace adarts::impute
+
+#endif  // ADARTS_IMPUTE_IMPUTER_H_

@@ -1,0 +1,168 @@
+#include "impute/svd_family.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "impute/masked_matrix.h"
+#include "la/decompositions.h"
+
+namespace adarts::impute {
+
+namespace {
+
+/// Rank-k truncated reconstruction U_k S_k V_k^T.
+Result<la::Matrix> TruncatedReconstruction(const la::Matrix& x,
+                                           std::size_t rank) {
+  ADARTS_ASSIGN_OR_RETURN(la::SvdResult svd, la::ComputeSvd(x));
+  const std::size_t k =
+      std::min<std::size_t>(rank, svd.singular_values.size());
+  la::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < k; ++r) {
+    const double s = svd.singular_values[r];
+    if (s <= 0.0) break;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const double us = svd.u(i, r) * s;
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        out(i, j) += us * svd.v(j, r);
+      }
+    }
+  }
+  return out;
+}
+
+/// Soft-thresholded reconstruction: singular values shrunk by `threshold`.
+Result<la::Matrix> SoftThresholdedReconstruction(const la::Matrix& x,
+                                                 double threshold) {
+  ADARTS_ASSIGN_OR_RETURN(la::SvdResult svd, la::ComputeSvd(x));
+  la::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < svd.singular_values.size(); ++r) {
+    const double s = std::max(svd.singular_values[r] - threshold, 0.0);
+    if (s <= 0.0) break;  // singular values are sorted descending
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const double us = svd.u(i, r) * s;
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        out(i, j) += us * svd.v(j, r);
+      }
+    }
+  }
+  return out;
+}
+
+double TopSingularValue(const la::Matrix& x) {
+  auto svd = la::ComputeSvd(x);
+  if (!svd.ok() || svd->singular_values.empty()) return 1.0;
+  return std::max(svd->singular_values[0], 1e-12);
+}
+
+}  // namespace
+
+Result<std::vector<ts::TimeSeries>> SvdImputer::ImputeSet(
+    const std::vector<ts::TimeSeries>& set) const {
+  ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
+  la::Matrix x = m.values;
+  const std::size_t rank =
+      std::min<std::size_t>(rank_, std::min(x.rows(), x.cols()));
+  for (int it = 0; it < max_iters_; ++it) {
+    ADARTS_ASSIGN_OR_RETURN(la::Matrix recon,
+                            TruncatedReconstruction(x, rank));
+    RestoreObserved(m, &recon);
+    const double change = RelativeChange(recon, x);
+    x = std::move(recon);
+    if (change < tol_) break;
+  }
+  MaskedMatrix repaired = m;
+  repaired.values = std::move(x);
+  return MatrixToSeries(repaired, set);
+}
+
+Result<std::vector<ts::TimeSeries>> SoftImputer::ImputeSet(
+    const std::vector<ts::TimeSeries>& set) const {
+  ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
+  la::Matrix x = m.values;
+  const double lambda = lambda_ratio_ * TopSingularValue(x);
+  for (int it = 0; it < max_iters_; ++it) {
+    ADARTS_ASSIGN_OR_RETURN(la::Matrix recon,
+                            SoftThresholdedReconstruction(x, lambda));
+    RestoreObserved(m, &recon);
+    const double change = RelativeChange(recon, x);
+    x = std::move(recon);
+    if (change < tol_) break;
+  }
+  MaskedMatrix repaired = m;
+  repaired.values = std::move(x);
+  return MatrixToSeries(repaired, set);
+}
+
+Result<std::vector<ts::TimeSeries>> SvtImputer::ImputeSet(
+    const std::vector<ts::TimeSeries>& set) const {
+  ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
+  const double tau = tau_ratio_ * TopSingularValue(m.values);
+
+  // Y accumulates the dual variable; start from the observed projection.
+  la::Matrix y = m.values;
+  la::Matrix z = m.values;
+  for (int it = 0; it < max_iters_; ++it) {
+    ADARTS_ASSIGN_OR_RETURN(la::Matrix znew,
+                            SoftThresholdedReconstruction(y, tau));
+    const double change = RelativeChange(znew, z);
+    z = std::move(znew);
+    // Gradient step on observed residuals only.
+    for (std::size_t t = 0; t < m.rows(); ++t) {
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        if (!m.missing[t][j]) {
+          y(t, j) += step_ * (m.values(t, j) - z(t, j));
+        }
+      }
+    }
+    if (change < tol_) break;
+  }
+  RestoreObserved(m, &z);
+  MaskedMatrix repaired = m;
+  repaired.values = std::move(z);
+  return MatrixToSeries(repaired, set);
+}
+
+Result<std::vector<ts::TimeSeries>> RoslImputer::ImputeSet(
+    const std::vector<ts::TimeSeries>& set) const {
+  ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
+  la::Matrix x = m.values;
+  la::Matrix sparse(x.rows(), x.cols());
+  const std::size_t rank =
+      std::min<std::size_t>(rank_, std::min(x.rows(), x.cols()));
+  // Sparse threshold relative to the observed scale.
+  double scale = 0.0;
+  for (std::size_t t = 0; t < m.rows(); ++t) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      scale = std::max(scale, std::fabs(m.values(t, j)));
+    }
+  }
+  const double thr = sparsity_ * scale;
+
+  la::Matrix lowrank = x;
+  for (int it = 0; it < max_iters_; ++it) {
+    // Low-rank fit of the outlier-cleaned matrix.
+    ADARTS_ASSIGN_OR_RETURN(la::Matrix fit,
+                            TruncatedReconstruction(x.Subtract(sparse), rank));
+    const double change = RelativeChange(fit, lowrank);
+    lowrank = std::move(fit);
+    // Sparse component: soft-threshold the observed residuals.
+    for (std::size_t t = 0; t < m.rows(); ++t) {
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        if (m.missing[t][j]) {
+          sparse(t, j) = 0.0;
+          x(t, j) = lowrank(t, j);  // refine the fill from the subspace
+        } else {
+          const double r = m.values(t, j) - lowrank(t, j);
+          sparse(t, j) = std::copysign(std::max(std::fabs(r) - thr, 0.0), r);
+        }
+      }
+    }
+    if (change < tol_) break;
+  }
+  MaskedMatrix repaired = m;
+  repaired.values = std::move(lowrank);
+  RestoreObserved(m, &repaired.values);
+  return MatrixToSeries(repaired, set);
+}
+
+}  // namespace adarts::impute

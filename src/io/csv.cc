@@ -1,0 +1,147 @@
+#include "io/csv.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace adarts::io {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, ',')) {
+    cells.push_back(Trim(cell));
+  }
+  // A trailing comma means a final empty cell.
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+bool IsMissingCell(const std::string& cell) {
+  if (cell.empty()) return true;
+  std::string lower = cell;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower == "nan" || lower == "na" || lower == "null";
+}
+
+}  // namespace
+
+Result<std::string> FormatSeriesCsv(const std::vector<ts::TimeSeries>& set) {
+  if (set.empty()) return Status::InvalidArgument("empty series set");
+  const std::size_t n = set[0].length();
+  for (const auto& s : set) {
+    if (s.length() != n) {
+      return Status::InvalidArgument("series lengths differ");
+    }
+  }
+  std::ostringstream out;
+  out.precision(17);
+  for (std::size_t j = 0; j < set.size(); ++j) {
+    if (j > 0) out << ',';
+    out << (set[j].name().empty() ? "series_" + std::to_string(j)
+                                  : set[j].name());
+  }
+  out << '\n';
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t j = 0; j < set.size(); ++j) {
+      if (j > 0) out << ',';
+      if (!set[j].IsMissing(t)) out << set[j].value(t);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<ts::TimeSeries>& set) {
+  ADARTS_ASSIGN_OR_RETURN(std::string content, FormatSeriesCsv(set));
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::NotFound("cannot open for writing: " + path);
+  file << content;
+  return file.good() ? Status::OK()
+                     : Status::Internal("write failed: " + path);
+}
+
+Result<std::vector<ts::TimeSeries>> ParseSeriesCsv(const std::string& content) {
+  std::istringstream stream(content);
+  std::string line;
+  if (!std::getline(stream, line)) {
+    return Status::InvalidArgument("empty CSV");
+  }
+  const std::vector<std::string> names = SplitCsvLine(line);
+  if (names.empty()) return Status::InvalidArgument("no columns in header");
+  const std::size_t cols = names.size();
+
+  std::vector<la::Vector> values(cols);
+  std::vector<std::vector<bool>> missing(cols);
+  std::size_t row = 1;
+  while (std::getline(stream, line)) {
+    ++row;
+    if (Trim(line).empty()) {
+      // For a single-column file a blank line IS a row with one missing
+      // cell; for multi-column files it is ignorable padding.
+      if (cols == 1) {
+        values[0].push_back(0.0);
+        missing[0].push_back(true);
+      }
+      continue;
+    }
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (cells.size() != cols) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(row) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(cols));
+    }
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (IsMissingCell(cells[j])) {
+        values[j].push_back(0.0);
+        missing[j].push_back(true);
+        continue;
+      }
+      double v = 0.0;
+      const auto [ptr, ec] = std::from_chars(
+          cells[j].data(), cells[j].data() + cells[j].size(), v);
+      if (ec != std::errc() || ptr != cells[j].data() + cells[j].size()) {
+        return Status::InvalidArgument("bad numeric cell '" + cells[j] +
+                                       "' at row " + std::to_string(row));
+      }
+      values[j].push_back(v);
+      missing[j].push_back(false);
+    }
+  }
+  if (values[0].empty()) return Status::InvalidArgument("CSV has no rows");
+
+  std::vector<ts::TimeSeries> out;
+  out.reserve(cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    ts::TimeSeries s(std::move(values[j]), std::move(missing[j]));
+    s.set_name(names[j]);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Result<std::vector<ts::TimeSeries>> ReadSeriesCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open: " + path);
+  std::ostringstream content;
+  content << file.rdbuf();
+  return ParseSeriesCsv(content.str());
+}
+
+}  // namespace adarts::io

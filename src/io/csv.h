@@ -1,0 +1,42 @@
+#ifndef ADARTS_IO_CSV_H_
+#define ADARTS_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace adarts::io {
+
+/// CSV layout for time-series sets: one column per series, one row per
+/// timestep. The first row is a header of series names; empty cells (or
+/// "nan", case-insensitive) are missing values. This is the interchange
+/// format of the adarts_cli tool.
+///
+/// Example:
+///   meter_a,meter_b
+///   1.5,2.0
+///   ,2.1        <- meter_a missing at t=1
+///   1.7,nan     <- meter_b missing at t=2
+
+/// Writes the set (all series must share one length). Missing positions are
+/// written as empty cells.
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<ts::TimeSeries>& set);
+
+/// Reads a set written in the layout above. All columns must have the same
+/// number of rows; fails on malformed numeric cells.
+Result<std::vector<ts::TimeSeries>> ReadSeriesCsv(const std::string& path);
+
+/// Parses CSV content from a string (the file-free core of ReadSeriesCsv,
+/// exposed for testing).
+Result<std::vector<ts::TimeSeries>> ParseSeriesCsv(const std::string& content);
+
+/// Serialises the set to a CSV string (the file-free core of
+/// WriteSeriesCsv).
+Result<std::string> FormatSeriesCsv(const std::vector<ts::TimeSeries>& set);
+
+}  // namespace adarts::io
+
+#endif  // ADARTS_IO_CSV_H_

@@ -1,0 +1,139 @@
+#include "la/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace adarts::la {
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    ADARTS_CHECK(rows[r].size() == m.cols_);
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Vector Matrix::Row(std::size_t r) const {
+  ADARTS_CHECK(r < rows_);
+  return Vector(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector Matrix::Col(std::size_t c) const {
+  ADARTS_CHECK(c < cols_);
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(std::size_t r, const Vector& v) {
+  ADARTS_CHECK(r < rows_ && v.size() == cols_);
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+void Matrix::SetCol(std::size_t c, const Vector& v) {
+  ADARTS_CHECK(c < cols_ && v.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  ADARTS_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVec(const Vector& v) const {
+  ADARTS_CHECK(cols_ == v.size());
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  ADARTS_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  ADARTS_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double alpha) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= alpha;
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Matrix Matrix::Block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  ADARTS_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+  Matrix out(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t c = 0; c < nc; ++c) out(r, c) = (*this)(r0 + r, c0 + c);
+  return out;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      os << (*this)(r, c);
+      if (c + 1 < cols_) os << ", ";
+    }
+    os << "]";
+    if (r + 1 < rows_) os << "\n";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace adarts::la

@@ -1,0 +1,105 @@
+#ifndef ADARTS_LA_MATRIX_H_
+#define ADARTS_LA_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "la/vector_ops.h"
+
+namespace adarts::la {
+
+/// Dense row-major matrix of doubles.
+///
+/// The matrix is a plain value type (copyable, movable). Indexing is
+/// bounds-checked in debug builds only; dimension mismatches in algebraic
+/// operations are programming errors and abort via ADARTS_CHECK.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from rows; all rows must have equal length.
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+  /// Diagonal matrix from the given entries.
+  static Matrix Diagonal(const Vector& diag);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    ADARTS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    ADARTS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row pointer (row-major layout).
+  double* RowPtr(std::size_t r) { return &data_[r * cols_]; }
+  const double* RowPtr(std::size_t r) const { return &data_[r * cols_]; }
+
+  /// Copies row r into a Vector.
+  Vector Row(std::size_t r) const;
+
+  /// Copies column c into a Vector.
+  Vector Col(std::size_t c) const;
+
+  /// Overwrites row r.
+  void SetRow(std::size_t r, const Vector& v);
+
+  /// Overwrites column c.
+  void SetCol(std::size_t c, const Vector& v);
+
+  /// Transposed copy.
+  Matrix Transpose() const;
+
+  /// Matrix product this * other.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product this * v.
+  Vector MultiplyVec(const Vector& v) const;
+
+  /// Elementwise sum / difference / scalar scale.
+  Matrix Add(const Matrix& other) const;
+  Matrix Subtract(const Matrix& other) const;
+  Matrix Scale(double alpha) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Submatrix [r0, r0+nr) x [c0, c0+nc).
+  Matrix Block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+
+  /// Human-readable dump (tests / debugging).
+  std::string ToString() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace adarts::la
+
+#endif  // ADARTS_LA_MATRIX_H_

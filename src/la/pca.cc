@@ -1,0 +1,76 @@
+#include "la/pca.h"
+
+#include <algorithm>
+
+#include "la/decompositions.h"
+
+namespace adarts::la {
+
+Status Pca::Fit(const Matrix& data, std::size_t n_components) {
+  if (data.empty()) return Status::InvalidArgument("PCA on empty matrix");
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  n_components = std::min(n_components, std::min(n, d));
+  if (n_components == 0) {
+    return Status::InvalidArgument("PCA needs at least one component");
+  }
+
+  mean_.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += data(i, j);
+  for (double& v : mean_) v /= static_cast<double>(n);
+
+  // Covariance matrix of the centred data.
+  Matrix cov(d, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < d; ++a) {
+      const double da = data(i, a) - mean_[a];
+      for (std::size_t b = a; b < d; ++b) {
+        cov(a, b) += da * (data(i, b) - mean_[b]);
+      }
+    }
+  }
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = a; b < d; ++b) {
+      cov(a, b) /= denom;
+      cov(b, a) = cov(a, b);
+    }
+  }
+
+  ADARTS_ASSIGN_OR_RETURN(EigenResult eig, ComputeSymmetricEigen(cov));
+
+  double total = 0.0;
+  for (double w : eig.eigenvalues) total += std::max(w, 0.0);
+  if (total <= 0.0) total = 1.0;
+
+  components_ = Matrix(d, n_components);
+  explained_variance_ratio_.assign(n_components, 0.0);
+  for (std::size_t k = 0; k < n_components; ++k) {
+    for (std::size_t j = 0; j < d; ++j)
+      components_(j, k) = eig.eigenvectors(j, k);
+    explained_variance_ratio_[k] = std::max(eig.eigenvalues[k], 0.0) / total;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Matrix> Pca::Transform(const Matrix& data) const {
+  if (!fitted_) return Status::FailedPrecondition("PCA not fitted");
+  if (data.cols() != mean_.size()) {
+    return Status::InvalidArgument("PCA transform dimension mismatch");
+  }
+  Matrix out(data.rows(), components_.cols());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    for (std::size_t k = 0; k < components_.cols(); ++k) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < data.cols(); ++j) {
+        s += (data(i, j) - mean_[j]) * components_(j, k);
+      }
+      out(i, k) = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace adarts::la

@@ -1,0 +1,44 @@
+#ifndef ADARTS_LA_PCA_H_
+#define ADARTS_LA_PCA_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace adarts::la {
+
+/// Principal component analysis fitted on row-sample matrices.
+///
+/// Used by (a) the PCA feature scaler in ModelRace's pipeline search space
+/// and (b) the trend feature group of the statistical extractor.
+class Pca {
+ public:
+  /// Fits `n_components` principal axes on `data` (rows = samples,
+  /// cols = variables). n_components is clamped to min(rows, cols).
+  Status Fit(const Matrix& data, std::size_t n_components);
+
+  /// Projects samples onto the fitted axes. Requires a prior Fit.
+  Result<Matrix> Transform(const Matrix& data) const;
+
+  /// Fraction of total variance captured by each retained component.
+  const Vector& explained_variance_ratio() const {
+    return explained_variance_ratio_;
+  }
+
+  /// Retained principal axes, one per column.
+  const Matrix& components() const { return components_; }
+
+  bool fitted() const { return fitted_; }
+  std::size_t n_components() const { return components_.cols(); }
+
+ private:
+  Matrix components_;  // cols x k, columns are principal axes
+  Vector mean_;
+  Vector explained_variance_ratio_;
+  bool fitted_ = false;
+};
+
+}  // namespace adarts::la
+
+#endif  // ADARTS_LA_PCA_H_

@@ -1,0 +1,175 @@
+#include "labeling/labeler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "ts/metrics.h"
+
+namespace adarts::labeling {
+
+namespace {
+
+std::vector<impute::Algorithm> ResolvePool(const LabelingOptions& options) {
+  return options.algorithms.empty() ? impute::AllAlgorithms()
+                                    : options.algorithms;
+}
+
+/// Injects the configured missing pattern into the selected series of the
+/// set (each with its own random offset) and returns the masked copies.
+Status MaskSeries(const LabelingOptions& options,
+                  const std::vector<std::size_t>& targets, Rng* rng,
+                  std::vector<ts::TimeSeries>* set) {
+  for (std::size_t i : targets) {
+    ADARTS_RETURN_NOT_OK(ts::InjectPattern(options.pattern,
+                                           options.missing_fraction, rng,
+                                           &(*set)[i]));
+  }
+  return Status::OK();
+}
+
+/// Runs every pool algorithm over the masked set and fills `rmse`
+/// (rows = targets order, cols = algorithms). Counts executions.
+Status ScoreAlgorithms(const std::vector<ts::TimeSeries>& masked_set,
+                       const std::vector<std::size_t>& targets,
+                       const std::vector<impute::Algorithm>& pool,
+                       la::Matrix* rmse, std::size_t* runs) {
+  for (std::size_t a = 0; a < pool.size(); ++a) {
+    const std::unique_ptr<impute::Imputer> imputer =
+        impute::CreateImputer(pool[a]);
+    auto repaired = imputer->ImputeSet(masked_set);
+    ++*runs;
+    if (!repaired.ok()) {
+      // An algorithm failing on a scenario is informative: it gets the
+      // worst possible score rather than aborting the labeling pass.
+      for (std::size_t r = 0; r < targets.size(); ++r) {
+        (*rmse)(r, a) = std::numeric_limits<double>::infinity();
+      }
+      continue;
+    }
+    for (std::size_t r = 0; r < targets.size(); ++r) {
+      const std::size_t i = targets[r];
+      auto err = ts::ImputationRmse(masked_set[i], (*repaired)[i]);
+      (*rmse)(r, a) =
+          err.ok() ? *err : std::numeric_limits<double>::infinity();
+    }
+  }
+  return Status::OK();
+}
+
+int ArgMinRow(const la::Matrix& m, std::size_t row) {
+  int best = 0;
+  for (std::size_t c = 1; c < m.cols(); ++c) {
+    if (m(row, c) < m(row, static_cast<std::size_t>(best))) {
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<LabelingResult> LabelSeriesFull(
+    const std::vector<ts::TimeSeries>& series, const LabelingOptions& options) {
+  if (series.empty()) return Status::InvalidArgument("no series to label");
+  const std::vector<impute::Algorithm> pool = ResolvePool(options);
+  Rng rng(options.seed);
+
+  std::vector<ts::TimeSeries> masked = series;
+  std::vector<std::size_t> targets(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) targets[i] = i;
+  ADARTS_RETURN_NOT_OK(MaskSeries(options, targets, &rng, &masked));
+
+  LabelingResult result;
+  result.algorithms = pool;
+  result.rmse = la::Matrix(series.size(), pool.size());
+  ADARTS_RETURN_NOT_OK(ScoreAlgorithms(masked, targets, pool, &result.rmse,
+                                       &result.imputation_runs));
+  result.labels.resize(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    result.labels[i] = ArgMinRow(result.rmse, i);
+  }
+  return result;
+}
+
+Result<LabelingResult> LabelByClusters(
+    const std::vector<ts::TimeSeries>& series,
+    const cluster::Clustering& clustering, const LabelingOptions& options) {
+  if (series.empty()) return Status::InvalidArgument("no series to label");
+  const std::vector<impute::Algorithm> pool = ResolvePool(options);
+  const la::Matrix corr = cluster::PairwiseCorrelationMatrix(series);
+  Rng rng(options.seed);
+
+  LabelingResult result;
+  result.algorithms = pool;
+  result.labels.assign(series.size(), 0);
+  result.rmse = la::Matrix(series.size(), pool.size());
+
+  for (const auto& members : clustering.clusters) {
+    if (members.empty()) continue;
+    const std::vector<std::size_t> reps = ClusterRepresentatives(
+        members, corr, options.representatives_per_cluster);
+
+    // The benchmark runs on the cluster's series only (the context the
+    // cross-series imputers exploit).
+    std::vector<ts::TimeSeries> cluster_set;
+    cluster_set.reserve(members.size());
+    std::vector<std::size_t> local_reps;
+    for (std::size_t local = 0; local < members.size(); ++local) {
+      cluster_set.push_back(series[members[local]]);
+      if (std::find(reps.begin(), reps.end(), members[local]) != reps.end()) {
+        local_reps.push_back(local);
+      }
+    }
+    ADARTS_RETURN_NOT_OK(MaskSeries(options, local_reps, &rng, &cluster_set));
+
+    la::Matrix rep_rmse(local_reps.size(), pool.size());
+    ADARTS_RETURN_NOT_OK(ScoreAlgorithms(cluster_set, local_reps, pool,
+                                         &rep_rmse, &result.imputation_runs));
+
+    // The cluster label is the algorithm with the lowest mean RMSE across
+    // the representatives; scores propagate to every member.
+    la::Vector mean_rmse(pool.size(), 0.0);
+    for (std::size_t a = 0; a < pool.size(); ++a) {
+      for (std::size_t r = 0; r < local_reps.size(); ++r) {
+        mean_rmse[a] += rep_rmse(r, a);
+      }
+      mean_rmse[a] /= static_cast<double>(local_reps.size());
+    }
+    const int label = static_cast<int>(
+        std::min_element(mean_rmse.begin(), mean_rmse.end()) -
+        mean_rmse.begin());
+    for (std::size_t i : members) {
+      result.labels[i] = label;
+      for (std::size_t a = 0; a < pool.size(); ++a) {
+        result.rmse(i, a) = mean_rmse[a];
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> ClusterRepresentatives(
+    const std::vector<std::size_t>& members, const la::Matrix& corr,
+    std::size_t count) {
+  count = std::max<std::size_t>(count, 1);
+  if (members.size() <= count) return members;
+  // Total absolute correlation of each member to the rest of the cluster.
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(members.size());
+  for (std::size_t i : members) {
+    double total = 0.0;
+    for (std::size_t j : members) {
+      if (i != j) total += std::fabs(corr(i, j));
+    }
+    scored.emplace_back(total, i);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::size_t> reps;
+  for (std::size_t r = 0; r < count; ++r) reps.push_back(scored[r].second);
+  return reps;
+}
+
+}  // namespace adarts::labeling

@@ -1,0 +1,65 @@
+#ifndef ADARTS_LABELING_LABELER_H_
+#define ADARTS_LABELING_LABELER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "impute/imputer.h"
+#include "la/matrix.h"
+#include "ts/missing.h"
+#include "ts/time_series.h"
+
+namespace adarts::labeling {
+
+/// Options for annotating series with their best imputation algorithm.
+struct LabelingOptions {
+  /// Algorithm pool to race; defaults to the full registry.
+  std::vector<impute::Algorithm> algorithms;
+  ts::MissingPattern pattern = ts::MissingPattern::kSingleBlock;
+  /// Size of the injected missing block, as a fraction of the series.
+  double missing_fraction = 0.1;
+  /// Representatives benchmarked per cluster in the fast path.
+  std::size_t representatives_per_cluster = 2;
+  std::uint64_t seed = 42;
+};
+
+/// Output of a labeling pass.
+struct LabelingResult {
+  /// Per-series label: index into `algorithms` of the winning imputer.
+  std::vector<int> labels;
+  /// Per-series RMSE of each algorithm (rows = series, cols = algorithms).
+  /// For cluster labeling, rows repeat the representative's scores across
+  /// the cluster.
+  la::Matrix rmse;
+  /// Number of algorithm executions performed — the cost the clustering
+  /// step amortises (Section VI motivation).
+  std::size_t imputation_runs = 0;
+  /// The algorithm pool the label indices refer to.
+  std::vector<impute::Algorithm> algorithms;
+};
+
+/// Ground-truth labeling: injects one missing pattern into every series,
+/// runs every algorithm over the whole set once, and labels each series with
+/// its per-series argmin-RMSE algorithm.
+Result<LabelingResult> LabelSeriesFull(const std::vector<ts::TimeSeries>& series,
+                                       const LabelingOptions& options = {});
+
+/// Fast labeling (Fig. 2, step 1): benchmarks only cluster representatives
+/// (correlation medoids) and propagates each cluster's winning algorithm to
+/// all members. Costs |clusters| * reps * |algorithms| runs instead of
+/// |series| * |algorithms|.
+Result<LabelingResult> LabelByClusters(
+    const std::vector<ts::TimeSeries>& series,
+    const cluster::Clustering& clustering, const LabelingOptions& options = {});
+
+/// Correlation medoids of a cluster: the `count` members with the highest
+/// total absolute correlation to the rest of the cluster.
+std::vector<std::size_t> ClusterRepresentatives(
+    const std::vector<std::size_t>& members, const la::Matrix& corr,
+    std::size_t count);
+
+}  // namespace adarts::labeling
+
+#endif  // ADARTS_LABELING_LABELER_H_

@@ -1,0 +1,845 @@
+// Implementations of the twelve classifier families behind CreateClassifier.
+// Each class is internal; construction happens only through the factory so
+// the public surface stays the Classifier interface.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/decompositions.h"
+#include "la/matrix.h"
+#include "ml/classifier.h"
+#include "ml/tree.h"
+
+namespace adarts::ml {
+
+namespace {
+
+la::Vector Softmax(la::Vector scores) {
+  const double mx = *std::max_element(scores.begin(), scores.end());
+  double sum = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - mx);
+    sum += s;
+  }
+  for (double& s : scores) s /= sum;
+  return scores;
+}
+
+la::Vector UniformProbs(int num_classes) {
+  return la::Vector(static_cast<std::size_t>(num_classes),
+                    1.0 / std::max(num_classes, 1));
+}
+
+double GetParam(const HyperParams& p, const std::string& name) {
+  const auto it = p.find(name);
+  ADARTS_CHECK(it != p.end());
+  return it->second;
+}
+
+// ---------------------------------------------------------------- kNN ----
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(const HyperParams& p)
+      : k_(static_cast<std::size_t>(GetParam(p, "k"))),
+        weight_by_distance_(GetParam(p, "weight_by_distance") > 0.5) {}
+
+  std::string_view name() const override { return "knn"; }
+
+  Status Fit(const Dataset& data) override {
+    ADARTS_RETURN_NOT_OK(data.Validate());
+    train_ = data;
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    if (train_.empty()) return UniformProbs(train_.num_classes);
+    const std::size_t k = std::min(k_, train_.size());
+    // Partial selection of the k nearest neighbours.
+    std::vector<std::pair<double, int>> dist;
+    dist.reserve(train_.size());
+    for (std::size_t i = 0; i < train_.size(); ++i) {
+      double d = 0.0;
+      const la::Vector& f = train_.features[i];
+      for (std::size_t j = 0; j < f.size(); ++j) {
+        const double diff = f[j] - x[j];
+        d += diff * diff;
+      }
+      dist.emplace_back(d, train_.labels[i]);
+    }
+    std::nth_element(dist.begin(),
+                     dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     dist.end());
+    la::Vector votes(static_cast<std::size_t>(train_.num_classes), 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double w =
+          weight_by_distance_ ? 1.0 / (std::sqrt(dist[i].first) + 1e-9) : 1.0;
+      votes[static_cast<std::size_t>(dist[i].second)] += w;
+      total += w;
+    }
+    for (double& v : votes) v /= total;
+    return votes;
+  }
+
+ private:
+  std::size_t k_;
+  bool weight_by_distance_;
+  Dataset train_;
+};
+
+// ------------------------------------------------------- decision tree ----
+
+class DecisionTreeClassifier final : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(const HyperParams& p) {
+    options_.max_depth = static_cast<std::size_t>(GetParam(p, "max_depth"));
+    options_.min_samples_leaf =
+        static_cast<std::size_t>(GetParam(p, "min_samples_leaf"));
+    options_.seed = static_cast<std::uint64_t>(GetParam(p, "seed"));
+  }
+
+  std::string_view name() const override { return "decision_tree"; }
+
+  Status Fit(const Dataset& data) override {
+    tree_ = ClassificationTree(options_);
+    std::vector<std::size_t> rows(data.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    return tree_.Fit(data, rows);
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    return tree_.PredictProba(x);
+  }
+
+ private:
+  TreeOptions options_;
+  ClassificationTree tree_{TreeOptions{}};
+};
+
+// --------------------------------------------- random forest / extra ----
+
+class ForestClassifier final : public Classifier {
+ public:
+  ForestClassifier(const HyperParams& p, bool extra_trees)
+      : extra_trees_(extra_trees),
+        num_trees_(static_cast<std::size_t>(GetParam(p, "num_trees"))),
+        seed_(static_cast<std::uint64_t>(GetParam(p, "seed"))) {
+    options_.max_depth = static_cast<std::size_t>(GetParam(p, "max_depth"));
+    options_.feature_fraction = GetParam(p, "feature_fraction");
+    options_.random_thresholds = extra_trees;
+  }
+
+  std::string_view name() const override {
+    return extra_trees_ ? "extra_trees" : "random_forest";
+  }
+
+  Status Fit(const Dataset& data) override {
+    ADARTS_RETURN_NOT_OK(data.Validate());
+    num_classes_ = data.num_classes;
+    trees_.clear();
+    Rng rng(seed_);
+    for (std::size_t b = 0; b < num_trees_; ++b) {
+      TreeOptions opts = options_;
+      opts.seed = rng.NextU64();
+      ClassificationTree tree(opts);
+      std::vector<std::size_t> rows(data.size());
+      if (extra_trees_) {
+        std::iota(rows.begin(), rows.end(), 0);  // no bagging
+      } else {
+        for (auto& r : rows) {
+          r = static_cast<std::size_t>(rng.UniformInt(data.size()));
+        }
+      }
+      ADARTS_RETURN_NOT_OK(tree.Fit(data, rows));
+      trees_.push_back(std::move(tree));
+    }
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    if (trees_.empty()) return UniformProbs(num_classes_);
+    la::Vector acc(static_cast<std::size_t>(num_classes_), 0.0);
+    for (const auto& tree : trees_) {
+      la::Axpy(1.0, tree.PredictProba(x), &acc);
+    }
+    la::Scale(1.0 / static_cast<double>(trees_.size()), &acc);
+    return acc;
+  }
+
+ private:
+  bool extra_trees_;
+  std::size_t num_trees_;
+  std::uint64_t seed_;
+  TreeOptions options_;
+  std::vector<ClassificationTree> trees_;
+  int num_classes_ = 0;
+};
+
+// -------------------------------------------------- gradient boosting ----
+
+/// Multinomial gradient boosting with regression-tree base learners — the
+/// "CatBoost-class" boosted-tree family of the paper's pool.
+class GradientBoostingClassifier final : public Classifier {
+ public:
+  explicit GradientBoostingClassifier(const HyperParams& p)
+      : rounds_(static_cast<std::size_t>(GetParam(p, "num_rounds"))),
+        learning_rate_(GetParam(p, "learning_rate")),
+        seed_(static_cast<std::uint64_t>(GetParam(p, "seed"))) {
+    tree_options_.max_depth =
+        static_cast<std::size_t>(GetParam(p, "max_depth"));
+    tree_options_.min_samples_leaf = 2;
+  }
+
+  std::string_view name() const override { return "gradient_boosting"; }
+
+  Status Fit(const Dataset& data) override {
+    ADARTS_RETURN_NOT_OK(data.Validate());
+    num_classes_ = data.num_classes;
+    trees_.assign(static_cast<std::size_t>(num_classes_), {});
+    const std::size_t n = data.size();
+    const auto nc = static_cast<std::size_t>(num_classes_);
+
+    // Scores F[i][c], residual fitting per round per class.
+    std::vector<la::Vector> scores(n, la::Vector(nc, 0.0));
+    std::vector<std::size_t> rows(n);
+    std::iota(rows.begin(), rows.end(), 0);
+    Rng rng(seed_);
+
+    la::Vector residual(n);
+    for (std::size_t round = 0; round < rounds_; ++round) {
+      for (std::size_t c = 0; c < nc; ++c) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const la::Vector p = Softmax(scores[i]);
+          const double y =
+              data.labels[i] == static_cast<int>(c) ? 1.0 : 0.0;
+          residual[i] = y - p[c];
+        }
+        TreeOptions opts = tree_options_;
+        opts.seed = rng.NextU64();
+        RegressionTree tree(opts);
+        ADARTS_RETURN_NOT_OK(tree.Fit(data.features, residual, rows));
+        for (std::size_t i = 0; i < n; ++i) {
+          scores[i][c] += learning_rate_ * tree.Predict(data.features[i]);
+        }
+        trees_[c].push_back(std::move(tree));
+      }
+    }
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    if (trees_.empty()) return UniformProbs(num_classes_);
+    la::Vector scores(static_cast<std::size_t>(num_classes_), 0.0);
+    for (std::size_t c = 0; c < trees_.size(); ++c) {
+      for (const auto& tree : trees_[c]) {
+        scores[c] += learning_rate_ * tree.Predict(x);
+      }
+    }
+    return Softmax(std::move(scores));
+  }
+
+ private:
+  std::size_t rounds_;
+  double learning_rate_;
+  std::uint64_t seed_;
+  TreeOptions tree_options_;
+  std::vector<std::vector<RegressionTree>> trees_;  // per class
+  int num_classes_ = 0;
+};
+
+// ------------------------------------------------------ AdaBoost SAMME ----
+
+class AdaBoostClassifier final : public Classifier {
+ public:
+  explicit AdaBoostClassifier(const HyperParams& p)
+      : rounds_(static_cast<std::size_t>(GetParam(p, "num_rounds"))),
+        seed_(static_cast<std::uint64_t>(GetParam(p, "seed"))) {
+    tree_options_.max_depth = static_cast<std::size_t>(GetParam(p, "max_depth"));
+    tree_options_.min_samples_leaf = 1;
+  }
+
+  std::string_view name() const override { return "adaboost"; }
+
+  Status Fit(const Dataset& data) override {
+    ADARTS_RETURN_NOT_OK(data.Validate());
+    num_classes_ = data.num_classes;
+    stages_.clear();
+    const std::size_t n = data.size();
+    la::Vector weights(n, 1.0 / static_cast<double>(n));
+    std::vector<std::size_t> rows(n);
+    std::iota(rows.begin(), rows.end(), 0);
+    Rng rng(seed_);
+    const double k = static_cast<double>(num_classes_);
+
+    for (std::size_t t = 0; t < rounds_; ++t) {
+      TreeOptions opts = tree_options_;
+      opts.seed = rng.NextU64();
+      ClassificationTree tree(opts);
+      ADARTS_RETURN_NOT_OK(tree.Fit(data, rows, weights));
+
+      double err = 0.0;
+      std::vector<bool> wrong(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        wrong[i] = tree.Predict(data.features[i]) != data.labels[i];
+        if (wrong[i]) err += weights[i];
+      }
+      if (err <= 1e-12) {
+        stages_.push_back({std::move(tree), 1.0});
+        break;  // perfect learner
+      }
+      // SAMME stopping rule: learner must beat random guessing.
+      if (err >= 1.0 - 1.0 / k) break;
+      const double alpha = std::log((1.0 - err) / err) + std::log(k - 1.0);
+      stages_.push_back({std::move(tree), alpha});
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (wrong[i]) weights[i] *= std::exp(alpha);
+        total += weights[i];
+      }
+      for (double& w : weights) w /= total;
+    }
+    if (stages_.empty()) {
+      // Degenerate data: fall back to a single unweighted tree.
+      TreeOptions opts = tree_options_;
+      opts.seed = rng.NextU64();
+      ClassificationTree tree(opts);
+      ADARTS_RETURN_NOT_OK(tree.Fit(data, rows));
+      stages_.push_back({std::move(tree), 1.0});
+    }
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    if (stages_.empty()) return UniformProbs(num_classes_);
+    la::Vector scores(static_cast<std::size_t>(num_classes_), 0.0);
+    for (const auto& [tree, alpha] : stages_) {
+      scores[static_cast<std::size_t>(tree.Predict(x))] += alpha;
+    }
+    const double total = std::accumulate(scores.begin(), scores.end(), 0.0);
+    if (total <= 0.0) return UniformProbs(num_classes_);
+    for (double& s : scores) s /= total;
+    return scores;
+  }
+
+ private:
+  struct Stage {
+    ClassificationTree tree;
+    double alpha;
+  };
+  std::size_t rounds_;
+  std::uint64_t seed_;
+  TreeOptions tree_options_;
+  std::vector<Stage> stages_;
+  int num_classes_ = 0;
+};
+
+// ----------------------------------------------------------------- MLP ----
+
+class MlpClassifier final : public Classifier {
+ public:
+  explicit MlpClassifier(const HyperParams& p)
+      : hidden_(static_cast<std::size_t>(GetParam(p, "hidden_units"))),
+        learning_rate_(GetParam(p, "learning_rate")),
+        epochs_(static_cast<std::size_t>(GetParam(p, "epochs"))),
+        seed_(static_cast<std::uint64_t>(GetParam(p, "seed"))) {}
+
+  std::string_view name() const override { return "mlp"; }
+
+  Status Fit(const Dataset& data) override {
+    ADARTS_RETURN_NOT_OK(data.Validate());
+    num_classes_ = data.num_classes;
+    const std::size_t d = data.dim();
+    const auto nc = static_cast<std::size_t>(num_classes_);
+    Rng rng(seed_);
+
+    // He-style initialisation.
+    w1_ = la::Matrix(hidden_, d);
+    b1_.assign(hidden_, 0.0);
+    w2_ = la::Matrix(nc, hidden_);
+    b2_.assign(nc, 0.0);
+    const double s1 = std::sqrt(2.0 / static_cast<double>(d));
+    const double s2 = std::sqrt(2.0 / static_cast<double>(hidden_));
+    for (std::size_t i = 0; i < hidden_; ++i)
+      for (std::size_t j = 0; j < d; ++j) w1_(i, j) = rng.Normal(0.0, s1);
+    for (std::size_t c = 0; c < nc; ++c)
+      for (std::size_t i = 0; i < hidden_; ++i) w2_(c, i) = rng.Normal(0.0, s2);
+
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    la::Vector h(hidden_), grad_out(nc), grad_h(hidden_);
+    for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+      const double lr =
+          learning_rate_ / (1.0 + 0.02 * static_cast<double>(epoch));
+      rng.Shuffle(&order);
+      for (std::size_t idx : order) {
+        const la::Vector& x = data.features[idx];
+        // Forward: ReLU hidden, softmax output.
+        for (std::size_t i = 0; i < hidden_; ++i) {
+          double s = b1_[i];
+          for (std::size_t j = 0; j < d; ++j) s += w1_(i, j) * x[j];
+          h[i] = s > 0.0 ? s : 0.0;
+        }
+        la::Vector scores(nc);
+        for (std::size_t c = 0; c < nc; ++c) {
+          double s = b2_[c];
+          for (std::size_t i = 0; i < hidden_; ++i) s += w2_(c, i) * h[i];
+          scores[c] = s;
+        }
+        const la::Vector probs = Softmax(std::move(scores));
+        // Backward.
+        for (std::size_t c = 0; c < nc; ++c) {
+          grad_out[c] =
+              probs[c] - (data.labels[idx] == static_cast<int>(c) ? 1.0 : 0.0);
+          grad_out[c] = std::clamp(grad_out[c], -1.0, 1.0);
+        }
+        for (std::size_t i = 0; i < hidden_; ++i) {
+          double g = 0.0;
+          for (std::size_t c = 0; c < nc; ++c) g += grad_out[c] * w2_(c, i);
+          grad_h[i] = h[i] > 0.0 ? std::clamp(g, -1.0, 1.0) : 0.0;
+        }
+        for (std::size_t c = 0; c < nc; ++c) {
+          for (std::size_t i = 0; i < hidden_; ++i) {
+            w2_(c, i) -= lr * grad_out[c] * h[i];
+          }
+          b2_[c] -= lr * grad_out[c];
+        }
+        for (std::size_t i = 0; i < hidden_; ++i) {
+          if (grad_h[i] == 0.0) continue;
+          for (std::size_t j = 0; j < d; ++j) {
+            w1_(i, j) -= lr * grad_h[i] * x[j];
+          }
+          b1_[i] -= lr * grad_h[i];
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    if (w1_.empty()) return UniformProbs(num_classes_);
+    la::Vector h(hidden_);
+    for (std::size_t i = 0; i < hidden_; ++i) {
+      double s = b1_[i];
+      for (std::size_t j = 0; j < x.size(); ++j) s += w1_(i, j) * x[j];
+      h[i] = s > 0.0 ? s : 0.0;
+    }
+    la::Vector scores(static_cast<std::size_t>(num_classes_));
+    for (std::size_t c = 0; c < scores.size(); ++c) {
+      double s = b2_[c];
+      for (std::size_t i = 0; i < hidden_; ++i) s += w2_(c, i) * h[i];
+      scores[c] = s;
+    }
+    return Softmax(std::move(scores));
+  }
+
+ private:
+  std::size_t hidden_;
+  double learning_rate_;
+  std::size_t epochs_;
+  std::uint64_t seed_;
+  la::Matrix w1_, w2_;
+  la::Vector b1_, b2_;
+  int num_classes_ = 0;
+};
+
+// ------------------------------------------------- logistic regression ----
+
+class LogisticRegressionClassifier final : public Classifier {
+ public:
+  explicit LogisticRegressionClassifier(const HyperParams& p)
+      : learning_rate_(GetParam(p, "learning_rate")),
+        epochs_(static_cast<std::size_t>(GetParam(p, "epochs"))),
+        l2_(GetParam(p, "l2")) {}
+
+  std::string_view name() const override { return "logistic_regression"; }
+
+  Status Fit(const Dataset& data) override {
+    ADARTS_RETURN_NOT_OK(data.Validate());
+    num_classes_ = data.num_classes;
+    const std::size_t d = data.dim();
+    const auto nc = static_cast<std::size_t>(num_classes_);
+    w_ = la::Matrix(nc, d);
+    b_.assign(nc, 0.0);
+    const double n = static_cast<double>(data.size());
+
+    la::Matrix grad_w(nc, d);
+    la::Vector grad_b(nc);
+    for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+      const double lr =
+          learning_rate_ / (1.0 + 0.01 * static_cast<double>(epoch));
+      grad_w = la::Matrix(nc, d);
+      std::fill(grad_b.begin(), grad_b.end(), 0.0);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const la::Vector& x = data.features[i];
+        la::Vector scores(nc);
+        for (std::size_t c = 0; c < nc; ++c) {
+          double s = b_[c];
+          for (std::size_t j = 0; j < d; ++j) s += w_(c, j) * x[j];
+          scores[c] = s;
+        }
+        const la::Vector probs = Softmax(std::move(scores));
+        for (std::size_t c = 0; c < nc; ++c) {
+          const double g =
+              probs[c] - (data.labels[i] == static_cast<int>(c) ? 1.0 : 0.0);
+          for (std::size_t j = 0; j < d; ++j) grad_w(c, j) += g * x[j];
+          grad_b[c] += g;
+        }
+      }
+      for (std::size_t c = 0; c < nc; ++c) {
+        for (std::size_t j = 0; j < d; ++j) {
+          w_(c, j) -= lr * (grad_w(c, j) / n + l2_ * w_(c, j));
+        }
+        b_[c] -= lr * grad_b[c] / n;
+      }
+    }
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    if (w_.empty()) return UniformProbs(num_classes_);
+    la::Vector scores(static_cast<std::size_t>(num_classes_));
+    for (std::size_t c = 0; c < scores.size(); ++c) {
+      double s = b_[c];
+      for (std::size_t j = 0; j < x.size(); ++j) s += w_(c, j) * x[j];
+      scores[c] = s;
+    }
+    return Softmax(std::move(scores));
+  }
+
+ private:
+  double learning_rate_;
+  std::size_t epochs_;
+  double l2_;
+  la::Matrix w_;
+  la::Vector b_;
+  int num_classes_ = 0;
+};
+
+// --------------------------------------------------------------- ridge ----
+
+/// One-vs-rest ridge regression on +-1 targets with closed-form solution;
+/// class scores pass through a softmax for calibrated-ish probabilities.
+class RidgeClassifier final : public Classifier {
+ public:
+  explicit RidgeClassifier(const HyperParams& p)
+      : alpha_(GetParam(p, "alpha")) {}
+
+  std::string_view name() const override { return "ridge"; }
+
+  Status Fit(const Dataset& data) override {
+    ADARTS_RETURN_NOT_OK(data.Validate());
+    num_classes_ = data.num_classes;
+    const std::size_t d = data.dim();
+    const std::size_t n = data.size();
+    const auto nc = static_cast<std::size_t>(num_classes_);
+
+    // Design matrix with an intercept column.
+    la::Matrix design(n, d + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      design(i, 0) = 1.0;
+      for (std::size_t j = 0; j < d; ++j) design(i, j + 1) = data.features[i][j];
+    }
+    w_ = la::Matrix(nc, d + 1);
+    for (std::size_t c = 0; c < nc; ++c) {
+      la::Vector y(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        y[i] = data.labels[i] == static_cast<int>(c) ? 1.0 : -1.0;
+      }
+      ADARTS_ASSIGN_OR_RETURN(la::Vector coef,
+                              la::SolveLeastSquares(design, y, alpha_));
+      w_.SetRow(c, coef);
+    }
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    if (w_.empty()) return UniformProbs(num_classes_);
+    la::Vector scores(static_cast<std::size_t>(num_classes_));
+    for (std::size_t c = 0; c < scores.size(); ++c) {
+      double s = w_(c, 0);
+      for (std::size_t j = 0; j < x.size(); ++j) s += w_(c, j + 1) * x[j];
+      scores[c] = 2.0 * s;  // temperature for sharper softmax on +-1 scores
+    }
+    return Softmax(std::move(scores));
+  }
+
+ private:
+  double alpha_;
+  la::Matrix w_;
+  int num_classes_ = 0;
+};
+
+// ---------------------------------------------------------- linear SVM ----
+
+/// One-vs-rest linear SVM trained with the Pegasos subgradient method.
+class LinearSvmClassifier final : public Classifier {
+ public:
+  explicit LinearSvmClassifier(const HyperParams& p)
+      : c_(GetParam(p, "c")),
+        epochs_(static_cast<std::size_t>(GetParam(p, "epochs"))),
+        seed_(static_cast<std::uint64_t>(GetParam(p, "seed"))) {}
+
+  std::string_view name() const override { return "linear_svm"; }
+
+  Status Fit(const Dataset& data) override {
+    ADARTS_RETURN_NOT_OK(data.Validate());
+    num_classes_ = data.num_classes;
+    const std::size_t d = data.dim();
+    const auto nc = static_cast<std::size_t>(num_classes_);
+    w_ = la::Matrix(nc, d);
+    b_.assign(nc, 0.0);
+    const double lambda = 1.0 / (c_ * static_cast<double>(data.size()));
+
+    Rng rng(seed_);
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::size_t t = 1;
+    for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+      rng.Shuffle(&order);
+      for (std::size_t idx : order) {
+        const double eta = 1.0 / (lambda * static_cast<double>(t));
+        const la::Vector& x = data.features[idx];
+        for (std::size_t cls = 0; cls < nc; ++cls) {
+          const double y =
+              data.labels[idx] == static_cast<int>(cls) ? 1.0 : -1.0;
+          double margin = b_[cls];
+          for (std::size_t j = 0; j < d; ++j) margin += w_(cls, j) * x[j];
+          margin *= y;
+          // w <- (1 - eta*lambda) w [+ eta*y*x if margin < 1]
+          const double shrink = 1.0 - eta * lambda;
+          for (std::size_t j = 0; j < d; ++j) w_(cls, j) *= shrink;
+          if (margin < 1.0) {
+            for (std::size_t j = 0; j < d; ++j) w_(cls, j) += eta * y * x[j];
+            b_[cls] += eta * y;
+          }
+        }
+        ++t;
+      }
+    }
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    if (w_.empty()) return UniformProbs(num_classes_);
+    la::Vector scores(static_cast<std::size_t>(num_classes_));
+    for (std::size_t c = 0; c < scores.size(); ++c) {
+      double s = b_[c];
+      for (std::size_t j = 0; j < x.size(); ++j) s += w_(c, j) * x[j];
+      scores[c] = s;
+    }
+    return Softmax(std::move(scores));
+  }
+
+ private:
+  double c_;
+  std::size_t epochs_;
+  std::uint64_t seed_;
+  la::Matrix w_;
+  la::Vector b_;
+  int num_classes_ = 0;
+};
+
+// -------------------------------------------------------- Gaussian NB ----
+
+class GaussianNbClassifier final : public Classifier {
+ public:
+  explicit GaussianNbClassifier(const HyperParams& p)
+      : var_smoothing_(std::pow(10.0, GetParam(p, "var_smoothing_log10"))) {}
+
+  std::string_view name() const override { return "gaussian_nb"; }
+
+  Status Fit(const Dataset& data) override {
+    ADARTS_RETURN_NOT_OK(data.Validate());
+    num_classes_ = data.num_classes;
+    const std::size_t d = data.dim();
+    const auto nc = static_cast<std::size_t>(num_classes_);
+    mean_ = la::Matrix(nc, d);
+    var_ = la::Matrix(nc, d);
+    log_prior_.assign(nc, -1e9);
+
+    const std::vector<std::size_t> counts = data.ClassCounts();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto c = static_cast<std::size_t>(data.labels[i]);
+      for (std::size_t j = 0; j < d; ++j) {
+        mean_(c, j) += data.features[i][j];
+      }
+    }
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        mean_(c, j) /= static_cast<double>(counts[c]);
+      }
+      log_prior_[c] = std::log(static_cast<double>(counts[c]) /
+                               static_cast<double>(data.size()));
+    }
+    // Global max variance for the smoothing floor.
+    double max_var = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto c = static_cast<std::size_t>(data.labels[i]);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double dv = data.features[i][j] - mean_(c, j);
+        var_(c, j) += dv * dv;
+      }
+    }
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        var_(c, j) /= static_cast<double>(counts[c]);
+        max_var = std::max(max_var, var_(c, j));
+      }
+    }
+    const double floor = var_smoothing_ * std::max(max_var, 1.0);
+    for (std::size_t c = 0; c < nc; ++c) {
+      for (std::size_t j = 0; j < d; ++j) {
+        var_(c, j) += floor;
+      }
+    }
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    if (mean_.empty()) return UniformProbs(num_classes_);
+    la::Vector scores(static_cast<std::size_t>(num_classes_));
+    for (std::size_t c = 0; c < scores.size(); ++c) {
+      double ll = log_prior_[c];
+      for (std::size_t j = 0; j < x.size(); ++j) {
+        const double v = var_(c, j);
+        const double dv = x[j] - mean_(c, j);
+        ll += -0.5 * (std::log(2.0 * 3.14159265358979323846 * v) +
+                      dv * dv / v);
+      }
+      scores[c] = ll;
+    }
+    return Softmax(std::move(scores));
+  }
+
+ private:
+  double var_smoothing_;
+  la::Matrix mean_, var_;
+  la::Vector log_prior_;
+  int num_classes_ = 0;
+};
+
+// ------------------------------------------------------------------ LDA ----
+
+class LdaClassifier final : public Classifier {
+ public:
+  explicit LdaClassifier(const HyperParams& p)
+      : shrinkage_(GetParam(p, "shrinkage")) {}
+
+  std::string_view name() const override { return "lda"; }
+
+  Status Fit(const Dataset& data) override {
+    ADARTS_RETURN_NOT_OK(data.Validate());
+    num_classes_ = data.num_classes;
+    const std::size_t d = data.dim();
+    const auto nc = static_cast<std::size_t>(num_classes_);
+    means_ = la::Matrix(nc, d);
+    log_prior_.assign(nc, -1e9);
+
+    const std::vector<std::size_t> counts = data.ClassCounts();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto c = static_cast<std::size_t>(data.labels[i]);
+      for (std::size_t j = 0; j < d; ++j) means_(c, j) += data.features[i][j];
+    }
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        means_(c, j) /= static_cast<double>(counts[c]);
+      }
+      log_prior_[c] = std::log(static_cast<double>(counts[c]) /
+                               static_cast<double>(data.size()));
+    }
+
+    // Pooled within-class covariance, shrunk towards its diagonal.
+    la::Matrix cov(d, d);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto c = static_cast<std::size_t>(data.labels[i]);
+      for (std::size_t a = 0; a < d; ++a) {
+        const double da = data.features[i][a] - means_(c, a);
+        for (std::size_t b = a; b < d; ++b) {
+          cov(a, b) += da * (data.features[i][b] - means_(c, b));
+        }
+      }
+    }
+    const double denom =
+        std::max<double>(static_cast<double>(data.size()) -
+                             static_cast<double>(nc),
+                         1.0);
+    double trace = 0.0;
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a; b < d; ++b) {
+        cov(a, b) /= denom;
+        cov(b, a) = cov(a, b);
+      }
+      trace += cov(a, a);
+    }
+    const double mu = trace / static_cast<double>(d);
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = 0; b < d; ++b) {
+        cov(a, b) *= (1.0 - shrinkage_);
+        if (a == b) cov(a, b) += shrinkage_ * mu + 1e-6;
+      }
+    }
+    ADARTS_ASSIGN_OR_RETURN(cov_inv_, la::Inverse(cov));
+    return Status::OK();
+  }
+
+  la::Vector PredictProba(const la::Vector& x) const override {
+    if (means_.empty()) return UniformProbs(num_classes_);
+    la::Vector scores(static_cast<std::size_t>(num_classes_));
+    for (std::size_t c = 0; c < scores.size(); ++c) {
+      // delta_c(x) = x^T S^-1 mu_c - mu_c^T S^-1 mu_c / 2 + log prior.
+      const la::Vector mu = means_.Row(c);
+      const la::Vector smu = cov_inv_.MultiplyVec(mu);
+      scores[c] = la::Dot(x, smu) - 0.5 * la::Dot(mu, smu) + log_prior_[c];
+    }
+    return Softmax(std::move(scores));
+  }
+
+ private:
+  double shrinkage_;
+  la::Matrix means_;
+  la::Matrix cov_inv_;
+  la::Vector log_prior_;
+  int num_classes_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> CreateClassifier(ClassifierKind kind,
+                                             const HyperParams& params) {
+  const HyperParams p = ResolveParams(kind, params);
+  switch (kind) {
+    case ClassifierKind::kKnn:
+      return std::make_unique<KnnClassifier>(p);
+    case ClassifierKind::kDecisionTree:
+      return std::make_unique<DecisionTreeClassifier>(p);
+    case ClassifierKind::kRandomForest:
+      return std::make_unique<ForestClassifier>(p, /*extra_trees=*/false);
+    case ClassifierKind::kExtraTrees:
+      return std::make_unique<ForestClassifier>(p, /*extra_trees=*/true);
+    case ClassifierKind::kGradientBoosting:
+      return std::make_unique<GradientBoostingClassifier>(p);
+    case ClassifierKind::kAdaBoost:
+      return std::make_unique<AdaBoostClassifier>(p);
+    case ClassifierKind::kMlp:
+      return std::make_unique<MlpClassifier>(p);
+    case ClassifierKind::kLogisticRegression:
+      return std::make_unique<LogisticRegressionClassifier>(p);
+    case ClassifierKind::kRidge:
+      return std::make_unique<RidgeClassifier>(p);
+    case ClassifierKind::kLinearSvm:
+      return std::make_unique<LinearSvmClassifier>(p);
+    case ClassifierKind::kGaussianNb:
+      return std::make_unique<GaussianNbClassifier>(p);
+    case ClassifierKind::kLda:
+      return std::make_unique<LdaClassifier>(p);
+  }
+  return nullptr;
+}
+
+}  // namespace adarts::ml

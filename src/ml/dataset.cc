@@ -1,0 +1,117 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+
+namespace adarts::ml {
+
+Dataset Dataset::Subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.features.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    out.features.push_back(features[i]);
+    out.labels.push_back(labels[i]);
+  }
+  return out;
+}
+
+Status Dataset::Validate() const {
+  if (features.size() != labels.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  if (num_classes <= 0) return Status::InvalidArgument("num_classes <= 0");
+  const std::size_t d = dim();
+  for (const auto& f : features) {
+    if (f.size() != d) {
+      return Status::InvalidArgument("inconsistent feature dimensionality");
+    }
+  }
+  for (int y : labels) {
+    if (y < 0 || y >= num_classes) {
+      return Status::OutOfRange("label outside [0, num_classes)");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::size_t> Dataset::ClassCounts() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (int y : labels) ++counts[static_cast<std::size_t>(y)];
+  return counts;
+}
+
+namespace {
+
+/// Per-class index lists, each shuffled.
+std::vector<std::vector<std::size_t>> ShuffledClassIndices(const Dataset& data,
+                                                           Rng* rng) {
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(data.num_classes));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    by_class[static_cast<std::size_t>(data.labels[i])].push_back(i);
+  }
+  for (auto& idx : by_class) rng->Shuffle(&idx);
+  return by_class;
+}
+
+}  // namespace
+
+Result<TrainTestSplit> StratifiedSplit(const Dataset& data,
+                                       double train_fraction, Rng* rng) {
+  ADARTS_RETURN_NOT_OK(data.Validate());
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  std::vector<std::size_t> train_idx, test_idx;
+  for (auto& idx : ShuffledClassIndices(data, rng)) {
+    const auto cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(idx.size()) + 0.5);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      (i < cut ? train_idx : test_idx).push_back(idx[i]);
+    }
+  }
+  TrainTestSplit split;
+  split.train = data.Subset(train_idx);
+  split.test = data.Subset(test_idx);
+  return split;
+}
+
+Result<std::vector<std::vector<std::size_t>>> StratifiedKFoldIndices(
+    const Dataset& data, std::size_t k, Rng* rng) {
+  ADARTS_RETURN_NOT_OK(data.Validate());
+  if (k < 2) return Status::InvalidArgument("k-fold requires k >= 2");
+  if (k > data.size()) return Status::InvalidArgument("k larger than dataset");
+  std::vector<std::vector<std::size_t>> folds(k);
+  // Round-robin assignment within each class keeps folds stratified.
+  for (auto& idx : ShuffledClassIndices(data, rng)) {
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      folds[i % k].push_back(idx[i]);
+    }
+  }
+  return folds;
+}
+
+Result<std::vector<Dataset>> GrowingPartialSets(const Dataset& data,
+                                                std::size_t m, Rng* rng) {
+  ADARTS_RETURN_NOT_OK(data.Validate());
+  if (m == 0) return Status::InvalidArgument("need at least one partial set");
+  // Assign each sample to one of m chunks (stratified round-robin), then
+  // emit cumulative unions chunk_1, chunk_1+2, ...
+  std::vector<std::vector<std::size_t>> chunks(m);
+  for (auto& idx : ShuffledClassIndices(data, rng)) {
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      chunks[i % m].push_back(idx[i]);
+    }
+  }
+  std::vector<Dataset> out;
+  out.reserve(m);
+  std::vector<std::size_t> cumulative;
+  for (std::size_t c = 0; c < m; ++c) {
+    cumulative.insert(cumulative.end(), chunks[c].begin(), chunks[c].end());
+    out.push_back(data.Subset(cumulative));
+  }
+  return out;
+}
+
+}  // namespace adarts::ml

@@ -1,0 +1,56 @@
+#ifndef ADARTS_ML_DATASET_H_
+#define ADARTS_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "la/vector_ops.h"
+
+namespace adarts::ml {
+
+/// A labeled classification dataset: one feature vector and one integer
+/// class label per sample. Labels are dense in [0, num_classes).
+struct Dataset {
+  std::vector<la::Vector> features;
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  std::size_t size() const { return features.size(); }
+  bool empty() const { return features.empty(); }
+  std::size_t dim() const { return features.empty() ? 0 : features[0].size(); }
+
+  /// Subset by sample indices.
+  Dataset Subset(const std::vector<std::size_t>& indices) const;
+
+  /// Validates shape consistency and label range.
+  Status Validate() const;
+
+  /// Per-class sample counts.
+  std::vector<std::size_t> ClassCounts() const;
+};
+
+/// Stratified train/test split: each class contributes `train_fraction` of
+/// its samples to the train side (paper uses 65/35).
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+Result<TrainTestSplit> StratifiedSplit(const Dataset& data,
+                                       double train_fraction, Rng* rng);
+
+/// Stratified k-fold indices: fold f's test indices preserve the class
+/// distribution of the full dataset (Algorithm 1, line 5).
+Result<std::vector<std::vector<std::size_t>>> StratifiedKFoldIndices(
+    const Dataset& data, std::size_t k, Rng* rng);
+
+/// Splits the dataset into `m` stratified, *cumulative* partial training
+/// sets S_1 c S_2 c ... c S_m = data, the growing subsets consumed by
+/// ModelRace's outer loop.
+Result<std::vector<Dataset>> GrowingPartialSets(const Dataset& data,
+                                                std::size_t m, Rng* rng);
+
+}  // namespace adarts::ml
+
+#endif  // ADARTS_ML_DATASET_H_

@@ -1,0 +1,181 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace adarts::ml {
+
+Result<ClassificationReport> ComputeClassificationReport(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred,
+    int num_classes) {
+  if (y_true.size() != y_pred.size() || y_true.empty()) {
+    return Status::InvalidArgument("label vectors must match and be non-empty");
+  }
+  const auto nc = static_cast<std::size_t>(num_classes);
+  std::vector<std::size_t> tp(nc, 0), fp(nc, 0), fn(nc, 0), support(nc, 0);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const int t = y_true[i];
+    const int p = y_pred[i];
+    if (t < 0 || t >= num_classes || p < 0 || p >= num_classes) {
+      return Status::OutOfRange("label outside [0, num_classes)");
+    }
+    ++support[static_cast<std::size_t>(t)];
+    if (t == p) {
+      ++tp[static_cast<std::size_t>(t)];
+      ++correct;
+    } else {
+      ++fp[static_cast<std::size_t>(p)];
+      ++fn[static_cast<std::size_t>(t)];
+    }
+  }
+
+  ClassificationReport report;
+  report.accuracy =
+      static_cast<double>(correct) / static_cast<double>(y_true.size());
+  const double total = static_cast<double>(y_true.size());
+  for (std::size_t c = 0; c < nc; ++c) {
+    if (support[c] == 0) continue;
+    const double w = static_cast<double>(support[c]) / total;
+    const double denom_p = static_cast<double>(tp[c] + fp[c]);
+    const double denom_r = static_cast<double>(tp[c] + fn[c]);
+    const double prec = denom_p > 0.0 ? static_cast<double>(tp[c]) / denom_p
+                                      : 0.0;
+    const double rec = denom_r > 0.0 ? static_cast<double>(tp[c]) / denom_r
+                                     : 0.0;
+    const double f1 =
+        (prec + rec) > 0.0 ? 2.0 * prec * rec / (prec + rec) : 0.0;
+    report.precision += w * prec;
+    report.recall += w * rec;
+    report.f1 += w * f1;
+  }
+  return report;
+}
+
+namespace {
+
+/// Rank (1-based) of `true_class` when classes are sorted by descending
+/// probability (stable tie-break by class index).
+std::size_t RankOfTrueClass(const la::Vector& proba, int true_class) {
+  const double p_true = proba[static_cast<std::size_t>(true_class)];
+  std::size_t rank = 1;
+  for (std::size_t c = 0; c < proba.size(); ++c) {
+    if (static_cast<int>(c) == true_class) continue;
+    if (proba[c] > p_true ||
+        (proba[c] == p_true && static_cast<int>(c) < true_class)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+}  // namespace
+
+Result<double> RecallAtK(const std::vector<int>& y_true,
+                         const std::vector<la::Vector>& probas,
+                         std::size_t k) {
+  if (y_true.size() != probas.size() || y_true.empty()) {
+    return Status::InvalidArgument("labels/probabilities size mismatch");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (RankOfTrueClass(probas[i], y_true[i]) <= k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(y_true.size());
+}
+
+Result<double> MeanReciprocalRank(const std::vector<int>& y_true,
+                                  const std::vector<la::Vector>& probas) {
+  if (y_true.size() != probas.size() || y_true.empty()) {
+    return Status::InvalidArgument("labels/probabilities size mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    s += 1.0 / static_cast<double>(RankOfTrueClass(probas[i], y_true[i]));
+  }
+  return s / static_cast<double>(y_true.size());
+}
+
+namespace {
+
+/// Regularised incomplete beta function I_x(a, b) via the continued-fraction
+/// expansion (Numerical Recipes style), used for the Student-t CDF.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front =
+      std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+/// Two-sided p-value of Student's t with `df` degrees of freedom.
+double StudentTTwoSidedP(double t, double df) {
+  const double x = df / (df + t * t);
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+}  // namespace
+
+double WelchTTestPValue(const la::Vector& a, const la::Vector& b) {
+  if (a.size() < 2 || b.size() < 2) return 1.0;
+  const double ma = la::Mean(a);
+  const double mb = la::Mean(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  // Unbiased variances.
+  double va = 0.0, vb = 0.0;
+  for (double x : a) va += (x - ma) * (x - ma);
+  for (double x : b) vb += (x - mb) * (x - mb);
+  va /= (na - 1.0);
+  vb /= (nb - 1.0);
+  const double se2 = va / na + vb / nb;
+  if (se2 <= 0.0) return ma == mb ? 1.0 : 0.0;
+  const double t = (ma - mb) / std::sqrt(se2);
+  // Welch-Satterthwaite degrees of freedom.
+  const double num = se2 * se2;
+  const double den = (va / na) * (va / na) / (na - 1.0) +
+                     (vb / nb) * (vb / nb) / (nb - 1.0);
+  const double df = den > 0.0 ? num / den : na + nb - 2.0;
+  return StudentTTwoSidedP(t, df);
+}
+
+}  // namespace adarts::ml

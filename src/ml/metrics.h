@@ -1,0 +1,43 @@
+#ifndef ADARTS_ML_METRICS_H_
+#define ADARTS_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "la/vector_ops.h"
+
+namespace adarts::ml {
+
+/// Weighted classification metrics (weighted by class support, as the paper
+/// uses to account for label imbalance).
+struct ClassificationReport {
+  double accuracy = 0.0;
+  double precision = 0.0;  ///< weighted average over classes
+  double recall = 0.0;     ///< weighted average over classes
+  double f1 = 0.0;         ///< weighted average over classes
+};
+
+/// Computes the weighted report from true and predicted labels.
+Result<ClassificationReport> ComputeClassificationReport(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred,
+    int num_classes);
+
+/// Recall@k: fraction of samples whose true class is among the k classes
+/// with the highest predicted probability. `probas[i]` has one probability
+/// per class.
+Result<double> RecallAtK(const std::vector<int>& y_true,
+                         const std::vector<la::Vector>& probas, std::size_t k);
+
+/// Mean reciprocal rank of the true class in the probability ranking.
+Result<double> MeanReciprocalRank(const std::vector<int>& y_true,
+                                  const std::vector<la::Vector>& probas);
+
+/// Two-sample Welch t-test p-value (two-sided) for "do these score samples
+/// come from distributions with equal means?" — the pruning test of
+/// Algorithm 1, line 13. Returns 1.0 when either sample is degenerate.
+double WelchTTestPValue(const la::Vector& a, const la::Vector& b);
+
+}  // namespace adarts::ml
+
+#endif  // ADARTS_ML_METRICS_H_

@@ -1,0 +1,234 @@
+#include "ml/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/matrix.h"
+#include "la/pca.h"
+
+namespace adarts::ml {
+
+std::string_view ScalerKindToString(ScalerKind kind) {
+  switch (kind) {
+    case ScalerKind::kIdentity:
+      return "identity";
+    case ScalerKind::kStandard:
+      return "standard";
+    case ScalerKind::kMinMax:
+      return "minmax";
+    case ScalerKind::kRobust:
+      return "robust";
+    case ScalerKind::kL2Norm:
+      return "l2norm";
+    case ScalerKind::kPca:
+      return "pca";
+  }
+  return "unknown";
+}
+
+std::vector<ScalerKind> AllScalerKinds() {
+  std::vector<ScalerKind> out;
+  for (int i = 0; i < kNumScalerKinds; ++i) {
+    out.push_back(static_cast<ScalerKind>(i));
+  }
+  return out;
+}
+
+std::vector<la::Vector> Scaler::TransformBatch(
+    const std::vector<la::Vector>& x) const {
+  std::vector<la::Vector> out;
+  out.reserve(x.size());
+  for (const auto& v : x) out.push_back(Transform(v));
+  return out;
+}
+
+namespace {
+
+Status CheckNonEmpty(const std::vector<la::Vector>& x) {
+  if (x.empty() || x[0].empty()) {
+    return Status::InvalidArgument("scaler fit on empty data");
+  }
+  return Status::OK();
+}
+
+class IdentityScaler final : public Scaler {
+ public:
+  std::string_view name() const override { return "identity"; }
+  Status Fit(const std::vector<la::Vector>& x) override {
+    return CheckNonEmpty(x);
+  }
+  la::Vector Transform(const la::Vector& x) const override { return x; }
+};
+
+class StandardScaler final : public Scaler {
+ public:
+  std::string_view name() const override { return "standard"; }
+  Status Fit(const std::vector<la::Vector>& x) override {
+    ADARTS_RETURN_NOT_OK(CheckNonEmpty(x));
+    const std::size_t d = x[0].size();
+    mean_.assign(d, 0.0);
+    sd_.assign(d, 0.0);
+    for (const auto& v : x) {
+      for (std::size_t j = 0; j < d; ++j) mean_[j] += v[j];
+    }
+    for (double& m : mean_) m /= static_cast<double>(x.size());
+    for (const auto& v : x) {
+      for (std::size_t j = 0; j < d; ++j) {
+        sd_[j] += (v[j] - mean_[j]) * (v[j] - mean_[j]);
+      }
+    }
+    for (double& s : sd_) {
+      s = std::sqrt(s / static_cast<double>(x.size()));
+      if (s <= 1e-12) s = 1.0;
+    }
+    return Status::OK();
+  }
+  la::Vector Transform(const la::Vector& x) const override {
+    la::Vector out(x.size());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      out[j] = (x[j] - mean_[j]) / sd_[j];
+    }
+    return out;
+  }
+
+ private:
+  la::Vector mean_, sd_;
+};
+
+class MinMaxScaler final : public Scaler {
+ public:
+  std::string_view name() const override { return "minmax"; }
+  Status Fit(const std::vector<la::Vector>& x) override {
+    ADARTS_RETURN_NOT_OK(CheckNonEmpty(x));
+    const std::size_t d = x[0].size();
+    lo_.assign(d, 1e300);
+    span_.assign(d, 0.0);
+    la::Vector hi(d, -1e300);
+    for (const auto& v : x) {
+      for (std::size_t j = 0; j < d; ++j) {
+        lo_[j] = std::min(lo_[j], v[j]);
+        hi[j] = std::max(hi[j], v[j]);
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      span_[j] = hi[j] - lo_[j];
+      if (span_[j] <= 1e-12) span_[j] = 1.0;
+    }
+    return Status::OK();
+  }
+  la::Vector Transform(const la::Vector& x) const override {
+    la::Vector out(x.size());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      out[j] = (x[j] - lo_[j]) / span_[j];
+    }
+    return out;
+  }
+
+ private:
+  la::Vector lo_, span_;
+};
+
+class RobustScaler final : public Scaler {
+ public:
+  std::string_view name() const override { return "robust"; }
+  Status Fit(const std::vector<la::Vector>& x) override {
+    ADARTS_RETURN_NOT_OK(CheckNonEmpty(x));
+    const std::size_t d = x[0].size();
+    median_.assign(d, 0.0);
+    iqr_.assign(d, 1.0);
+    la::Vector col(x.size());
+    for (std::size_t j = 0; j < d; ++j) {
+      for (std::size_t i = 0; i < x.size(); ++i) col[i] = x[i][j];
+      std::sort(col.begin(), col.end());
+      const auto q = [&](double frac) {
+        const double pos = frac * static_cast<double>(col.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, col.size() - 1);
+        const double t = pos - static_cast<double>(lo);
+        return col[lo] * (1.0 - t) + col[hi] * t;
+      };
+      median_[j] = q(0.5);
+      iqr_[j] = q(0.75) - q(0.25);
+      if (iqr_[j] <= 1e-12) iqr_[j] = 1.0;
+    }
+    return Status::OK();
+  }
+  la::Vector Transform(const la::Vector& x) const override {
+    la::Vector out(x.size());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      out[j] = (x[j] - median_[j]) / iqr_[j];
+    }
+    return out;
+  }
+
+ private:
+  la::Vector median_, iqr_;
+};
+
+class L2NormScaler final : public Scaler {
+ public:
+  std::string_view name() const override { return "l2norm"; }
+  Status Fit(const std::vector<la::Vector>& x) override {
+    return CheckNonEmpty(x);
+  }
+  la::Vector Transform(const la::Vector& x) const override {
+    const double n = la::Norm2(x);
+    if (n <= 1e-12) return x;
+    la::Vector out(x.size());
+    for (std::size_t j = 0; j < x.size(); ++j) out[j] = x[j] / n;
+    return out;
+  }
+};
+
+class PcaScaler final : public Scaler {
+ public:
+  explicit PcaScaler(double keep_fraction)
+      : keep_fraction_(std::clamp(keep_fraction, 0.05, 1.0)) {}
+  std::string_view name() const override { return "pca"; }
+  Status Fit(const std::vector<la::Vector>& x) override {
+    ADARTS_RETURN_NOT_OK(CheckNonEmpty(x));
+    ADARTS_RETURN_NOT_OK(standard_.Fit(x));
+    const std::vector<la::Vector> z = standard_.TransformBatch(x);
+    const std::size_t d = z[0].size();
+    const auto k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(keep_fraction_ * static_cast<double>(d)));
+    la::Matrix m(z.size(), d);
+    for (std::size_t i = 0; i < z.size(); ++i) m.SetRow(i, z[i]);
+    return pca_.Fit(m, k);
+  }
+  la::Vector Transform(const la::Vector& x) const override {
+    const la::Vector z = standard_.Transform(x);
+    la::Matrix m(1, z.size());
+    m.SetRow(0, z);
+    auto projected = pca_.Transform(m);
+    if (!projected.ok()) return z;
+    return projected->Row(0);
+  }
+
+ private:
+  double keep_fraction_;
+  StandardScaler standard_;
+  la::Pca pca_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scaler> CreateScaler(ScalerKind kind, double param) {
+  switch (kind) {
+    case ScalerKind::kIdentity:
+      return std::make_unique<IdentityScaler>();
+    case ScalerKind::kStandard:
+      return std::make_unique<StandardScaler>();
+    case ScalerKind::kMinMax:
+      return std::make_unique<MinMaxScaler>();
+    case ScalerKind::kRobust:
+      return std::make_unique<RobustScaler>();
+    case ScalerKind::kL2Norm:
+      return std::make_unique<L2NormScaler>();
+    case ScalerKind::kPca:
+      return std::make_unique<PcaScaler>(param);
+  }
+  return nullptr;
+}
+
+}  // namespace adarts::ml

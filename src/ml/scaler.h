@@ -1,0 +1,50 @@
+#ifndef ADARTS_ML_SCALER_H_
+#define ADARTS_ML_SCALER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "la/vector_ops.h"
+
+namespace adarts::ml {
+
+/// Feature-scaler families in ModelRace's pipeline search space. The paper's
+/// pipelines are <classifier, hyperparameters, scaler>; scalers normalise
+/// heterogeneous feature dimensions so distances are meaningful.
+enum class ScalerKind {
+  kIdentity = 0,  ///< pass-through
+  kStandard,      ///< z-score per feature
+  kMinMax,        ///< [0, 1] per feature
+  kRobust,        ///< median / IQR per feature
+  kL2Norm,        ///< unit L2 norm per sample
+  kPca,           ///< standardise then project onto principal axes
+};
+
+inline constexpr int kNumScalerKinds = 6;
+
+std::string_view ScalerKindToString(ScalerKind kind);
+std::vector<ScalerKind> AllScalerKinds();
+
+/// A fitted feature transformation. Fit learns statistics on training data;
+/// Transform applies them to any vector of the same dimensionality.
+class Scaler {
+ public:
+  virtual ~Scaler() = default;
+  virtual std::string_view name() const = 0;
+  virtual Status Fit(const std::vector<la::Vector>& x) = 0;
+  virtual la::Vector Transform(const la::Vector& x) const = 0;
+
+  /// Applies Transform to every sample.
+  std::vector<la::Vector> TransformBatch(
+      const std::vector<la::Vector>& x) const;
+};
+
+/// Instantiates a scaler. `param` configures the family where applicable
+/// (for kPca it is the fraction of dimensions to keep, in (0, 1]).
+std::unique_ptr<Scaler> CreateScaler(ScalerKind kind, double param = 0.5);
+
+}  // namespace adarts::ml
+
+#endif  // ADARTS_ML_SCALER_H_

@@ -1,0 +1,48 @@
+#include "tda/diagram_stats.h"
+
+#include <cmath>
+
+namespace adarts::tda {
+
+DiagramStats ComputeDiagramStats(const PersistenceDiagram& diagram, int dim) {
+  DiagramStats stats;
+  la::Vector lifetimes;
+  la::Vector births;
+  la::Vector deaths;
+  for (const auto& p : diagram.pairs) {
+    if (p.dimension != dim) continue;
+    lifetimes.push_back(p.Lifetime());
+    births.push_back(p.birth);
+    deaths.push_back(p.death);
+  }
+  if (lifetimes.empty()) return stats;
+
+  stats.count = static_cast<double>(lifetimes.size());
+  for (double l : lifetimes) {
+    stats.total_persistence += l;
+    stats.max_persistence = std::max(stats.max_persistence, l);
+  }
+  stats.mean_persistence = la::Mean(lifetimes);
+  stats.persistence_std = la::StdDev(lifetimes);
+  stats.mean_birth = la::Mean(births);
+  stats.mean_death = la::Mean(deaths);
+
+  if (stats.total_persistence > 0.0 && lifetimes.size() > 1) {
+    double h = 0.0;
+    for (double l : lifetimes) {
+      const double p = l / stats.total_persistence;
+      if (p > 0.0) h -= p * std::log(p);
+    }
+    stats.persistence_entropy =
+        h / std::log(static_cast<double>(lifetimes.size()));
+  }
+  return stats;
+}
+
+la::Vector DiagramStatsToVector(const DiagramStats& s) {
+  return {s.count,        s.total_persistence, s.max_persistence,
+          s.mean_persistence, s.persistence_std,   s.persistence_entropy,
+          s.mean_birth,   s.mean_death};
+}
+
+}  // namespace adarts::tda

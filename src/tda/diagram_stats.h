@@ -1,0 +1,31 @@
+#ifndef ADARTS_TDA_DIAGRAM_STATS_H_
+#define ADARTS_TDA_DIAGRAM_STATS_H_
+
+#include "la/vector_ops.h"
+#include "tda/persistence.h"
+
+namespace adarts::tda {
+
+/// Summary statistics of one homology dimension of a persistence diagram.
+/// These distribution summaries are the topological features the paper feeds
+/// to the classifiers (Section V-B).
+struct DiagramStats {
+  double count = 0.0;            ///< number of finite pairs
+  double total_persistence = 0.0;  ///< sum of lifetimes
+  double max_persistence = 0.0;    ///< longest-lived pattern
+  double mean_persistence = 0.0;
+  double persistence_std = 0.0;
+  double persistence_entropy = 0.0;  ///< normalised entropy of lifetimes
+  double mean_birth = 0.0;
+  double mean_death = 0.0;
+};
+
+/// Computes summary statistics for the pairs of `dim` in `diagram`.
+DiagramStats ComputeDiagramStats(const PersistenceDiagram& diagram, int dim);
+
+/// Flattens stats into a feature sub-vector (fixed order, 8 entries).
+la::Vector DiagramStatsToVector(const DiagramStats& stats);
+
+}  // namespace adarts::tda
+
+#endif  // ADARTS_TDA_DIAGRAM_STATS_H_

@@ -1,0 +1,62 @@
+#include "ts/acf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace adarts::ts {
+
+la::Vector Acf(const la::Vector& signal, std::size_t max_lag) {
+  const std::size_t n = signal.size();
+  la::Vector acf(max_lag + 1, 0.0);
+  if (n == 0) return acf;
+  acf[0] = 1.0;
+  const double mean = la::Mean(signal);
+  double denom = 0.0;
+  for (double v : signal) denom += (v - mean) * (v - mean);
+  if (denom <= 0.0) return acf;
+  for (std::size_t lag = 1; lag <= max_lag && lag < n; ++lag) {
+    double num = 0.0;
+    for (std::size_t t = lag; t < n; ++t) {
+      num += (signal[t] - mean) * (signal[t - lag] - mean);
+    }
+    acf[lag] = num / denom;
+  }
+  return acf;
+}
+
+la::Vector Pacf(const la::Vector& signal, std::size_t max_lag) {
+  // Durbin-Levinson: phi[k][k] is the PACF at lag k.
+  const la::Vector rho = Acf(signal, max_lag);
+  la::Vector pacf(max_lag, 0.0);
+  if (max_lag == 0) return pacf;
+
+  la::Vector phi_prev(max_lag + 1, 0.0);
+  la::Vector phi_cur(max_lag + 1, 0.0);
+  double v = 1.0;
+
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double num = rho[k];
+    for (std::size_t j = 1; j < k; ++j) num -= phi_prev[j] * rho[k - j];
+    const double phi_kk = (v > 1e-12) ? num / v : 0.0;
+    phi_cur[k] = phi_kk;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi_cur[j] = phi_prev[j] - phi_kk * phi_prev[k - j];
+    }
+    v *= (1.0 - phi_kk * phi_kk);
+    pacf[k - 1] = phi_kk;
+    phi_prev = phi_cur;
+  }
+  return pacf;
+}
+
+std::size_t FirstAcfCrossing(const la::Vector& signal, std::size_t max_lag) {
+  const la::Vector acf = Acf(signal, max_lag);
+  const double threshold = 1.0 / std::numbers::e;
+  for (std::size_t lag = 1; lag < acf.size(); ++lag) {
+    if (acf[lag] < threshold) return lag;
+  }
+  return max_lag;
+}
+
+}  // namespace adarts::ts

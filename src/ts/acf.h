@@ -1,0 +1,24 @@
+#ifndef ADARTS_TS_ACF_H_
+#define ADARTS_TS_ACF_H_
+
+#include <cstddef>
+
+#include "la/vector_ops.h"
+
+namespace adarts::ts {
+
+/// Sample autocorrelation function for lags 0..max_lag (entry 0 is 1).
+/// Returns an all-zero tail for a constant signal.
+la::Vector Acf(const la::Vector& signal, std::size_t max_lag);
+
+/// Partial autocorrelation via the Durbin-Levinson recursion for lags
+/// 1..max_lag (entry 0 corresponds to lag 1).
+la::Vector Pacf(const la::Vector& signal, std::size_t max_lag);
+
+/// First lag (>= 1) at which the ACF drops below 1/e — a standard
+/// decorrelation-time feature.
+std::size_t FirstAcfCrossing(const la::Vector& signal, std::size_t max_lag);
+
+}  // namespace adarts::ts
+
+#endif  // ADARTS_TS_ACF_H_

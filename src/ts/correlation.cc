@@ -1,0 +1,122 @@
+#include "ts/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/check.h"
+#include "ts/fft.h"
+
+namespace adarts::ts {
+
+namespace {
+
+la::Vector ZNorm(const la::Vector& v) {
+  const double m = la::Mean(v);
+  double sd = la::StdDev(v);
+  if (sd <= 0.0) sd = 1.0;
+  la::Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = (v[i] - m) / sd;
+  return out;
+}
+
+}  // namespace
+
+double Pearson(const TimeSeries& a, const TimeSeries& b) {
+  const std::size_t n = std::min(a.length(), b.length());
+  la::Vector va(n), vb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    va[i] = a.value(i);
+    vb[i] = b.value(i);
+  }
+  return la::PearsonCorrelation(va, vb);
+}
+
+double NormalizedCrossCorrelation(const la::Vector& a, const la::Vector& b,
+                                  int lag) {
+  ADARTS_CHECK(!a.empty() && !b.empty());
+  const la::Vector za = ZNorm(a);
+  const la::Vector zb = ZNorm(b);
+  const auto n = static_cast<std::ptrdiff_t>(std::min(za.size(), zb.size()));
+  double s = 0.0;
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t j = i - lag;
+    if (j < 0 || j >= static_cast<std::ptrdiff_t>(zb.size())) continue;
+    s += za[static_cast<std::size_t>(i)] * zb[static_cast<std::size_t>(j)];
+  }
+  return s / static_cast<double>(n);
+}
+
+double MaxCrossCorrelation(const la::Vector& a, const la::Vector& b,
+                           int max_lag) {
+  double best = -2.0;
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    best = std::max(best, NormalizedCrossCorrelation(a, b, lag));
+  }
+  return best;
+}
+
+double ShapeBasedDistance(const la::Vector& a, const la::Vector& b) {
+  return 1.0 - BestAlignment(a, b).ncc;
+}
+
+la::Vector NccAllLags(const la::Vector& a, const la::Vector& b) {
+  ADARTS_CHECK(!a.empty() && !b.empty());
+  const la::Vector za = ZNorm(a);
+  const la::Vector zb = ZNorm(b);
+  const std::size_t n = std::max(za.size(), zb.size());
+  const std::size_t fft_size = NextPowerOfTwo(2 * n);
+
+  std::vector<std::complex<double>> fa(fft_size, {0.0, 0.0});
+  std::vector<std::complex<double>> fb(fft_size, {0.0, 0.0});
+  for (std::size_t i = 0; i < za.size(); ++i) fa[i] = {za[i], 0.0};
+  for (std::size_t i = 0; i < zb.size(); ++i) fb[i] = {zb[i], 0.0};
+  Fft(&fa);
+  Fft(&fb);
+  for (std::size_t i = 0; i < fft_size; ++i) fa[i] *= std::conj(fb[i]);
+  Fft(&fa, /*inverse=*/true);
+
+  // Cross-correlation CC(s) = sum_t za[t] * zb[t - s]; the inverse FFT is
+  // unscaled, so divide by fft_size. NCC_c normalises by the z-norm product.
+  const double norm = static_cast<double>(fft_size) *
+                      (std::sqrt(static_cast<double>(za.size())) *
+                       std::sqrt(static_cast<double>(zb.size())));
+  la::Vector out(2 * n - 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int s = static_cast<int>(i) - static_cast<int>(n - 1);
+    // Positive shifts live at index s, negative at fft_size + s (circular).
+    const std::size_t idx =
+        s >= 0 ? static_cast<std::size_t>(s)
+               : fft_size - static_cast<std::size_t>(-s);
+    out[i] = fa[idx].real() / norm;
+  }
+  return out;
+}
+
+SbdAlignment BestAlignment(const la::Vector& a, const la::Vector& b) {
+  const la::Vector ncc = NccAllLags(a, b);
+  const std::size_t n = std::max(a.size(), b.size());
+  SbdAlignment best;
+  for (std::size_t i = 0; i < ncc.size(); ++i) {
+    if (ncc[i] > best.ncc) {
+      best.ncc = ncc[i];
+      best.shift = static_cast<int>(i) - static_cast<int>(n - 1);
+    }
+  }
+  return best;
+}
+
+double AveragePairwiseCorrelation(const std::vector<TimeSeries>& series) {
+  if (series.size() < 2) return 1.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = i + 1; j < series.size(); ++j) {
+      sum += std::fabs(Pearson(series[i], series[j]));
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+}  // namespace adarts::ts

@@ -1,0 +1,52 @@
+#ifndef ADARTS_TS_CORRELATION_H_
+#define ADARTS_TS_CORRELATION_H_
+
+#include <cstddef>
+
+#include "la/vector_ops.h"
+#include "ts/time_series.h"
+
+namespace adarts::ts {
+
+/// Pearson correlation of two equal-length series (observed values assumed
+/// complete; masks are ignored). 0 when either side is constant.
+double Pearson(const TimeSeries& a, const TimeSeries& b);
+
+/// Normalised cross-correlation coefficient NCC_c at integer `lag`
+/// (positive lag shifts `b` right). Series are z-normalised internally, so
+/// the result lies in [-1, 1].
+double NormalizedCrossCorrelation(const la::Vector& a, const la::Vector& b,
+                                  int lag);
+
+/// Maximum normalised cross-correlation over lags in [-max_lag, max_lag],
+/// the "shifted" similarity that tolerates the time shifts present in the
+/// Power / Medical categories.
+double MaxCrossCorrelation(const la::Vector& a, const la::Vector& b,
+                           int max_lag);
+
+/// Shape-based distance used by k-shape: 1 - max_w NCC_c(a, b, w) over all
+/// alignments. Ranges in [0, 2].
+double ShapeBasedDistance(const la::Vector& a, const la::Vector& b);
+
+/// Coefficient-normalised cross-correlation NCC_c for every alignment,
+/// computed in O(n log n) via FFT. Inputs are z-normalised internally.
+/// Entry `i` corresponds to shift s = i - (n - 1), s in [-(n-1), n-1],
+/// where n = max(|a|, |b|). Values lie in [-1, 1].
+struct SbdAlignment {
+  double ncc = -1.0;  ///< best NCC_c over all shifts
+  int shift = 0;      ///< the maximising shift (b moved right by `shift`)
+};
+
+/// All-lags NCC_c sequence (FFT-based), used by k-shape.
+la::Vector NccAllLags(const la::Vector& a, const la::Vector& b);
+
+/// Best alignment of `b` against `a` under NCC_c.
+SbdAlignment BestAlignment(const la::Vector& a, const la::Vector& b);
+
+/// Average pairwise Pearson correlation (absolute value) across a set of
+/// series; 1.0 for singleton sets. This is the rho-bar of Algorithm 2.
+double AveragePairwiseCorrelation(const std::vector<TimeSeries>& series);
+
+}  // namespace adarts::ts
+
+#endif  // ADARTS_TS_CORRELATION_H_

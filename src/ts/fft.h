@@ -1,0 +1,36 @@
+#ifndef ADARTS_TS_FFT_H_
+#define ADARTS_TS_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace adarts::ts {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data` size must be a power
+/// of two. Set `inverse` for the (unscaled) inverse transform.
+void Fft(std::vector<std::complex<double>>* data, bool inverse = false);
+
+/// Next power of two >= n (n >= 1).
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// One-sided power spectrum of a real signal, zero-padded to a power of two.
+/// Entry k is |X_k|^2 / N for k in [0, N/2].
+la::Vector PowerSpectrum(const la::Vector& signal);
+
+/// Index of the dominant non-DC frequency bin in the power spectrum, or 0
+/// when the signal is flat. The corresponding period in samples is
+/// padded_length / bin.
+std::size_t DominantFrequencyBin(const la::Vector& signal);
+
+/// Estimated dominant period in samples (0 when aperiodic / flat).
+double EstimatePeriod(const la::Vector& signal);
+
+/// Spectral entropy of the one-sided spectrum, normalised to [0, 1].
+double SpectralEntropy(const la::Vector& signal);
+
+}  // namespace adarts::ts
+
+#endif  // ADARTS_TS_FFT_H_

@@ -1,0 +1,103 @@
+#include "ts/missing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adarts::ts {
+
+const char* MissingPatternToString(MissingPattern p) {
+  switch (p) {
+    case MissingPattern::kSingleBlock:
+      return "single_block";
+    case MissingPattern::kMultiBlock:
+      return "multi_block";
+    case MissingPattern::kBlackout:
+      return "blackout";
+    case MissingPattern::kTipOfSeries:
+      return "tip_of_series";
+  }
+  return "unknown";
+}
+
+Status InjectSingleBlock(std::size_t block_len, Rng* rng, TimeSeries* series) {
+  const std::size_t n = series->length();
+  if (block_len == 0) return Status::InvalidArgument("block_len == 0");
+  if (block_len + 1 >= n) {
+    return Status::InvalidArgument("block longer than series");
+  }
+  // Keep index 0 observed so every imputer has an anchor point.
+  const std::size_t start =
+      1 + static_cast<std::size_t>(rng->UniformInt(n - block_len - 1));
+  return InjectBlockAt(start, block_len, series);
+}
+
+Status InjectMultiBlock(std::size_t num_blocks, std::size_t block_len,
+                        Rng* rng, TimeSeries* series) {
+  const std::size_t n = series->length();
+  if (num_blocks == 0 || block_len == 0) {
+    return Status::InvalidArgument("empty multi-block spec");
+  }
+  // Each block consumes block_len positions plus one observed separator.
+  const std::size_t needed = num_blocks * (block_len + 1) + 1;
+  if (needed >= n) {
+    return Status::InvalidArgument("multi-block spec longer than series");
+  }
+  const std::size_t slack = n - needed;
+  std::size_t cursor = 1;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t jitter =
+        static_cast<std::size_t>(rng->UniformInt(slack / num_blocks + 1));
+    cursor += jitter;
+    ADARTS_RETURN_NOT_OK(InjectBlockAt(cursor, block_len, series));
+    cursor += block_len + 1;
+  }
+  return Status::OK();
+}
+
+Status InjectTipBlock(double fraction, TimeSeries* series) {
+  if (fraction <= 0.0 || fraction >= 1.0) {
+    return Status::InvalidArgument("tip fraction must be in (0, 1)");
+  }
+  const std::size_t n = series->length();
+  std::size_t len = static_cast<std::size_t>(
+      std::round(fraction * static_cast<double>(n)));
+  len = std::clamp<std::size_t>(len, 1, n - 2);
+  return InjectBlockAt(n - len, len, series);
+}
+
+Status InjectBlockAt(std::size_t start, std::size_t len, TimeSeries* series) {
+  if (start + len > series->length()) {
+    return Status::OutOfRange("missing block exceeds series bounds");
+  }
+  for (std::size_t i = start; i < start + len; ++i) {
+    series->SetMissing(i, true);
+  }
+  return Status::OK();
+}
+
+Status InjectPattern(MissingPattern pattern, double fraction, Rng* rng,
+                     TimeSeries* series) {
+  const std::size_t n = series->length();
+  if (n < 10) return Status::InvalidArgument("series too short");
+  const auto frac_len = [&](double f) {
+    auto len = static_cast<std::size_t>(
+        std::round(f * static_cast<double>(n)));
+    return std::clamp<std::size_t>(len, 1, n / 2);
+  };
+  switch (pattern) {
+    case MissingPattern::kSingleBlock:
+      return InjectSingleBlock(frac_len(fraction), rng, series);
+    case MissingPattern::kMultiBlock:
+      return InjectMultiBlock(3, std::max<std::size_t>(frac_len(fraction) / 3, 1),
+                              rng, series);
+    case MissingPattern::kBlackout:
+      // For a single series a blackout degenerates to a centred block.
+      return InjectBlockAt(n / 2 - frac_len(fraction) / 2, frac_len(fraction),
+                           series);
+    case MissingPattern::kTipOfSeries:
+      return InjectTipBlock(fraction, series);
+  }
+  return Status::InvalidArgument("unknown pattern");
+}
+
+}  // namespace adarts::ts

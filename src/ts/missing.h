@@ -1,0 +1,48 @@
+#ifndef ADARTS_TS_MISSING_H_
+#define ADARTS_TS_MISSING_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace adarts::ts {
+
+/// Missing-block shapes considered by the labeling bench, following the
+/// ImputeBench scenario taxonomy referenced by the paper.
+enum class MissingPattern {
+  kSingleBlock,   ///< one contiguous block at a random offset
+  kMultiBlock,    ///< several disjoint blocks
+  kBlackout,      ///< one block in every series of a set, aligned
+  kTipOfSeries,   ///< block at the very end (downstream forecasting setup)
+};
+
+const char* MissingPatternToString(MissingPattern p);
+
+/// Marks one contiguous block of `block_len` positions missing, starting at
+/// a random offset that keeps the block fully inside the series and leaves
+/// the first observation intact.
+Status InjectSingleBlock(std::size_t block_len, Rng* rng, TimeSeries* series);
+
+/// Marks `num_blocks` disjoint blocks of `block_len` missing. Blocks are
+/// placed left-to-right with at least one observed value between them.
+Status InjectMultiBlock(std::size_t num_blocks, std::size_t block_len,
+                        Rng* rng, TimeSeries* series);
+
+/// Marks the final `fraction` of the series missing (tip block), as used in
+/// the downstream forecasting experiment (Fig. 12).
+Status InjectTipBlock(double fraction, TimeSeries* series);
+
+/// Marks a block missing at an explicit [start, start+len) range.
+Status InjectBlockAt(std::size_t start, std::size_t len, TimeSeries* series);
+
+/// Convenience: injects a pattern chosen by enum with a size expressed as a
+/// fraction of the series length (multi-block uses three blocks of
+/// fraction/3 each).
+Status InjectPattern(MissingPattern pattern, double fraction, Rng* rng,
+                     TimeSeries* series);
+
+}  // namespace adarts::ts
+
+#endif  // ADARTS_TS_MISSING_H_

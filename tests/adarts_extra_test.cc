@@ -1,0 +1,182 @@
+// Additional coverage of the facade and race options: exhaustive-labeling
+// training path, race option edge cases, committee quality gate, and the
+// feature extractor's configurable embedding.
+
+#include <gtest/gtest.h>
+
+#include "adarts/adarts.h"
+#include "automl/model_race.h"
+#include "automl/synthesizer.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "tests/test_util.h"
+#include "ts/missing.h"
+
+namespace adarts {
+namespace {
+
+using ::adarts::testing::MakeBlobs;
+
+std::vector<ts::TimeSeries> TinyCorpus(std::size_t per_category = 10) {
+  data::GeneratorOptions gopts;
+  gopts.num_series = per_category;
+  gopts.length = 144;
+  std::vector<ts::TimeSeries> corpus;
+  for (data::Category c : {data::Category::kClimate, data::Category::kMotion}) {
+    for (auto& s : data::GenerateCategory(c, gopts)) {
+      corpus.push_back(std::move(s));
+    }
+  }
+  return corpus;
+}
+
+TrainOptions TinyTrainOptions() {
+  TrainOptions opts;
+  opts.labeling.algorithms = {impute::Algorithm::kCdRec,
+                              impute::Algorithm::kTkcm,
+                              impute::Algorithm::kLinearInterp};
+  opts.race.num_seed_pipelines = 12;
+  opts.race.num_partial_sets = 2;
+  opts.race.num_folds = 2;
+  opts.features.landmarks = 12;
+  return opts;
+}
+
+TEST(AdartsTrainPathsTest, ExhaustiveLabelingPathWorks) {
+  TrainOptions opts = TinyTrainOptions();
+  opts.use_cluster_labeling = false;  // LabelSeriesFull path
+  auto engine = Adarts::Train(TinyCorpus(), opts);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_GE(engine->committee_size(), 1u);
+  EXPECT_EQ(engine->training_data().size(), TinyCorpus().size());
+}
+
+TEST(AdartsTrainPathsTest, TrainingDataRetainedAndValid) {
+  auto engine = Adarts::Train(TinyCorpus(), TinyTrainOptions());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine->training_data().Validate().ok());
+  EXPECT_EQ(engine->training_data().dim(),
+            engine->feature_extractor().NumFeatures());
+}
+
+TEST(AdartsTrainPathsTest, CustomFeatureOptionsPropagate) {
+  TrainOptions opts = TinyTrainOptions();
+  opts.features.topological = false;
+  auto engine = Adarts::Train(TinyCorpus(), opts);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->feature_extractor().options().topological);
+  // A recommendation still works with the reduced schema.
+  data::GeneratorOptions gopts;
+  gopts.num_series = 1;
+  gopts.length = 144;
+  gopts.seed = 5;
+  ts::TimeSeries faulty =
+      data::GenerateCategory(data::Category::kClimate, gopts)[0];
+  Rng rng(3);
+  ASSERT_TRUE(ts::InjectSingleBlock(12, &rng, &faulty).ok());
+  EXPECT_TRUE(engine->Recommend(faulty).ok());
+}
+
+TEST(ModelRaceOptionsTest, MaxSurvivorsCapIsRespected) {
+  const ml::Dataset train = MakeBlobs(3, 40, 4, 51);
+  const ml::Dataset test = MakeBlobs(3, 15, 4, 52);
+  automl::ModelRaceOptions opts;
+  opts.num_seed_pipelines = 24;
+  opts.max_survivors = 3;
+  // Keep everything alive except the cap: huge margin, no t-test prunes.
+  opts.early_termination_margin = 1e9;
+  opts.ttest_worse_pvalue = 0.0;
+  opts.ttest_similarity_pvalue = 1.1;
+  auto report = automl::RunModelRace(train, test, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->elites.size(), 3u);
+}
+
+TEST(ModelRaceOptionsTest, TinyEarlyTerminationMarginPrunesAggressively) {
+  const ml::Dataset train = MakeBlobs(3, 40, 4, 53);
+  const ml::Dataset test = MakeBlobs(3, 15, 4, 54);
+  automl::ModelRaceOptions loose;
+  loose.num_seed_pipelines = 20;
+  loose.early_termination_margin = 1e9;
+  automl::ModelRaceOptions tight = loose;
+  tight.early_termination_margin = 0.02;
+  auto loose_report = automl::RunModelRace(train, test, loose);
+  auto tight_report = automl::RunModelRace(train, test, tight);
+  ASSERT_TRUE(loose_report.ok());
+  ASSERT_TRUE(tight_report.ok());
+  EXPECT_GT(tight_report->pipelines_pruned_early,
+            loose_report->pipelines_pruned_early);
+  EXPECT_LT(tight_report->pipelines_evaluated,
+            loose_report->pipelines_evaluated);
+}
+
+TEST(ModelRaceOptionsTest, ScoreCoefficientsAllZeroTimeStillRuns) {
+  const ml::Dataset train = MakeBlobs(2, 30, 3, 55);
+  automl::ModelRaceOptions opts;
+  opts.num_seed_pipelines = 12;
+  opts.num_partial_sets = 2;
+  opts.gamma = 0.0;  // pure-effectiveness scoring
+  auto report = automl::RunModelRace(train, train, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->elites.empty());
+}
+
+TEST(CommitteeGateTest, GateDropsTrailingElites) {
+  // Construct a report whose second elite trails the first by more than the
+  // 0.1 gate: the committee must contain only the leader.
+  const ml::Dataset train = MakeBlobs(2, 25, 3, 56);
+  automl::Synthesizer synth(57);
+  automl::ModelRaceReport report;
+  automl::RacedPipeline strong;
+  strong.spec = synth.SeedPipelines(1)[0];
+  strong.mean_score = 0.9;
+  automl::RacedPipeline weak;
+  weak.spec = synth.SeedPipelines(2)[1];
+  weak.mean_score = 0.3;
+  report.elites = {strong, weak};
+  auto rec = automl::VotingRecommender::FromRace(report, train);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->committee_size(), 1u);
+}
+
+TEST(CommitteeGateTest, CloseElitesAllVote) {
+  const ml::Dataset train = MakeBlobs(2, 25, 3, 58);
+  automl::Synthesizer synth(59);
+  automl::ModelRaceReport report;
+  const auto seeds = synth.SeedPipelines(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    automl::RacedPipeline rp;
+    rp.spec = seeds[i];
+    rp.mean_score = 0.8 - 0.03 * static_cast<double>(i);  // within the gate
+    report.elites.push_back(std::move(rp));
+  }
+  auto rec = automl::VotingRecommender::FromRace(report, train);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->committee_size(), 3u);
+}
+
+TEST(RepairSetTest, MixedCompleteAndFaultySeries) {
+  auto engine = Adarts::Train(TinyCorpus(), TinyTrainOptions());
+  ASSERT_TRUE(engine.ok());
+  data::GeneratorOptions gopts;
+  gopts.num_series = 4;
+  gopts.length = 144;
+  gopts.seed = 61;
+  auto set = data::GenerateCategory(data::Category::kClimate, gopts);
+  Rng rng(7);
+  // Only half of the set is faulty.
+  ASSERT_TRUE(ts::InjectSingleBlock(10, &rng, &set[0]).ok());
+  ASSERT_TRUE(ts::InjectSingleBlock(10, &rng, &set[2]).ok());
+  auto repaired = engine->RepairSet(set);
+  ASSERT_TRUE(repaired.ok());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_FALSE((*repaired)[i].HasMissing());
+    // Complete series pass through untouched.
+    if (!set[i].HasMissing()) {
+      EXPECT_EQ((*repaired)[i].values(), set[i].values());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adarts

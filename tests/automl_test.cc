@@ -1,0 +1,216 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "automl/model_race.h"
+#include "automl/pipeline.h"
+#include "automl/recommender.h"
+#include "automl/synthesizer.h"
+#include "tests/test_util.h"
+
+namespace adarts::automl {
+namespace {
+
+using ::adarts::testing::MakeBlobs;
+
+TEST(PipelineTest, ToStringDescribesComponents) {
+  Pipeline p;
+  p.classifier = ml::ClassifierKind::kKnn;
+  p.params = ml::ResolveParams(ml::ClassifierKind::kKnn, {});
+  p.scaler = ml::ScalerKind::kMinMax;
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("knn"), std::string::npos);
+  EXPECT_NE(s.find("minmax"), std::string::npos);
+  EXPECT_EQ(s.find("seed"), std::string::npos);  // seed hidden
+}
+
+TEST(PipelineTest, FitAndPredict) {
+  const ml::Dataset train = MakeBlobs(3, 20, 4);
+  Pipeline p;
+  p.classifier = ml::ClassifierKind::kDecisionTree;
+  p.params = ml::ResolveParams(p.classifier, {});
+  p.scaler = ml::ScalerKind::kStandard;
+  auto fitted = FitPipeline(p, train);
+  ASSERT_TRUE(fitted.ok());
+  const la::Vector probs = fitted->PredictProba(train.features[0]);
+  EXPECT_EQ(probs.size(), 3u);
+}
+
+TEST(SynthesizerTest, SeedsCoverEveryClassifierFamily) {
+  Synthesizer synth(1);
+  const auto seeds = synth.SeedPipelines(24);
+  EXPECT_EQ(seeds.size(), 24u);
+  std::set<ml::ClassifierKind> kinds;
+  for (const auto& p : seeds) kinds.insert(p.classifier);
+  EXPECT_EQ(kinds.size(), static_cast<std::size_t>(ml::kNumClassifierKinds));
+}
+
+TEST(SynthesizerTest, SeedsHaveUniqueIds) {
+  Synthesizer synth(2);
+  const auto seeds = synth.SeedPipelines(30);
+  std::set<std::uint64_t> ids;
+  for (const auto& p : seeds) ids.insert(p.id);
+  EXPECT_EQ(ids.size(), seeds.size());
+}
+
+TEST(SynthesizerTest, MutationChangesExactlyOneAspect) {
+  Synthesizer synth(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Pipeline parent = synth.RandomPipeline();
+    const Pipeline child = synth.Mutate(parent);
+    EXPECT_EQ(child.classifier, parent.classifier);  // family never changes
+    int diffs = 0;
+    for (const auto& [name, value] : parent.params) {
+      if (name == "seed") continue;
+      if (child.params.at(name) != value) ++diffs;
+    }
+    if (child.scaler != parent.scaler) ++diffs;
+    if (child.scaler == parent.scaler &&
+        child.scaler_param != parent.scaler_param) {
+      ++diffs;
+    }
+    EXPECT_EQ(diffs, 1) << "parent " << parent.ToString() << " child "
+                        << child.ToString();
+  }
+}
+
+TEST(SynthesizerTest, MutatedParamsStayInRange) {
+  Synthesizer synth(4);
+  Pipeline p = synth.RandomPipeline();
+  for (int i = 0; i < 100; ++i) {
+    p = synth.Mutate(p);
+    for (const auto& spec : ml::ParamSpecsFor(p.classifier)) {
+      const double v = p.params.at(spec.name);
+      EXPECT_GE(v, spec.min_value) << spec.name;
+      EXPECT_LE(v, spec.max_value) << spec.name;
+    }
+  }
+}
+
+TEST(SynthesizerTest, SynthesizePerParentCount) {
+  Synthesizer synth(5);
+  const auto parents = synth.SeedPipelines(12);
+  const auto children = synth.Synthesize(parents, 3);
+  EXPECT_EQ(children.size(), 36u);
+}
+
+TEST(SearchSpaceTest, MatchesPaperScale) {
+  // Section V-A quotes ~99'000 pipelines for 12 classifiers; our default
+  // grids land in the same order of magnitude (paper: 1650 * 60).
+  const std::size_t size = ApproximateSearchSpaceSize();
+  EXPECT_GT(size, 10'000u);
+}
+
+TEST(ModelRaceTest, ProducesElitesOnSeparableData) {
+  const ml::Dataset train = MakeBlobs(3, 40, 4, 21);
+  const ml::Dataset test = MakeBlobs(3, 15, 4, 22);
+  ModelRaceOptions opts;
+  opts.num_seed_pipelines = 12;
+  opts.num_partial_sets = 2;
+  opts.num_folds = 2;
+  auto report = RunModelRace(train, test, opts);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->elites.empty());
+  EXPECT_LE(report->elites.size(), opts.max_survivors);
+  // Elites sorted by mean score and performing sensibly on easy data.
+  for (std::size_t i = 1; i < report->elites.size(); ++i) {
+    EXPECT_GE(report->elites[i - 1].mean_score, report->elites[i].mean_score);
+  }
+  EXPECT_GT(report->elites[0].mean_f1, 0.7);
+  EXPECT_GT(report->pipelines_evaluated, 0u);
+}
+
+TEST(ModelRaceTest, PruningActuallyHappens) {
+  const ml::Dataset train = MakeBlobs(3, 40, 4, 23);
+  const ml::Dataset test = MakeBlobs(3, 15, 4, 24);
+  ModelRaceOptions opts;
+  opts.num_seed_pipelines = 16;
+  opts.num_partial_sets = 2;
+  opts.num_folds = 2;
+  auto report = RunModelRace(train, test, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->pipelines_pruned_early + report->pipelines_pruned_ttest,
+            0u);
+}
+
+TEST(ModelRaceTest, MultipleWinnersSurvive) {
+  // The signature property vs FLAML-style single-winner searches: when the
+  // data leaves genuine ambiguity between pipelines, more than one winner
+  // survives the t-test band. On a trivially separable problem all
+  // pipelines are statistically identical and collapsing to one is correct,
+  // so this uses overlapping blobs and checks across seeds.
+  Rng noise_rng(77);
+  ml::Dataset train = MakeBlobs(4, 30, 5, 25);
+  for (auto& f : train.features) {
+    for (double& v : f) v += noise_rng.Normal(0.0, 2.5);
+  }
+  const ml::Dataset test = MakeBlobs(4, 12, 5, 26);
+  std::size_t max_winners = 0;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    ModelRaceOptions opts;
+    opts.num_seed_pipelines = 16;
+    opts.num_partial_sets = 3;
+    opts.seed = seed;
+    auto report = RunModelRace(train, test, opts);
+    ASSERT_TRUE(report.ok());
+    max_winners = std::max(max_winners, report->elites.size());
+  }
+  EXPECT_GE(max_winners, 2u);
+}
+
+TEST(ModelRaceTest, RejectsBadOptions) {
+  const ml::Dataset d = MakeBlobs(2, 10, 2);
+  ModelRaceOptions opts;
+  opts.num_folds = 1;
+  EXPECT_FALSE(RunModelRace(d, d, opts).ok());
+}
+
+TEST(RecommenderTest, SoftVotingAveragesCommittee) {
+  const ml::Dataset train = MakeBlobs(3, 40, 4, 27);
+  const ml::Dataset test = MakeBlobs(3, 15, 4, 28);
+  ModelRaceOptions opts;
+  opts.num_seed_pipelines = 12;
+  opts.num_partial_sets = 2;
+  auto report = RunModelRace(train, test, opts);
+  ASSERT_TRUE(report.ok());
+  auto rec = VotingRecommender::FromRace(*report, train);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GE(rec->committee_size(), 1u);
+
+  const la::Vector probs = rec->PredictProba(test.features[0]);
+  EXPECT_EQ(probs.size(), 3u);
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+
+  // The committee should classify easy blobs well.
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (rec->Recommend(test.features[i]) == test.labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, static_cast<int>(test.size()) * 7 / 10);
+}
+
+TEST(RecommenderTest, RankingIsPermutationOrderedByProbability) {
+  const ml::Dataset train = MakeBlobs(4, 25, 3, 29);
+  ModelRaceOptions opts;
+  opts.num_seed_pipelines = 12;
+  opts.num_partial_sets = 2;
+  auto report = RunModelRace(train, train, opts);
+  ASSERT_TRUE(report.ok());
+  auto rec = VotingRecommender::FromRace(*report, train);
+  ASSERT_TRUE(rec.ok());
+  const auto ranking = rec->Ranking(train.features[0]);
+  EXPECT_EQ(ranking.size(), 4u);
+  std::set<int> unique(ranking.begin(), ranking.end());
+  EXPECT_EQ(unique.size(), 4u);
+  const la::Vector p = rec->PredictProba(train.features[0]);
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(p[static_cast<std::size_t>(ranking[i - 1])],
+              p[static_cast<std::size_t>(ranking[i])]);
+  }
+  EXPECT_EQ(ranking[0], rec->Recommend(train.features[0]));
+}
+
+}  // namespace
+}  // namespace adarts::automl

@@ -1,0 +1,196 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cluster/clustering.h"
+#include "cluster/incremental.h"
+#include "cluster/kshape.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace adarts::cluster {
+namespace {
+
+using ::adarts::testing::MakeSine;
+
+/// Two clearly distinct families: slow sines and fast sines with opposite
+/// phase structure.
+std::vector<ts::TimeSeries> TwoFamilies(std::size_t per_family,
+                                        std::size_t length = 96) {
+  std::vector<ts::TimeSeries> out;
+  for (std::size_t i = 0; i < per_family; ++i) {
+    out.push_back(MakeSine(length, 32.0, 0.05, 100 + i));
+  }
+  for (std::size_t i = 0; i < per_family; ++i) {
+    out.push_back(MakeSine(length, 7.0, 0.05, 200 + i));
+  }
+  return out;
+}
+
+TEST(ClusteringStructTest, AssignmentsInvertClusters) {
+  Clustering c;
+  c.clusters = {{0, 2}, {1, 3}};
+  const auto a = c.Assignments(4);
+  EXPECT_EQ(a, (std::vector<std::size_t>{0, 1, 0, 1}));
+}
+
+TEST(CorrelationMatrixTest, SymmetricUnitDiagonal) {
+  const auto series = TwoFamilies(3);
+  const la::Matrix corr = PairwiseCorrelationMatrix(series);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(corr(i, i), 1.0);
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      EXPECT_DOUBLE_EQ(corr(i, j), corr(j, i));
+    }
+  }
+}
+
+TEST(ClusterAvgCorrelationTest, SingletonIsOneAndCoherentClusterHigh) {
+  const auto series = TwoFamilies(4);
+  const la::Matrix corr = PairwiseCorrelationMatrix(series);
+  EXPECT_DOUBLE_EQ(ClusterAvgCorrelation({0}, corr), 1.0);
+  // Same-family cluster: high correlation. Mixed: lower.
+  const double same = ClusterAvgCorrelation({0, 1, 2, 3}, corr);
+  const double mixed = ClusterAvgCorrelation({0, 1, 4, 5}, corr);
+  EXPECT_GT(same, 0.8);
+  EXPECT_GT(same, mixed);
+}
+
+TEST(CorrelationGainTest, PrefersCoherentMerges) {
+  const auto series = TwoFamilies(4);
+  const la::Matrix corr = PairwiseCorrelationMatrix(series);
+  const double gain_same = CorrelationGain({0, 1}, {2, 3}, corr, series.size());
+  const double gain_mixed = CorrelationGain({0, 1}, {4, 5}, corr, series.size());
+  EXPECT_GT(gain_same, gain_mixed);
+}
+
+TEST(KShapeTest, SeparatesTwoFamilies) {
+  const auto series = TwoFamilies(6);
+  KShapeOptions opts;
+  opts.k = 2;
+  auto clustering = KShapeClustering(series, opts);
+  ASSERT_TRUE(clustering.ok());
+  ASSERT_EQ(clustering->NumClusters(), 2u);
+  // Each cluster should be family-pure.
+  for (const auto& cluster : clustering->clusters) {
+    std::size_t fam0 = 0;
+    for (std::size_t i : cluster) fam0 += i < 6 ? 1 : 0;
+    EXPECT_TRUE(fam0 == 0 || fam0 == cluster.size())
+        << "mixed cluster of size " << cluster.size();
+  }
+}
+
+TEST(KShapeTest, EverySeriesAssignedExactlyOnce) {
+  const auto series = TwoFamilies(5);
+  KShapeOptions opts;
+  opts.k = 3;
+  auto clustering = KShapeClustering(series, opts);
+  ASSERT_TRUE(clustering.ok());
+  std::set<std::size_t> seen;
+  for (const auto& cluster : clustering->clusters) {
+    for (std::size_t i : cluster) {
+      EXPECT_TRUE(seen.insert(i).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), series.size());
+}
+
+TEST(KShapeTest, RejectsEmptyInput) {
+  EXPECT_FALSE(KShapeClustering({}, {}).ok());
+}
+
+TEST(KShapeTest, ClampsKToSeriesCount) {
+  const std::vector<ts::TimeSeries> series = {MakeSine(64, 8.0),
+                                              MakeSine(64, 9.0)};
+  KShapeOptions opts;
+  opts.k = 10;
+  auto clustering = KShapeClustering(series, opts);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_LE(clustering->NumClusters(), 2u);
+}
+
+TEST(KShapeVariantsTest, GridSearchReturnsReasonableClusterCount) {
+  const auto series = TwoFamilies(5);
+  const la::Matrix corr = PairwiseCorrelationMatrix(series);
+  auto clustering = KShapeGridSearch(series, 6, corr);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_GE(clustering->NumClusters(), 2u);
+  EXPECT_LE(clustering->NumClusters(), 6u);
+}
+
+TEST(KShapeVariantsTest, IterativeSplitReachesThreshold) {
+  const auto series = TwoFamilies(5);
+  const la::Matrix corr = PairwiseCorrelationMatrix(series);
+  auto clustering = KShapeIterativeSplit(series, 0.7, corr);
+  ASSERT_TRUE(clustering.ok());
+  for (const auto& cluster : clustering->clusters) {
+    EXPECT_GE(ClusterAvgCorrelation(cluster, corr), 0.7)
+        << "cluster size " << cluster.size();
+  }
+}
+
+TEST(IncrementalClusteringTest, MeetsCorrelationFloor) {
+  const auto series = TwoFamilies(6);
+  IncrementalOptions opts;
+  opts.correlation_threshold = 0.75;
+  auto clustering = IncrementalClustering(series, opts);
+  ASSERT_TRUE(clustering.ok());
+  const la::Matrix corr = PairwiseCorrelationMatrix(series);
+  // Phase 1 guarantees the threshold; phase-2 merges may relax it down to
+  // the slack floor, never below.
+  const double floor = opts.merge_correlation_slack * opts.correlation_threshold;
+  for (const auto& cluster : clustering->clusters) {
+    if (cluster.size() < 2) continue;
+    EXPECT_GE(ClusterAvgCorrelation(cluster, corr), floor);
+  }
+}
+
+TEST(IncrementalClusteringTest, CoversAllSeriesOnce) {
+  const auto series = TwoFamilies(7);
+  auto clustering = IncrementalClustering(series, {});
+  ASSERT_TRUE(clustering.ok());
+  std::set<std::size_t> seen;
+  for (const auto& cluster : clustering->clusters) {
+    for (std::size_t i : cluster) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), series.size());
+}
+
+TEST(IncrementalClusteringTest, MergePhaseAbsorbsNoisySingletons) {
+  // The merge phase is what distinguishes incremental clustering from plain
+  // iterative splitting (Fig. 11b: iterative explodes the cluster count):
+  // noisy outlier series that pure splitting isolates forever are folded
+  // back into their family when the correlation gain allows it.
+  std::vector<ts::TimeSeries> series;
+  for (std::size_t i = 0; i < 10; ++i) {
+    series.push_back(MakeSine(96, 16.0, 0.05, 500 + i));  // clean family
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    series.push_back(MakeSine(96, 16.0, 0.9, 600 + i));  // noisy cousins
+  }
+  const la::Matrix corr = PairwiseCorrelationMatrix(series);
+  IncrementalOptions opts;
+  opts.correlation_threshold = 0.85;
+  opts.merge_correlation_slack = 0.7;
+  opts.small_cluster_size = 4;
+  auto incremental = IncrementalClustering(series, opts);
+  auto iterative = KShapeIterativeSplit(series, 0.85, corr);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(iterative.ok());
+  EXPECT_LT(incremental->NumClusters(), iterative->NumClusters());
+}
+
+TEST(IncrementalClusteringTest, HighlyCorrelatedCorpusStaysOneCluster) {
+  // All series nearly identical: no split should happen.
+  std::vector<ts::TimeSeries> series;
+  for (std::size_t i = 0; i < 8; ++i) {
+    series.push_back(MakeSine(96, 24.0, 0.01, 400 + i));
+  }
+  auto clustering = IncrementalClustering(series, {});
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ(clustering->NumClusters(), 1u);
+}
+
+}  // namespace
+}  // namespace adarts::cluster

@@ -1,0 +1,153 @@
+// Corner-case coverage across modules: degenerate inputs, formula spot
+// checks, and API behaviours not exercised by the main suites.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/clustering.h"
+#include "common/rng.h"
+#include "forecast/forecaster.h"
+#include "impute/imputer.h"
+#include "ml/dataset.h"
+#include "tests/test_util.h"
+#include "ts/correlation.h"
+#include "ts/missing.h"
+
+namespace adarts {
+namespace {
+
+using ::adarts::testing::MakeBlobs;
+using ::adarts::testing::MakeSine;
+
+TEST(CorrelationGainTest, MatchesDefinitionOneFormula) {
+  // Hand-check Eq. 1 on a tiny configuration.
+  std::vector<ts::TimeSeries> series = {
+      MakeSine(64, 16.0, 0.0, 1), MakeSine(64, 16.0, 0.0, 1),  // identical
+      MakeSine(64, 5.0, 0.3, 9)};
+  const la::Matrix corr = cluster::PairwiseCorrelationMatrix(series);
+  const std::vector<std::size_t> a = {0};
+  const std::vector<std::size_t> b = {1};
+  const double m = 3.0;
+  const double rho_merged = cluster::ClusterAvgCorrelation({0, 1}, corr);
+  const double expected =
+      (1.0 / (2.0 * m)) * (rho_merged - (1.0 * 1.0) / m);  // singletons: rho=1
+  EXPECT_NEAR(cluster::CorrelationGain(a, b, corr, 3), expected, 1e-12);
+}
+
+TEST(NccTest, SelfCorrelationPeaksAtZeroShift) {
+  Rng rng(42);
+  la::Vector v(50);
+  for (double& x : v) x = rng.Normal(0, 1);
+  const ts::SbdAlignment al = ts::BestAlignment(v, v);
+  EXPECT_EQ(al.shift, 0);
+  EXPECT_NEAR(al.ncc, 1.0, 1e-9);
+}
+
+TEST(NccTest, AntiCorrelatedSeriesHasNegativePeakAtZero) {
+  la::Vector a = MakeSine(64, 16.0).values();
+  la::Vector b = a;
+  for (double& x : b) x = -x;
+  const la::Vector ncc = ts::NccAllLags(a, b);
+  // Zero-shift entry is at index n-1.
+  EXPECT_NEAR(ncc[63], -1.0, 1e-9);
+}
+
+TEST(GrowingPartialSetsTest, RoughlyStratifiedAtEveryStage) {
+  const ml::Dataset d = MakeBlobs(3, 30, 2, 7);
+  Rng rng(8);
+  auto sets = ml::GrowingPartialSets(d, 3, &rng);
+  ASSERT_TRUE(sets.ok());
+  for (const auto& s : *sets) {
+    const auto counts = s.ClassCounts();
+    const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+    EXPECT_LE(*hi - *lo, 2u);  // round-robin keeps classes within 2
+  }
+}
+
+TEST(SeasonalNaiveTest, AperiodicSeriesFallsBackToLastValue) {
+  Rng rng(9);
+  la::Vector noise(80);
+  for (double& x : noise) x = rng.Normal(0, 1);
+  auto pred = forecast::CreateSeasonalNaive()->Forecast(noise, 4);
+  ASSERT_TRUE(pred.ok());
+  // Aperiodic: every horizon step repeats based on the detected (possibly
+  // spurious) period or the last value; all outputs must be finite and
+  // drawn from the history's value range.
+  const double lo = *std::min_element(noise.begin(), noise.end());
+  const double hi = *std::max_element(noise.begin(), noise.end());
+  for (double v : *pred) {
+    EXPECT_GE(v, lo - 1e-9);
+    EXPECT_LE(v, hi + 1e-9);
+  }
+}
+
+TEST(HoltWintersTest, ShortHistoryDegradesToHoltLinear) {
+  // History shorter than two detected periods must not crash.
+  la::Vector short_history = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  auto pred = forecast::CreateHoltWinters()->Forecast(short_history, 3);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->size(), 3u);
+}
+
+TEST(ImputerEdgeTest, AllSeriesConstant) {
+  // Constant series with a gap: every imputer must return finite values
+  // (the constant is the only sensible fill).
+  std::vector<ts::TimeSeries> set;
+  for (int i = 0; i < 3; ++i) {
+    set.emplace_back(la::Vector(64, 5.0));
+  }
+  Rng rng(10);
+  ASSERT_TRUE(ts::InjectSingleBlock(6, &rng, &set[0]).ok());
+  for (impute::Algorithm a : impute::AllAlgorithms()) {
+    auto repaired = impute::CreateImputer(a)->ImputeSet(set);
+    ASSERT_TRUE(repaired.ok()) << impute::AlgorithmToString(a);
+    for (std::size_t t = 0; t < 64; ++t) {
+      EXPECT_TRUE(std::isfinite((*repaired)[0].value(t)))
+          << impute::AlgorithmToString(a);
+    }
+  }
+}
+
+TEST(ImputerEdgeTest, GapAtTheVeryStart) {
+  // Leading gaps have no left anchor; every imputer must still fill them.
+  std::vector<ts::TimeSeries> set = {MakeSine(64, 16.0, 0.0, 11),
+                                     MakeSine(64, 16.0, 0.0, 12)};
+  for (std::size_t t = 0; t < 6; ++t) set[0].SetMissing(t, true);
+  for (impute::Algorithm a : impute::AllAlgorithms()) {
+    auto repaired = impute::CreateImputer(a)->ImputeSet(set);
+    ASSERT_TRUE(repaired.ok()) << impute::AlgorithmToString(a);
+    EXPECT_FALSE((*repaired)[0].HasMissing()) << impute::AlgorithmToString(a);
+  }
+}
+
+TEST(MissingEdgeTest, BlockAtExactBounds) {
+  ts::TimeSeries s(la::Vector(20, 1.0));
+  EXPECT_TRUE(ts::InjectBlockAt(0, 20, &s).ok());     // whole series
+  EXPECT_FALSE(ts::InjectBlockAt(15, 6, &s).ok());    // overruns the end
+  EXPECT_EQ(s.MissingCount(), 20u);
+}
+
+TEST(DatasetEdgeTest, SingleClassDatasetSplits) {
+  ml::Dataset d;
+  d.num_classes = 1;
+  for (int i = 0; i < 20; ++i) {
+    d.features.push_back({static_cast<double>(i)});
+    d.labels.push_back(0);
+  }
+  Rng rng(13);
+  auto split = ml::StratifiedSplit(d, 0.7, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 14u);
+  EXPECT_EQ(split->test.size(), 6u);
+}
+
+TEST(PearsonEdgeTest, DifferentLengthSeriesUsePrefix) {
+  const ts::TimeSeries a = MakeSine(64, 16.0);
+  const ts::TimeSeries b = MakeSine(32, 16.0);
+  // Pearson over the common prefix of an identical generator is 1.
+  EXPECT_NEAR(ts::Pearson(a, b), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace adarts

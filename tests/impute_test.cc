@@ -1,0 +1,232 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "impute/cdrec.h"
+#include "impute/imputer.h"
+#include "impute/masked_matrix.h"
+#include "tests/test_util.h"
+#include "ts/metrics.h"
+#include "ts/missing.h"
+
+namespace adarts::impute {
+namespace {
+
+using ::adarts::testing::MakeCorrelatedSet;
+using ::adarts::testing::MakeSine;
+
+/// Masks one block in every series of the set; returns the masked copy.
+std::vector<ts::TimeSeries> MaskSet(const std::vector<ts::TimeSeries>& set,
+                                    std::size_t block_len,
+                                    std::uint64_t seed = 3) {
+  Rng rng(seed);
+  std::vector<ts::TimeSeries> masked = set;
+  for (auto& s : masked) {
+    EXPECT_TRUE(ts::InjectSingleBlock(block_len, &rng, &s).ok());
+  }
+  return masked;
+}
+
+double SetRmse(const std::vector<ts::TimeSeries>& masked,
+               const std::vector<ts::TimeSeries>& repaired) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    total += ts::ImputationRmse(masked[i], repaired[i]).value();
+  }
+  return total / static_cast<double>(masked.size());
+}
+
+TEST(AlgorithmRegistryTest, NamesRoundTrip) {
+  for (Algorithm a : AllAlgorithms()) {
+    auto parsed = AlgorithmFromString(AlgorithmToString(a));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, a);
+  }
+  EXPECT_FALSE(AlgorithmFromString("no_such_imputer").ok());
+}
+
+TEST(AlgorithmRegistryTest, FactoryCoversAllAlgorithms) {
+  EXPECT_EQ(AllAlgorithms().size(), static_cast<std::size_t>(kNumAlgorithms));
+  for (Algorithm a : AllAlgorithms()) {
+    const auto imputer = CreateImputer(a);
+    ASSERT_NE(imputer, nullptr);
+    EXPECT_EQ(imputer->name(), AlgorithmToString(a));
+  }
+}
+
+TEST(MaskedMatrixTest, BuildAndRestore) {
+  std::vector<ts::TimeSeries> set = MakeCorrelatedSet(3, 50);
+  set[0].SetMissing(10, true);
+  auto m = BuildMaskedMatrix(set);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 50u);
+  EXPECT_EQ(m->cols(), 3u);
+  EXPECT_TRUE(m->IsMissing(10, 0));
+  // The pre-fill interpolates, never leaves the raw masked value.
+  la::Matrix work = m->values;
+  work(0, 0) = -999.0;
+  RestoreObserved(*m, &work);
+  EXPECT_DOUBLE_EQ(work(0, 0), set[0].value(0));
+}
+
+TEST(MaskedMatrixTest, RejectsBadSets) {
+  EXPECT_FALSE(BuildMaskedMatrix({}).ok());
+  std::vector<ts::TimeSeries> unequal = {ts::TimeSeries({1.0, 2.0}),
+                                         ts::TimeSeries({1.0, 2.0, 3.0})};
+  EXPECT_FALSE(BuildMaskedMatrix(unequal).ok());
+  ts::TimeSeries all_missing({1.0, 2.0}, {true, true});
+  EXPECT_FALSE(BuildMaskedMatrix({all_missing}).ok());
+}
+
+TEST(CentroidDecompositionTest, ReconstructsFullRank) {
+  // Full-rank CD reproduces the matrix exactly.
+  la::Matrix x = la::Matrix::FromRows({{1, 2}, {3, 4}, {5, 7}});
+  auto cd = ComputeCentroidDecomposition(x, 2);
+  ASSERT_TRUE(cd.ok());
+  const la::Matrix recon = cd->loadings.Multiply(cd->relevance.Transpose());
+  EXPECT_LT(recon.Subtract(x).FrobeniusNorm(), 1e-9);
+}
+
+TEST(CentroidDecompositionTest, TruncationCapturesDominantStructure) {
+  // A rank-1 matrix is exactly captured by one centroid component.
+  la::Matrix x(6, 4);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      x(i, j) = static_cast<double>(i + 1) * static_cast<double>(j + 1);
+    }
+  }
+  auto cd = ComputeCentroidDecomposition(x, 1);
+  ASSERT_TRUE(cd.ok());
+  const la::Matrix recon = cd->loadings.Multiply(cd->relevance.Transpose());
+  EXPECT_LT(recon.Subtract(x).FrobeniusNorm(), 1e-9 * x.FrobeniusNorm());
+}
+
+// ---- Parameterized contract tests over every algorithm.
+
+class ImputerContractTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ImputerContractTest, RepairsEveryMissingPosition) {
+  const auto imputer = CreateImputer(GetParam());
+  const std::vector<ts::TimeSeries> set = MakeCorrelatedSet(4, 96);
+  const std::vector<ts::TimeSeries> masked = MaskSet(set, 10);
+  auto repaired = imputer->ImputeSet(masked);
+  ASSERT_TRUE(repaired.ok()) << imputer->name() << ": " << repaired.status();
+  ASSERT_EQ(repaired->size(), masked.size());
+  for (std::size_t i = 0; i < repaired->size(); ++i) {
+    EXPECT_FALSE((*repaired)[i].HasMissing()) << imputer->name();
+    for (std::size_t t = 0; t < (*repaired)[i].length(); ++t) {
+      EXPECT_TRUE(std::isfinite((*repaired)[i].value(t))) << imputer->name();
+    }
+  }
+}
+
+TEST_P(ImputerContractTest, PreservesObservedValues) {
+  const auto imputer = CreateImputer(GetParam());
+  const std::vector<ts::TimeSeries> set = MakeCorrelatedSet(3, 80);
+  const std::vector<ts::TimeSeries> masked = MaskSet(set, 8);
+  auto repaired = imputer->ImputeSet(masked);
+  ASSERT_TRUE(repaired.ok()) << imputer->name();
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    for (std::size_t t = 0; t < masked[i].length(); ++t) {
+      if (!masked[i].IsMissing(t)) {
+        EXPECT_DOUBLE_EQ((*repaired)[i].value(t), masked[i].value(t))
+            << imputer->name() << " series " << i << " t " << t;
+      }
+    }
+  }
+}
+
+TEST_P(ImputerContractTest, SingleSeriesConvenienceWrapper) {
+  const auto imputer = CreateImputer(GetParam());
+  ts::TimeSeries s = MakeSine(96, 24.0, 0.02);
+  Rng rng(5);
+  ASSERT_TRUE(ts::InjectSingleBlock(8, &rng, &s).ok());
+  auto repaired = imputer->Impute(s);
+  ASSERT_TRUE(repaired.ok()) << imputer->name();
+  EXPECT_FALSE(repaired->HasMissing());
+}
+
+TEST_P(ImputerContractTest, RejectsInvalidInput) {
+  const auto imputer = CreateImputer(GetParam());
+  EXPECT_FALSE(imputer->ImputeSet({}).ok()) << imputer->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ImputerContractTest, ::testing::ValuesIn(AllAlgorithms()),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return std::string(AlgorithmToString(info.param));
+    });
+
+// ---- Accuracy expectations on friendly data.
+
+TEST(ImputerAccuracyTest, MatrixMethodsBeatMeanOnCorrelatedData) {
+  const std::vector<ts::TimeSeries> set = MakeCorrelatedSet(6, 128, 0.02);
+  const std::vector<ts::TimeSeries> masked = MaskSet(set, 16);
+
+  const double mean_rmse = SetRmse(
+      masked, CreateImputer(Algorithm::kMeanImpute)->ImputeSet(masked).value());
+  for (Algorithm a : {Algorithm::kCdRec, Algorithm::kSvdImpute,
+                      Algorithm::kSoftImpute, Algorithm::kDynaMmo,
+                      Algorithm::kTrmf, Algorithm::kStMvl, Algorithm::kIim}) {
+    const double rmse =
+        SetRmse(masked, CreateImputer(a)->ImputeSet(masked).value());
+    EXPECT_LT(rmse, mean_rmse) << AlgorithmToString(a);
+  }
+}
+
+TEST(ImputerAccuracyTest, TkcmHandlesRepeatingPatterns) {
+  // A clean periodic series: pattern matching should recover the block to
+  // much better accuracy than the mean.
+  std::vector<ts::TimeSeries> set = {MakeSine(192, 24.0, 0.0)};
+  std::vector<ts::TimeSeries> masked = set;
+  ASSERT_TRUE(ts::InjectBlockAt(100, 12, &masked[0]).ok());
+  const double tkcm_rmse = SetRmse(
+      masked, CreateImputer(Algorithm::kTkcm)->ImputeSet(masked).value());
+  const double mean_rmse = SetRmse(
+      masked, CreateImputer(Algorithm::kMeanImpute)->ImputeSet(masked).value());
+  EXPECT_LT(tkcm_rmse, 0.5 * mean_rmse);
+}
+
+TEST(ImputerAccuracyTest, LinearInterpExactOnLinearSeries) {
+  la::Vector v(50);
+  for (std::size_t i = 0; i < 50; ++i) v[i] = 2.0 * static_cast<double>(i);
+  std::vector<ts::TimeSeries> masked = {ts::TimeSeries(v)};
+  ASSERT_TRUE(ts::InjectBlockAt(20, 5, &masked[0]).ok());
+  auto repaired =
+      CreateImputer(Algorithm::kLinearInterp)->ImputeSet(masked);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_NEAR(SetRmse(masked, *repaired), 0.0, 1e-9);
+}
+
+TEST(ImputerAccuracyTest, RoslToleratesAnomalies) {
+  // Correlated set with spikes: the robust method should still reconstruct
+  // the smooth structure under the mask.
+  std::vector<ts::TimeSeries> set = MakeCorrelatedSet(5, 128, 0.02);
+  Rng rng(9);
+  for (auto& s : set) {
+    for (std::size_t t = 0; t < s.length(); ++t) {
+      if (rng.Bernoulli(0.02)) s.set_value(t, s.value(t) + 8.0);
+    }
+  }
+  const std::vector<ts::TimeSeries> masked = MaskSet(set, 12);
+  // The fair comparison is against the non-robust member of the same
+  // rank-k family: the sparse component should absorb the spikes.
+  const double rosl_rmse = SetRmse(
+      masked, CreateImputer(Algorithm::kRosl)->ImputeSet(masked).value());
+  const double svd_rmse = SetRmse(
+      masked, CreateImputer(Algorithm::kSvdImpute)->ImputeSet(masked).value());
+  EXPECT_LT(rosl_rmse, svd_rmse);
+}
+
+TEST(ImputerAccuracyTest, GrouseFallsBackGracefullyOnSingleSeries) {
+  ts::TimeSeries s = MakeSine(64, 16.0);
+  Rng rng(10);
+  ASSERT_TRUE(ts::InjectSingleBlock(6, &rng, &s).ok());
+  auto repaired = CreateImputer(Algorithm::kGrouse)->Impute(s);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_FALSE(repaired->HasMissing());
+}
+
+}  // namespace
+}  // namespace adarts::impute

@@ -1,0 +1,112 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+#include "tests/test_util.h"
+
+namespace adarts::io {
+namespace {
+
+using ::adarts::testing::MakeSine;
+
+TEST(CsvFormatTest, RoundTripCompleteSeries) {
+  std::vector<ts::TimeSeries> set = {MakeSine(20, 5.0, 0.0, 1),
+                                     MakeSine(20, 7.0, 0.0, 2)};
+  set[0].set_name("alpha");
+  set[1].set_name("beta");
+  auto csv = FormatSeriesCsv(set);
+  ASSERT_TRUE(csv.ok());
+  auto parsed = ParseSeriesCsv(*csv);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].name(), "alpha");
+  EXPECT_EQ((*parsed)[1].name(), "beta");
+  for (std::size_t j = 0; j < 2; ++j) {
+    ASSERT_EQ((*parsed)[j].length(), 20u);
+    for (std::size_t t = 0; t < 20; ++t) {
+      EXPECT_DOUBLE_EQ((*parsed)[j].value(t), set[j].value(t));
+      EXPECT_FALSE((*parsed)[j].IsMissing(t));
+    }
+  }
+}
+
+TEST(CsvFormatTest, RoundTripPreservesMask) {
+  ts::TimeSeries s({1.0, 2.0, 3.0, 4.0}, {false, true, false, true});
+  s.set_name("gappy");
+  auto csv = FormatSeriesCsv({s});
+  ASSERT_TRUE(csv.ok());
+  auto parsed = ParseSeriesCsv(*csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE((*parsed)[0].IsMissing(0));
+  EXPECT_TRUE((*parsed)[0].IsMissing(1));
+  EXPECT_FALSE((*parsed)[0].IsMissing(2));
+  EXPECT_TRUE((*parsed)[0].IsMissing(3));
+  EXPECT_DOUBLE_EQ((*parsed)[0].value(0), 1.0);
+  EXPECT_DOUBLE_EQ((*parsed)[0].value(2), 3.0);
+}
+
+TEST(CsvParseTest, AcceptsNanSpellings) {
+  auto parsed = ParseSeriesCsv("a,b\n1.0,nan\nNaN,2.0\nnull,NA\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE((*parsed)[0].IsMissing(0));
+  EXPECT_TRUE((*parsed)[1].IsMissing(0));
+  EXPECT_TRUE((*parsed)[0].IsMissing(1));
+  EXPECT_TRUE((*parsed)[0].IsMissing(2));
+  EXPECT_TRUE((*parsed)[1].IsMissing(2));
+}
+
+TEST(CsvParseTest, BlankLineSemantics) {
+  // Single column: a blank line is one missing cell.
+  auto single = ParseSeriesCsv("a\n1\n\n2\n");
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ((*single)[0].length(), 3u);
+  EXPECT_TRUE((*single)[0].IsMissing(1));
+  // Multiple columns: a blank line is ignorable padding.
+  auto multi = ParseSeriesCsv("a,b\n1,2\n\n3,4\n");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ((*multi)[0].length(), 2u);
+}
+
+TEST(CsvParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseSeriesCsv("").ok());
+  EXPECT_FALSE(ParseSeriesCsv("a,b\n1.0\n").ok());       // ragged row
+  EXPECT_FALSE(ParseSeriesCsv("a\nnot_a_number\n").ok());
+  EXPECT_FALSE(ParseSeriesCsv("a,b\n").ok());            // header only
+}
+
+TEST(CsvParseTest, NegativeAndScientificNumbers) {
+  auto parsed = ParseSeriesCsv("x\n-1.5\n2e3\n-4.25e-2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ((*parsed)[0].value(0), -1.5);
+  EXPECT_DOUBLE_EQ((*parsed)[0].value(1), 2000.0);
+  EXPECT_DOUBLE_EQ((*parsed)[0].value(2), -0.0425);
+}
+
+TEST(CsvFormatTest, RejectsInvalidSets) {
+  EXPECT_FALSE(FormatSeriesCsv({}).ok());
+  std::vector<ts::TimeSeries> ragged = {ts::TimeSeries({1.0, 2.0}),
+                                        ts::TimeSeries({1.0})};
+  EXPECT_FALSE(FormatSeriesCsv(ragged).ok());
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "adarts_io_test.csv").string();
+  std::vector<ts::TimeSeries> set = {MakeSine(16, 4.0, 0.0, 3)};
+  set[0].SetMissing(5, true);
+  ASSERT_TRUE(WriteSeriesCsv(path, set).ok());
+  auto parsed = ReadSeriesCsv(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[0].length(), 16u);
+  EXPECT_TRUE((*parsed)[0].IsMissing(5));
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileFails) {
+  EXPECT_FALSE(ReadSeriesCsv("/nonexistent/definitely/not/here.csv").ok());
+}
+
+}  // namespace
+}  // namespace adarts::io

@@ -1,0 +1,346 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+#include "tests/test_util.h"
+
+namespace adarts::ml {
+namespace {
+
+using ::adarts::testing::MakeBlobs;
+
+TEST(DatasetTest, ValidateCatchesMistakes) {
+  Dataset d = MakeBlobs(3, 10, 4);
+  EXPECT_TRUE(d.Validate().ok());
+  d.labels[0] = 7;
+  EXPECT_FALSE(d.Validate().ok());
+  d.labels[0] = 0;
+  d.features[0].push_back(1.0);
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, SubsetSelectsRows) {
+  const Dataset d = MakeBlobs(2, 5, 3);
+  const Dataset sub = d.Subset({0, 9});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.features[0], d.features[0]);
+  EXPECT_EQ(sub.labels[1], d.labels[9]);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  const Dataset d = MakeBlobs(3, 7, 2);
+  const auto counts = d.ClassCounts();
+  EXPECT_EQ(counts, (std::vector<std::size_t>{7, 7, 7}));
+}
+
+TEST(SplitTest, StratifiedSplitKeepsClassBalance) {
+  const Dataset d = MakeBlobs(4, 40, 3);
+  Rng rng(2);
+  auto split = StratifiedSplit(d, 0.75, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size() + split->test.size(), d.size());
+  const auto train_counts = split->train.ClassCounts();
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(train_counts[c], 30u);  // 75% of 40 per class
+  }
+}
+
+TEST(SplitTest, RejectsBadFraction) {
+  const Dataset d = MakeBlobs(2, 10, 2);
+  Rng rng(3);
+  EXPECT_FALSE(StratifiedSplit(d, 0.0, &rng).ok());
+  EXPECT_FALSE(StratifiedSplit(d, 1.0, &rng).ok());
+}
+
+TEST(KFoldTest, FoldsPartitionAndStratify) {
+  const Dataset d = MakeBlobs(3, 30, 2);
+  Rng rng(4);
+  auto folds = StratifiedKFoldIndices(d, 3, &rng);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 3u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : *folds) {
+    const Dataset part = d.Subset(fold);
+    const auto counts = part.ClassCounts();
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(counts[c], 10u);
+    for (std::size_t i : fold) {
+      EXPECT_TRUE(seen.insert(i).second) << "index appears in two folds";
+    }
+  }
+  EXPECT_EQ(seen.size(), d.size());
+}
+
+TEST(GrowingPartialSetsTest, CumulativeAndComplete) {
+  const Dataset d = MakeBlobs(2, 20, 2);
+  Rng rng(5);
+  auto sets = GrowingPartialSets(d, 4, &rng);
+  ASSERT_TRUE(sets.ok());
+  ASSERT_EQ(sets->size(), 4u);
+  for (std::size_t i = 1; i < sets->size(); ++i) {
+    EXPECT_GT((*sets)[i].size(), (*sets)[i - 1].size());
+  }
+  EXPECT_EQ(sets->back().size(), d.size());
+}
+
+TEST(MetricsTest, PerfectPredictionsScoreOne) {
+  const std::vector<int> y = {0, 1, 2, 0, 1, 2};
+  auto report = ComputeClassificationReport(y, y, 3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report->precision, 1.0);
+  EXPECT_DOUBLE_EQ(report->recall, 1.0);
+  EXPECT_DOUBLE_EQ(report->f1, 1.0);
+}
+
+TEST(MetricsTest, KnownConfusionMatrix) {
+  // Class 0: 2 samples, 1 correct. Class 1: 2 samples, 2 correct.
+  const std::vector<int> y_true = {0, 0, 1, 1};
+  const std::vector<int> y_pred = {0, 1, 1, 1};
+  auto report = ComputeClassificationReport(y_true, y_pred, 2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->accuracy, 0.75);
+  // class0: p=1, r=0.5, f1=2/3; class1: p=2/3, r=1, f1=0.8; weighted 0.5 each.
+  EXPECT_NEAR(report->precision, 0.5 * 1.0 + 0.5 * (2.0 / 3.0), 1e-12);
+  EXPECT_NEAR(report->recall, 0.75, 1e-12);
+  EXPECT_NEAR(report->f1, 0.5 * (2.0 / 3.0) + 0.5 * 0.8, 1e-12);
+}
+
+TEST(MetricsTest, RecallAtKAndMrr) {
+  // True class 2 is ranked second in the first sample, first in the second.
+  const std::vector<int> y_true = {2, 1};
+  const std::vector<la::Vector> probas = {{0.5, 0.1, 0.4},
+                                          {0.2, 0.7, 0.1}};
+  EXPECT_DOUBLE_EQ(RecallAtK(y_true, probas, 1).value(), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(y_true, probas, 2).value(), 1.0);
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank(y_true, probas).value(),
+                   (0.5 + 1.0) / 2.0);
+}
+
+TEST(WelchTest, IdenticalSamplesHaveHighPValue) {
+  const la::Vector a = {1.0, 1.1, 0.9, 1.05, 0.95};
+  EXPECT_GT(WelchTTestPValue(a, a), 0.95);
+}
+
+TEST(WelchTest, SeparatedSamplesHaveLowPValue) {
+  const la::Vector a = {1.0, 1.1, 0.9, 1.05, 0.95, 1.02};
+  const la::Vector b = {5.0, 5.1, 4.9, 5.05, 4.95, 5.02};
+  EXPECT_LT(WelchTTestPValue(a, b), 1e-6);
+}
+
+TEST(WelchTest, DegenerateSamplesReturnOne) {
+  EXPECT_DOUBLE_EQ(WelchTTestPValue({1.0}, {2.0, 3.0}), 1.0);
+}
+
+TEST(WelchTest, OverlappingSamplesMidPValue) {
+  Rng rng(6);
+  la::Vector a(30), b(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    a[i] = rng.Normal(0.0, 1.0);
+    b[i] = rng.Normal(0.15, 1.0);  // small shift: should not be significant
+  }
+  EXPECT_GT(WelchTTestPValue(a, b), 0.05);
+}
+
+// ---- Scalers.
+
+class ScalerContractTest : public ::testing::TestWithParam<ScalerKind> {};
+
+TEST_P(ScalerContractTest, FitTransformShapesAndFiniteness) {
+  const Dataset d = MakeBlobs(3, 20, 5);
+  auto scaler = CreateScaler(GetParam());
+  ASSERT_NE(scaler, nullptr);
+  ASSERT_TRUE(scaler->Fit(d.features).ok());
+  const la::Vector out = scaler->Transform(d.features[0]);
+  EXPECT_FALSE(out.empty());
+  for (double v : out) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_FALSE(scaler->Fit({}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScalers, ScalerContractTest, ::testing::ValuesIn(AllScalerKinds()),
+    [](const ::testing::TestParamInfo<ScalerKind>& info) {
+      return std::string(ScalerKindToString(info.param));
+    });
+
+TEST(ScalerTest, StandardScalerNormalizesMoments) {
+  const Dataset d = MakeBlobs(2, 50, 3);
+  auto scaler = CreateScaler(ScalerKind::kStandard);
+  ASSERT_TRUE(scaler->Fit(d.features).ok());
+  const auto scaled = scaler->TransformBatch(d.features);
+  for (std::size_t j = 0; j < 3; ++j) {
+    la::Vector col;
+    for (const auto& f : scaled) col.push_back(f[j]);
+    EXPECT_NEAR(la::Mean(col), 0.0, 1e-9);
+    EXPECT_NEAR(la::StdDev(col), 1.0, 1e-9);
+  }
+}
+
+TEST(ScalerTest, MinMaxScalerBoundsTrainingData) {
+  const Dataset d = MakeBlobs(2, 50, 3);
+  auto scaler = CreateScaler(ScalerKind::kMinMax);
+  ASSERT_TRUE(scaler->Fit(d.features).ok());
+  for (const auto& f : scaler->TransformBatch(d.features)) {
+    for (double v : f) {
+      EXPECT_GE(v, -1e-12);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(ScalerTest, L2NormScalerUnitNorm) {
+  auto scaler = CreateScaler(ScalerKind::kL2Norm);
+  ASSERT_TRUE(scaler->Fit({{3.0, 4.0}}).ok());
+  const la::Vector out = scaler->Transform({3.0, 4.0});
+  EXPECT_NEAR(la::Norm2(out), 1.0, 1e-12);
+}
+
+TEST(ScalerTest, PcaScalerReducesDimension) {
+  const Dataset d = MakeBlobs(2, 40, 10);
+  auto scaler = CreateScaler(ScalerKind::kPca, 0.3);
+  ASSERT_TRUE(scaler->Fit(d.features).ok());
+  EXPECT_EQ(scaler->Transform(d.features[0]).size(), 3u);
+}
+
+TEST(ScalerTest, RobustScalerIgnoresOutliers) {
+  std::vector<la::Vector> x;
+  for (int i = 0; i < 99; ++i) x.push_back({static_cast<double>(i % 10)});
+  x.push_back({1e9});  // one wild outlier
+  auto robust = CreateScaler(ScalerKind::kRobust);
+  ASSERT_TRUE(robust->Fit(x).ok());
+  // Median ~4.5, IQR ~5: typical values map to O(1), unaffected by 1e9.
+  EXPECT_LT(std::fabs(robust->Transform({5.0})[0]), 2.0);
+}
+
+// ---- Classifiers.
+
+class ClassifierContractTest : public ::testing::TestWithParam<ClassifierKind> {
+};
+
+TEST_P(ClassifierContractTest, LearnsSeparableBlobs) {
+  const Dataset train = MakeBlobs(3, 30, 4, 11);
+  const Dataset test = MakeBlobs(3, 10, 4, 12);
+  auto clf = CreateClassifier(GetParam());
+  ASSERT_NE(clf, nullptr);
+  ASSERT_TRUE(clf->Fit(train).ok()) << ClassifierKindToString(GetParam());
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (clf->Predict(test.features[i]) == test.labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, 24)  // 80% on a trivially separable problem
+      << ClassifierKindToString(GetParam());
+}
+
+TEST_P(ClassifierContractTest, ProbabilitiesAreDistribution) {
+  const Dataset train = MakeBlobs(4, 15, 3, 13);
+  auto clf = CreateClassifier(GetParam());
+  ASSERT_TRUE(clf->Fit(train).ok());
+  const la::Vector p = clf->PredictProba(train.features[0]);
+  ASSERT_EQ(p.size(), 4u);
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(ClassifierContractTest, DeterministicGivenSeed) {
+  const Dataset train = MakeBlobs(3, 20, 3, 14);
+  HyperParams params;
+  params["seed"] = 77;
+  auto a = CreateClassifier(GetParam(), params);
+  auto b = CreateClassifier(GetParam(), params);
+  ASSERT_TRUE(a->Fit(train).ok());
+  ASSERT_TRUE(b->Fit(train).ok());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a->PredictProba(train.features[i]),
+              b->PredictProba(train.features[i]))
+        << ClassifierKindToString(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClassifiers, ClassifierContractTest,
+    ::testing::ValuesIn(AllClassifierKinds()),
+    [](const ::testing::TestParamInfo<ClassifierKind>& info) {
+      return std::string(ClassifierKindToString(info.param));
+    });
+
+TEST(ClassifierKindTest, NamesRoundTrip) {
+  for (ClassifierKind k : AllClassifierKinds()) {
+    auto parsed = ClassifierKindFromString(ClassifierKindToString(k));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(ClassifierKindFromString("nope").ok());
+}
+
+TEST(ParamSpecTest, EveryFamilyHasSpecsAndDefaultsInRange) {
+  for (ClassifierKind k : AllClassifierKinds()) {
+    const auto& specs = ParamSpecsFor(k);
+    EXPECT_FALSE(specs.empty()) << ClassifierKindToString(k);
+    for (const auto& spec : specs) {
+      EXPECT_LE(spec.min_value, spec.default_value) << spec.name;
+      EXPECT_GE(spec.max_value, spec.default_value) << spec.name;
+    }
+  }
+}
+
+TEST(ParamSpecTest, ResolveClampsAndFillsDefaults) {
+  HyperParams p;
+  p["k"] = 9999.0;  // above max
+  const HyperParams resolved = ResolveParams(ClassifierKind::kKnn, p);
+  EXPECT_DOUBLE_EQ(resolved.at("k"), 25.0);
+  EXPECT_TRUE(resolved.contains("weight_by_distance"));
+  EXPECT_TRUE(resolved.contains("seed"));
+}
+
+TEST(KnnTest, SingleNeighborMemorizesTraining) {
+  const Dataset train = MakeBlobs(2, 10, 2, 15);
+  HyperParams p;
+  p["k"] = 1;
+  auto clf = CreateClassifier(ClassifierKind::kKnn, p);
+  ASSERT_TRUE(clf->Fit(train).ok());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(clf->Predict(train.features[i]), train.labels[i]);
+  }
+}
+
+TEST(DecisionTreeTest, DepthOneCannotFitXor) {
+  // XOR needs depth 2; a depth-1 stump stays near chance, depth-4 nails it.
+  Dataset data;
+  data.num_classes = 2;
+  Rng rng(16);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(-1, 1);
+    const double y = rng.Uniform(-1, 1);
+    data.features.push_back({x, y});
+    data.labels.push_back((x > 0) != (y > 0) ? 1 : 0);
+  }
+  HyperParams shallow;
+  shallow["max_depth"] = 1;
+  auto stump = CreateClassifier(ClassifierKind::kDecisionTree, shallow);
+  HyperParams deep;
+  deep["max_depth"] = 4;
+  auto tree = CreateClassifier(ClassifierKind::kDecisionTree, deep);
+  ASSERT_TRUE(stump->Fit(data).ok());
+  ASSERT_TRUE(tree->Fit(data).ok());
+  int stump_correct = 0, tree_correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    stump_correct += stump->Predict(data.features[i]) == data.labels[i];
+    tree_correct += tree->Predict(data.features[i]) == data.labels[i];
+  }
+  EXPECT_GT(tree_correct, stump_correct + 20);
+  EXPECT_GT(tree_correct, 180);
+}
+
+}  // namespace
+}  // namespace adarts::ml

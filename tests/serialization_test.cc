@@ -1,0 +1,124 @@
+// Save/Load round-trip tests of the deterministic model bundle.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "adarts/adarts.h"
+#include "tests/test_util.h"
+
+namespace adarts {
+namespace {
+
+std::string TempBundlePath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Result<Adarts> TrainSmallEngine(std::uint64_t seed = 17) {
+  const ml::Dataset labeled = testing::MakeBlobs(3, 30, 6, 41);
+  const std::vector<impute::Algorithm> pool = {
+      impute::Algorithm::kCdRec, impute::Algorithm::kTkcm,
+      impute::Algorithm::kLinearInterp};
+  automl::ModelRaceOptions race;
+  race.num_seed_pipelines = 12;
+  race.num_partial_sets = 2;
+  return Adarts::TrainFromLabeled(labeled, pool, {}, race, seed);
+}
+
+TEST(SerializationTest, RoundTripReproducesRecommendations) {
+  auto engine = TrainSmallEngine();
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  const std::string path = TempBundlePath("adarts_bundle_roundtrip.model");
+  ASSERT_TRUE(engine->Save(path).ok());
+
+  auto loaded = Adarts::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->committee_size(), engine->committee_size());
+  EXPECT_EQ(loaded->algorithm_pool(), engine->algorithm_pool());
+
+  // Bit-identical soft votes on every training sample.
+  for (const auto& f : engine->training_data().features) {
+    EXPECT_EQ(engine->PredictProba(f), loaded->PredictProba(f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RoundTripPreservesCommitteeSpecs) {
+  auto engine = TrainSmallEngine(23);
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempBundlePath("adarts_bundle_specs.model");
+  ASSERT_TRUE(engine->Save(path).ok());
+  auto loaded = Adarts::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->committee().size(), engine->committee().size());
+  for (std::size_t i = 0; i < loaded->committee().size(); ++i) {
+    EXPECT_EQ(loaded->committee()[i].spec.ToString(),
+              engine->committee()[i].spec.ToString());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RoundTripPreservesExtractorOptions) {
+  const ml::Dataset labeled = testing::MakeBlobs(2, 20, 4, 5);
+  const std::vector<impute::Algorithm> pool = {
+      impute::Algorithm::kCdRec, impute::Algorithm::kTkcm};
+  features::FeatureExtractorOptions fopts;
+  fopts.topological = false;
+  fopts.max_acf_lag = 12;
+  automl::ModelRaceOptions race;
+  race.num_seed_pipelines = 12;
+  race.num_partial_sets = 2;
+  auto engine = Adarts::TrainFromLabeled(labeled, pool, fopts, race);
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempBundlePath("adarts_bundle_extractor.model");
+  ASSERT_TRUE(engine->Save(path).ok());
+  auto loaded = Adarts::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->feature_extractor().options().topological);
+  EXPECT_EQ(loaded->feature_extractor().options().max_acf_lag, 12u);
+  EXPECT_EQ(loaded->feature_extractor().NumFeatures(),
+            engine->feature_extractor().NumFeatures());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(Adarts::Load("/nonexistent/bundle.model").ok());
+}
+
+TEST(SerializationTest, LoadRejectsCorruptBundle) {
+  const std::string path = TempBundlePath("adarts_bundle_corrupt.model");
+  {
+    std::ofstream file(path);
+    file << "NOT_A_MODEL\njunk\n";
+  }
+  EXPECT_FALSE(Adarts::Load(path).ok());
+  {
+    std::ofstream file(path);
+    file << "ADARTS_MODEL_V1\nextractor 1 1 3 0 24\n";  // truncated
+  }
+  EXPECT_FALSE(Adarts::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, SaveIsDeterministic) {
+  auto engine = TrainSmallEngine(31);
+  ASSERT_TRUE(engine.ok());
+  const std::string a = TempBundlePath("adarts_bundle_a.model");
+  const std::string b = TempBundlePath("adarts_bundle_b.model");
+  ASSERT_TRUE(engine->Save(a).ok());
+  ASSERT_TRUE(engine->Save(b).ok());
+  std::ifstream fa(a), fb(b);
+  std::string ca((std::istreambuf_iterator<char>(fa)),
+                 std::istreambuf_iterator<char>());
+  std::string cb((std::istreambuf_iterator<char>(fb)),
+                 std::istreambuf_iterator<char>());
+  EXPECT_EQ(ca, cb);
+  EXPECT_FALSE(ca.empty());
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+}  // namespace
+}  // namespace adarts

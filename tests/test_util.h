@@ -1,0 +1,65 @@
+#ifndef ADARTS_TESTS_TEST_UTIL_H_
+#define ADARTS_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/vector_ops.h"
+#include "ml/dataset.h"
+#include "ts/time_series.h"
+
+namespace adarts::testing {
+
+/// A well-separated Gaussian-blob classification dataset: class c is
+/// centred at (4c, 4c, ..., 4c) with unit noise. Any sane classifier
+/// reaches high accuracy here.
+inline ml::Dataset MakeBlobs(int num_classes, std::size_t per_class,
+                             std::size_t dim, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  ml::Dataset data;
+  data.num_classes = num_classes;
+  for (int c = 0; c < num_classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      la::Vector f(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        f[j] = 4.0 * static_cast<double>(c) + rng.Normal(0.0, 1.0);
+      }
+      data.features.push_back(std::move(f));
+      data.labels.push_back(c);
+    }
+  }
+  return data;
+}
+
+/// A sine series with optional noise.
+inline ts::TimeSeries MakeSine(std::size_t length, double period,
+                               double noise = 0.0, std::uint64_t seed = 5,
+                               double amplitude = 1.0, double phase = 0.0) {
+  Rng rng(seed);
+  la::Vector v(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    v[t] = amplitude *
+               std::sin(2.0 * 3.14159265358979323846 *
+                        (static_cast<double>(t) / period) + phase) +
+           (noise > 0.0 ? rng.Normal(0.0, noise) : 0.0);
+  }
+  return ts::TimeSeries(std::move(v));
+}
+
+/// A set of correlated sine series (shared signal + per-series noise),
+/// the friendly case for matrix-completion imputers.
+inline std::vector<ts::TimeSeries> MakeCorrelatedSet(std::size_t count,
+                                                     std::size_t length,
+                                                     double noise = 0.05,
+                                                     std::uint64_t seed = 7) {
+  std::vector<ts::TimeSeries> out;
+  for (std::size_t s = 0; s < count; ++s) {
+    out.push_back(MakeSine(length, 24.0, noise, seed + s, 1.0 + 0.1 * s));
+  }
+  return out;
+}
+
+}  // namespace adarts::testing
+
+#endif  // ADARTS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,242 @@
+// adarts_cli — command-line front end to the A-DARTS library.
+//
+//   adarts_cli generate  --category Power --series 20 --length 192
+//                        --seed 1 --out corpus.csv
+//   adarts_cli inject    --input corpus.csv --fraction 0.1
+//                        --pattern single_block --seed 2 --out faulty.csv
+//   adarts_cli label     --corpus corpus.csv
+//   adarts_cli recommend --corpus corpus.csv --faulty faulty.csv
+//   adarts_cli repair    --corpus corpus.csv --faulty faulty.csv
+//                        --out repaired.csv
+//
+// `--corpus` supplies complete historical series to train the engine on;
+// `--faulty` contains the series to diagnose/repair (empty cells = missing).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adarts/adarts.h"
+#include "cluster/incremental.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "io/csv.h"
+#include "labeling/labeler.h"
+#include "ts/missing.h"
+
+namespace adarts::cli {
+namespace {
+
+using Args = std::map<std::string, std::string>;
+
+/// Parses "--key value" pairs after the subcommand.
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args[key] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string GetArg(const Args& args, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = args.find(key);
+  return it != args.end() ? it->second : fallback;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: adarts_cli <generate|inject|label|train|recommend|repair> "
+               "[--key value]...\n"
+               "  generate  --category <Power|Water|Motion|Climate|Lightning|"
+               "Medical>\n"
+               "            [--series N] [--length N] [--variant N] "
+               "[--seed N] --out FILE\n"
+               "  inject    --input FILE [--fraction F] [--pattern "
+               "single_block|multi_block|blackout|tip_of_series]\n"
+               "            [--seed N] --out FILE\n"
+               "  label     --corpus FILE\n"
+               "  train     --corpus FILE --model FILE\n"
+               "  recommend (--corpus FILE | --model FILE) --faulty FILE\n"
+               "  repair    (--corpus FILE | --model FILE) --faulty FILE --out FILE\n");
+  return 2;
+}
+
+Result<data::Category> ParseCategory(const std::string& name) {
+  for (data::Category c : data::AllCategories()) {
+    if (data::CategoryToString(c) == name) return c;
+  }
+  return Status::NotFound("unknown category: " + name);
+}
+
+Result<ts::MissingPattern> ParsePattern(const std::string& name) {
+  for (ts::MissingPattern p :
+       {ts::MissingPattern::kSingleBlock, ts::MissingPattern::kMultiBlock,
+        ts::MissingPattern::kBlackout, ts::MissingPattern::kTipOfSeries}) {
+    if (ts::MissingPatternToString(p) == name) return p;
+  }
+  return Status::NotFound("unknown pattern: " + name);
+}
+
+int CmdGenerate(const Args& args) {
+  auto category = ParseCategory(GetArg(args, "category", "Power"));
+  if (!category.ok()) return Fail(category.status());
+  data::GeneratorOptions opts;
+  opts.num_series = std::strtoul(GetArg(args, "series", "20").c_str(), nullptr, 10);
+  opts.length = std::strtoul(GetArg(args, "length", "192").c_str(), nullptr, 10);
+  opts.variant = std::atoi(GetArg(args, "variant", "0").c_str());
+  opts.seed = std::strtoull(GetArg(args, "seed", "1").c_str(), nullptr, 10);
+  const std::string out = GetArg(args, "out", "");
+  if (out.empty()) return Usage();
+  const auto series = data::GenerateCategory(*category, opts);
+  if (auto st = io::WriteSeriesCsv(out, series); !st.ok()) return Fail(st);
+  std::printf("wrote %zu series of length %zu to %s\n", series.size(),
+              opts.length, out.c_str());
+  return 0;
+}
+
+int CmdInject(const Args& args) {
+  auto set = io::ReadSeriesCsv(GetArg(args, "input", ""));
+  if (!set.ok()) return Fail(set.status());
+  auto pattern = ParsePattern(GetArg(args, "pattern", "single_block"));
+  if (!pattern.ok()) return Fail(pattern.status());
+  const double fraction = std::atof(GetArg(args, "fraction", "0.1").c_str());
+  Rng rng(std::strtoull(GetArg(args, "seed", "2").c_str(), nullptr, 10));
+  for (auto& s : *set) {
+    if (auto st = ts::InjectPattern(*pattern, fraction, &rng, &s); !st.ok()) {
+      return Fail(st);
+    }
+  }
+  const std::string out = GetArg(args, "out", "");
+  if (out.empty()) return Usage();
+  if (auto st = io::WriteSeriesCsv(out, *set); !st.ok()) return Fail(st);
+  std::size_t missing = 0, total = 0;
+  for (const auto& s : *set) {
+    missing += s.MissingCount();
+    total += s.length();
+  }
+  std::printf("masked %zu of %zu values (%.1f%%) -> %s\n", missing, total,
+              100.0 * missing / total, out.c_str());
+  return 0;
+}
+
+int CmdLabel(const Args& args) {
+  auto corpus = io::ReadSeriesCsv(GetArg(args, "corpus", ""));
+  if (!corpus.ok()) return Fail(corpus.status());
+  auto clustering = cluster::IncrementalClustering(*corpus, {});
+  if (!clustering.ok()) return Fail(clustering.status());
+  auto labels = labeling::LabelByClusters(*corpus, *clustering, {});
+  if (!labels.ok()) return Fail(labels.status());
+  std::printf("%zu series -> %zu clusters, %zu imputation runs\n",
+              corpus->size(), clustering->NumClusters(),
+              labels->imputation_runs);
+  for (std::size_t c = 0; c < clustering->clusters.size(); ++c) {
+    const auto& members = clustering->clusters[c];
+    if (members.empty()) continue;
+    const int label = labels->labels[members[0]];
+    std::printf("  cluster %zu (%zu series): %s\n", c, members.size(),
+                std::string(impute::AlgorithmToString(
+                                labels->algorithms[static_cast<std::size_t>(
+                                    label)]))
+                    .c_str());
+  }
+  return 0;
+}
+
+/// Obtains an engine: from a saved bundle when --model FILE exists, else by
+/// training on --corpus FILE (and saving to --model if given).
+Result<Adarts> ObtainEngine(const Args& args) {
+  const std::string model = GetArg(args, "model", "");
+  if (!model.empty()) {
+    auto loaded = Adarts::Load(model);
+    if (loaded.ok()) return loaded;
+    if (GetArg(args, "corpus", "").empty()) return loaded;  // nothing to train on
+  }
+  ADARTS_ASSIGN_OR_RETURN(std::vector<ts::TimeSeries> corpus,
+                          io::ReadSeriesCsv(GetArg(args, "corpus", "")));
+  TrainOptions options;
+  options.seed = std::strtoull(GetArg(args, "seed", "17").c_str(), nullptr, 10);
+  ADARTS_ASSIGN_OR_RETURN(Adarts engine, Adarts::Train(corpus, options));
+  if (!model.empty()) {
+    ADARTS_RETURN_NOT_OK(engine.Save(model));
+  }
+  return engine;
+}
+
+int CmdTrain(const Args& args) {
+  if (GetArg(args, "model", "").empty() || GetArg(args, "corpus", "").empty()) {
+    return Usage();
+  }
+  // train always retrains: discard any stale bundle at the target path so
+  // ObtainEngine cannot short-circuit by loading it.
+  std::remove(GetArg(args, "model", "").c_str());
+  auto engine = ObtainEngine(args);
+  if (!engine.ok()) return Fail(engine.status());
+  std::printf("trained committee of %zu pipelines over %zu algorithms; "
+              "saved to %s\n",
+              engine->committee_size(), engine->algorithm_pool().size(),
+              GetArg(args, "model", "").c_str());
+  for (const auto& member : engine->committee()) {
+    std::printf("  %s\n", member.spec.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdRecommend(const Args& args) {
+  auto engine = ObtainEngine(args);
+  if (!engine.ok()) return Fail(engine.status());
+  auto faulty = io::ReadSeriesCsv(GetArg(args, "faulty", ""));
+  if (!faulty.ok()) return Fail(faulty.status());
+  for (const auto& s : *faulty) {
+    auto ranking = engine->RecommendRanked(s);
+    if (!ranking.ok()) return Fail(ranking.status());
+    std::printf("%s (%zu missing):", s.name().c_str(), s.MissingCount());
+    for (std::size_t i = 0; i < 3 && i < ranking->size(); ++i) {
+      std::printf(" %s",
+                  std::string(impute::AlgorithmToString((*ranking)[i])).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdRepair(const Args& args) {
+  auto engine = ObtainEngine(args);
+  if (!engine.ok()) return Fail(engine.status());
+  auto faulty = io::ReadSeriesCsv(GetArg(args, "faulty", ""));
+  if (!faulty.ok()) return Fail(faulty.status());
+  auto repaired = engine->RepairSet(*faulty);
+  if (!repaired.ok()) return Fail(repaired.status());
+  const std::string out = GetArg(args, "out", "");
+  if (out.empty()) return Usage();
+  if (auto st = io::WriteSeriesCsv(out, *repaired); !st.ok()) return Fail(st);
+  std::printf("repaired %zu series -> %s\n", repaired->size(), out.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = ParseArgs(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "inject") return CmdInject(args);
+  if (command == "label") return CmdLabel(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "recommend") return CmdRecommend(args);
+  if (command == "repair") return CmdRepair(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace adarts::cli
+
+int main(int argc, char** argv) { return adarts::cli::Main(argc, argv); }
