@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/adarts_bench_util.dir/bench_util.cc.o.d"
+  "libadarts_bench_util.a"
+  "libadarts_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_downstream_forecasting.dir/bench_fig12_downstream_forecasting.cc.o"
+  "CMakeFiles/bench_fig12_downstream_forecasting.dir/bench_fig12_downstream_forecasting.cc.o.d"
+  "bench_fig12_downstream_forecasting"
+  "bench_fig12_downstream_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_downstream_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

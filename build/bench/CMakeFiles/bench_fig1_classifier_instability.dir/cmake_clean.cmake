@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_classifier_instability.dir/bench_fig1_classifier_instability.cc.o"
+  "CMakeFiles/bench_fig1_classifier_instability.dir/bench_fig1_classifier_instability.cc.o.d"
+  "bench_fig1_classifier_instability"
+  "bench_fig1_classifier_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_classifier_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

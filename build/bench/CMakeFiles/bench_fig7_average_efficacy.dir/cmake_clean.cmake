@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_average_efficacy.dir/bench_fig7_average_efficacy.cc.o"
+  "CMakeFiles/bench_fig7_average_efficacy.dir/bench_fig7_average_efficacy.cc.o.d"
+  "bench_fig7_average_efficacy"
+  "bench_fig7_average_efficacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_average_efficacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

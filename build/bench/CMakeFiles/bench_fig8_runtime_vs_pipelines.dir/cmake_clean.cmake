@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_runtime_vs_pipelines.dir/bench_fig8_runtime_vs_pipelines.cc.o"
+  "CMakeFiles/bench_fig8_runtime_vs_pipelines.dir/bench_fig8_runtime_vs_pipelines.cc.o.d"
+  "bench_fig8_runtime_vs_pipelines"
+  "bench_fig8_runtime_vs_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_runtime_vs_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_impute_scenarios.dir/bench_impute_scenarios.cc.o"
+  "CMakeFiles/bench_impute_scenarios.dir/bench_impute_scenarios.cc.o.d"
+  "bench_impute_scenarios"
+  "bench_impute_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_impute_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecasting_pipeline.dir/forecasting_pipeline.cpp.o"
+  "CMakeFiles/forecasting_pipeline.dir/forecasting_pipeline.cpp.o.d"
+  "forecasting_pipeline"
+  "forecasting_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecasting_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

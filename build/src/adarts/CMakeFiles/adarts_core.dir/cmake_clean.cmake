@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_core.dir/adarts.cc.o"
+  "CMakeFiles/adarts_core.dir/adarts.cc.o.d"
+  "CMakeFiles/adarts_core.dir/serialization.cc.o"
+  "CMakeFiles/adarts_core.dir/serialization.cc.o.d"
+  "libadarts_core.a"
+  "libadarts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automl/model_race.cc" "src/automl/CMakeFiles/adarts_automl.dir/model_race.cc.o" "gcc" "src/automl/CMakeFiles/adarts_automl.dir/model_race.cc.o.d"
+  "/root/repo/src/automl/pipeline.cc" "src/automl/CMakeFiles/adarts_automl.dir/pipeline.cc.o" "gcc" "src/automl/CMakeFiles/adarts_automl.dir/pipeline.cc.o.d"
+  "/root/repo/src/automl/recommender.cc" "src/automl/CMakeFiles/adarts_automl.dir/recommender.cc.o" "gcc" "src/automl/CMakeFiles/adarts_automl.dir/recommender.cc.o.d"
+  "/root/repo/src/automl/synthesizer.cc" "src/automl/CMakeFiles/adarts_automl.dir/synthesizer.cc.o" "gcc" "src/automl/CMakeFiles/adarts_automl.dir/synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/adarts_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/adarts_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adarts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_automl.dir/model_race.cc.o"
+  "CMakeFiles/adarts_automl.dir/model_race.cc.o.d"
+  "CMakeFiles/adarts_automl.dir/pipeline.cc.o"
+  "CMakeFiles/adarts_automl.dir/pipeline.cc.o.d"
+  "CMakeFiles/adarts_automl.dir/recommender.cc.o"
+  "CMakeFiles/adarts_automl.dir/recommender.cc.o.d"
+  "CMakeFiles/adarts_automl.dir/synthesizer.cc.o"
+  "CMakeFiles/adarts_automl.dir/synthesizer.cc.o.d"
+  "libadarts_automl.a"
+  "libadarts_automl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_automl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autofolio_lite.cc" "src/baselines/CMakeFiles/adarts_baselines.dir/autofolio_lite.cc.o" "gcc" "src/baselines/CMakeFiles/adarts_baselines.dir/autofolio_lite.cc.o.d"
+  "/root/repo/src/baselines/baselines.cc" "src/baselines/CMakeFiles/adarts_baselines.dir/baselines.cc.o" "gcc" "src/baselines/CMakeFiles/adarts_baselines.dir/baselines.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/adarts_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/adarts_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/flaml_lite.cc" "src/baselines/CMakeFiles/adarts_baselines.dir/flaml_lite.cc.o" "gcc" "src/baselines/CMakeFiles/adarts_baselines.dir/flaml_lite.cc.o.d"
+  "/root/repo/src/baselines/raha_lite.cc" "src/baselines/CMakeFiles/adarts_baselines.dir/raha_lite.cc.o" "gcc" "src/baselines/CMakeFiles/adarts_baselines.dir/raha_lite.cc.o.d"
+  "/root/repo/src/baselines/tune_lite.cc" "src/baselines/CMakeFiles/adarts_baselines.dir/tune_lite.cc.o" "gcc" "src/baselines/CMakeFiles/adarts_baselines.dir/tune_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/adarts_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/adarts_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adarts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_baselines.dir/autofolio_lite.cc.o"
+  "CMakeFiles/adarts_baselines.dir/autofolio_lite.cc.o.d"
+  "CMakeFiles/adarts_baselines.dir/baselines.cc.o"
+  "CMakeFiles/adarts_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/adarts_baselines.dir/common.cc.o"
+  "CMakeFiles/adarts_baselines.dir/common.cc.o.d"
+  "CMakeFiles/adarts_baselines.dir/flaml_lite.cc.o"
+  "CMakeFiles/adarts_baselines.dir/flaml_lite.cc.o.d"
+  "CMakeFiles/adarts_baselines.dir/raha_lite.cc.o"
+  "CMakeFiles/adarts_baselines.dir/raha_lite.cc.o.d"
+  "CMakeFiles/adarts_baselines.dir/tune_lite.cc.o"
+  "CMakeFiles/adarts_baselines.dir/tune_lite.cc.o.d"
+  "libadarts_baselines.a"
+  "libadarts_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_cluster.dir/clustering.cc.o"
+  "CMakeFiles/adarts_cluster.dir/clustering.cc.o.d"
+  "CMakeFiles/adarts_cluster.dir/incremental.cc.o"
+  "CMakeFiles/adarts_cluster.dir/incremental.cc.o.d"
+  "CMakeFiles/adarts_cluster.dir/kshape.cc.o"
+  "CMakeFiles/adarts_cluster.dir/kshape.cc.o.d"
+  "libadarts_cluster.a"
+  "libadarts_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

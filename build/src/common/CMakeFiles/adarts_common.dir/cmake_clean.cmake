@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_common.dir/rng.cc.o"
+  "CMakeFiles/adarts_common.dir/rng.cc.o.d"
+  "CMakeFiles/adarts_common.dir/status.cc.o"
+  "CMakeFiles/adarts_common.dir/status.cc.o.d"
+  "libadarts_common.a"
+  "libadarts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

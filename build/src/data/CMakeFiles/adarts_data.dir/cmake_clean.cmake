@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_data.dir/forecast_data.cc.o"
+  "CMakeFiles/adarts_data.dir/forecast_data.cc.o.d"
+  "CMakeFiles/adarts_data.dir/generators.cc.o"
+  "CMakeFiles/adarts_data.dir/generators.cc.o.d"
+  "libadarts_data.a"
+  "libadarts_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

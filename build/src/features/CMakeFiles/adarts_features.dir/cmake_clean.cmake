@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_features.dir/coverage.cc.o"
+  "CMakeFiles/adarts_features.dir/coverage.cc.o.d"
+  "CMakeFiles/adarts_features.dir/feature_extractor.cc.o"
+  "CMakeFiles/adarts_features.dir/feature_extractor.cc.o.d"
+  "libadarts_features.a"
+  "libadarts_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

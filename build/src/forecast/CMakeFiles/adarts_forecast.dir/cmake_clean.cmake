@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_forecast.dir/forecaster.cc.o"
+  "CMakeFiles/adarts_forecast.dir/forecaster.cc.o.d"
+  "libadarts_forecast.a"
+  "libadarts_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impute/cdrec.cc" "src/impute/CMakeFiles/adarts_impute.dir/cdrec.cc.o" "gcc" "src/impute/CMakeFiles/adarts_impute.dir/cdrec.cc.o.d"
+  "/root/repo/src/impute/factorization.cc" "src/impute/CMakeFiles/adarts_impute.dir/factorization.cc.o" "gcc" "src/impute/CMakeFiles/adarts_impute.dir/factorization.cc.o.d"
+  "/root/repo/src/impute/imputer.cc" "src/impute/CMakeFiles/adarts_impute.dir/imputer.cc.o" "gcc" "src/impute/CMakeFiles/adarts_impute.dir/imputer.cc.o.d"
+  "/root/repo/src/impute/masked_matrix.cc" "src/impute/CMakeFiles/adarts_impute.dir/masked_matrix.cc.o" "gcc" "src/impute/CMakeFiles/adarts_impute.dir/masked_matrix.cc.o.d"
+  "/root/repo/src/impute/pattern.cc" "src/impute/CMakeFiles/adarts_impute.dir/pattern.cc.o" "gcc" "src/impute/CMakeFiles/adarts_impute.dir/pattern.cc.o.d"
+  "/root/repo/src/impute/simple.cc" "src/impute/CMakeFiles/adarts_impute.dir/simple.cc.o" "gcc" "src/impute/CMakeFiles/adarts_impute.dir/simple.cc.o.d"
+  "/root/repo/src/impute/subspace.cc" "src/impute/CMakeFiles/adarts_impute.dir/subspace.cc.o" "gcc" "src/impute/CMakeFiles/adarts_impute.dir/subspace.cc.o.d"
+  "/root/repo/src/impute/svd_family.cc" "src/impute/CMakeFiles/adarts_impute.dir/svd_family.cc.o" "gcc" "src/impute/CMakeFiles/adarts_impute.dir/svd_family.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/adarts_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/adarts_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/adarts_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adarts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tda/CMakeFiles/adarts_tda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

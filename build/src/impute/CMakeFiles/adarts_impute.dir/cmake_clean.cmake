@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_impute.dir/cdrec.cc.o"
+  "CMakeFiles/adarts_impute.dir/cdrec.cc.o.d"
+  "CMakeFiles/adarts_impute.dir/factorization.cc.o"
+  "CMakeFiles/adarts_impute.dir/factorization.cc.o.d"
+  "CMakeFiles/adarts_impute.dir/imputer.cc.o"
+  "CMakeFiles/adarts_impute.dir/imputer.cc.o.d"
+  "CMakeFiles/adarts_impute.dir/masked_matrix.cc.o"
+  "CMakeFiles/adarts_impute.dir/masked_matrix.cc.o.d"
+  "CMakeFiles/adarts_impute.dir/pattern.cc.o"
+  "CMakeFiles/adarts_impute.dir/pattern.cc.o.d"
+  "CMakeFiles/adarts_impute.dir/simple.cc.o"
+  "CMakeFiles/adarts_impute.dir/simple.cc.o.d"
+  "CMakeFiles/adarts_impute.dir/subspace.cc.o"
+  "CMakeFiles/adarts_impute.dir/subspace.cc.o.d"
+  "CMakeFiles/adarts_impute.dir/svd_family.cc.o"
+  "CMakeFiles/adarts_impute.dir/svd_family.cc.o.d"
+  "libadarts_impute.a"
+  "libadarts_impute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_impute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

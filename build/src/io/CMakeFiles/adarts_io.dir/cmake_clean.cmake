@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_io.dir/csv.cc.o"
+  "CMakeFiles/adarts_io.dir/csv.cc.o.d"
+  "libadarts_io.a"
+  "libadarts_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

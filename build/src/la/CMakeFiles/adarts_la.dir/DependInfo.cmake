@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/decompositions.cc" "src/la/CMakeFiles/adarts_la.dir/decompositions.cc.o" "gcc" "src/la/CMakeFiles/adarts_la.dir/decompositions.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/la/CMakeFiles/adarts_la.dir/matrix.cc.o" "gcc" "src/la/CMakeFiles/adarts_la.dir/matrix.cc.o.d"
+  "/root/repo/src/la/pca.cc" "src/la/CMakeFiles/adarts_la.dir/pca.cc.o" "gcc" "src/la/CMakeFiles/adarts_la.dir/pca.cc.o.d"
+  "/root/repo/src/la/vector_ops.cc" "src/la/CMakeFiles/adarts_la.dir/vector_ops.cc.o" "gcc" "src/la/CMakeFiles/adarts_la.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adarts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_la.dir/decompositions.cc.o"
+  "CMakeFiles/adarts_la.dir/decompositions.cc.o.d"
+  "CMakeFiles/adarts_la.dir/matrix.cc.o"
+  "CMakeFiles/adarts_la.dir/matrix.cc.o.d"
+  "CMakeFiles/adarts_la.dir/pca.cc.o"
+  "CMakeFiles/adarts_la.dir/pca.cc.o.d"
+  "CMakeFiles/adarts_la.dir/vector_ops.cc.o"
+  "CMakeFiles/adarts_la.dir/vector_ops.cc.o.d"
+  "libadarts_la.a"
+  "libadarts_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

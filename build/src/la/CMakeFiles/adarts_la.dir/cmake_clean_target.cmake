@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadarts_la.a"
+)

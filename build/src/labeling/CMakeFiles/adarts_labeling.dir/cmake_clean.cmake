@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_labeling.dir/labeler.cc.o"
+  "CMakeFiles/adarts_labeling.dir/labeler.cc.o.d"
+  "libadarts_labeling.a"
+  "libadarts_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

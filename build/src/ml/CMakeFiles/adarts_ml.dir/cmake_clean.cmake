@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_ml.dir/classifier.cc.o"
+  "CMakeFiles/adarts_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/adarts_ml.dir/classifiers.cc.o"
+  "CMakeFiles/adarts_ml.dir/classifiers.cc.o.d"
+  "CMakeFiles/adarts_ml.dir/dataset.cc.o"
+  "CMakeFiles/adarts_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/adarts_ml.dir/metrics.cc.o"
+  "CMakeFiles/adarts_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/adarts_ml.dir/scaler.cc.o"
+  "CMakeFiles/adarts_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/adarts_ml.dir/tree.cc.o"
+  "CMakeFiles/adarts_ml.dir/tree.cc.o.d"
+  "libadarts_ml.a"
+  "libadarts_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

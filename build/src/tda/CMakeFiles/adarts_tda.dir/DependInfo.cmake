@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tda/delay_embedding.cc" "src/tda/CMakeFiles/adarts_tda.dir/delay_embedding.cc.o" "gcc" "src/tda/CMakeFiles/adarts_tda.dir/delay_embedding.cc.o.d"
+  "/root/repo/src/tda/diagram_stats.cc" "src/tda/CMakeFiles/adarts_tda.dir/diagram_stats.cc.o" "gcc" "src/tda/CMakeFiles/adarts_tda.dir/diagram_stats.cc.o.d"
+  "/root/repo/src/tda/persistence.cc" "src/tda/CMakeFiles/adarts_tda.dir/persistence.cc.o" "gcc" "src/tda/CMakeFiles/adarts_tda.dir/persistence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/adarts_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adarts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_tda.dir/delay_embedding.cc.o"
+  "CMakeFiles/adarts_tda.dir/delay_embedding.cc.o.d"
+  "CMakeFiles/adarts_tda.dir/diagram_stats.cc.o"
+  "CMakeFiles/adarts_tda.dir/diagram_stats.cc.o.d"
+  "CMakeFiles/adarts_tda.dir/persistence.cc.o"
+  "CMakeFiles/adarts_tda.dir/persistence.cc.o.d"
+  "libadarts_tda.a"
+  "libadarts_tda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_tda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/acf.cc" "src/ts/CMakeFiles/adarts_ts.dir/acf.cc.o" "gcc" "src/ts/CMakeFiles/adarts_ts.dir/acf.cc.o.d"
+  "/root/repo/src/ts/correlation.cc" "src/ts/CMakeFiles/adarts_ts.dir/correlation.cc.o" "gcc" "src/ts/CMakeFiles/adarts_ts.dir/correlation.cc.o.d"
+  "/root/repo/src/ts/fft.cc" "src/ts/CMakeFiles/adarts_ts.dir/fft.cc.o" "gcc" "src/ts/CMakeFiles/adarts_ts.dir/fft.cc.o.d"
+  "/root/repo/src/ts/metrics.cc" "src/ts/CMakeFiles/adarts_ts.dir/metrics.cc.o" "gcc" "src/ts/CMakeFiles/adarts_ts.dir/metrics.cc.o.d"
+  "/root/repo/src/ts/missing.cc" "src/ts/CMakeFiles/adarts_ts.dir/missing.cc.o" "gcc" "src/ts/CMakeFiles/adarts_ts.dir/missing.cc.o.d"
+  "/root/repo/src/ts/time_series.cc" "src/ts/CMakeFiles/adarts_ts.dir/time_series.cc.o" "gcc" "src/ts/CMakeFiles/adarts_ts.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/adarts_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adarts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_ts.dir/acf.cc.o"
+  "CMakeFiles/adarts_ts.dir/acf.cc.o.d"
+  "CMakeFiles/adarts_ts.dir/correlation.cc.o"
+  "CMakeFiles/adarts_ts.dir/correlation.cc.o.d"
+  "CMakeFiles/adarts_ts.dir/fft.cc.o"
+  "CMakeFiles/adarts_ts.dir/fft.cc.o.d"
+  "CMakeFiles/adarts_ts.dir/metrics.cc.o"
+  "CMakeFiles/adarts_ts.dir/metrics.cc.o.d"
+  "CMakeFiles/adarts_ts.dir/missing.cc.o"
+  "CMakeFiles/adarts_ts.dir/missing.cc.o.d"
+  "CMakeFiles/adarts_ts.dir/time_series.cc.o"
+  "CMakeFiles/adarts_ts.dir/time_series.cc.o.d"
+  "libadarts_ts.a"
+  "libadarts_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

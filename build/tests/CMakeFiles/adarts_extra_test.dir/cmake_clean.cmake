@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_extra_test.dir/adarts_extra_test.cc.o"
+  "CMakeFiles/adarts_extra_test.dir/adarts_extra_test.cc.o.d"
+  "adarts_extra_test"
+  "adarts_extra_test.pdb"
+  "adarts_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

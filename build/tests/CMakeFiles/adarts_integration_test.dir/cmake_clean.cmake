@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_integration_test.dir/adarts_integration_test.cc.o"
+  "CMakeFiles/adarts_integration_test.dir/adarts_integration_test.cc.o.d"
+  "adarts_integration_test"
+  "adarts_integration_test.pdb"
+  "adarts_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automl_test.dir/automl_test.cc.o"
+  "CMakeFiles/automl_test.dir/automl_test.cc.o.d"
+  "automl_test"
+  "automl_test.pdb"
+  "automl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/impute_test.cc" "tests/CMakeFiles/impute_test.dir/impute_test.cc.o" "gcc" "tests/CMakeFiles/impute_test.dir/impute_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adarts/CMakeFiles/adarts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/adarts_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adarts_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/adarts_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/adarts_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/automl/CMakeFiles/adarts_automl.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/adarts_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/adarts_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/impute/CMakeFiles/adarts_impute.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/adarts_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/tda/CMakeFiles/adarts_tda.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/adarts_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/adarts_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/adarts_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adarts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

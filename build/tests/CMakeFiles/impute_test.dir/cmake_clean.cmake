@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impute_test.dir/impute_test.cc.o"
+  "CMakeFiles/impute_test.dir/impute_test.cc.o.d"
+  "impute_test"
+  "impute_test.pdb"
+  "impute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tda_test.dir/tda_test.cc.o"
+  "CMakeFiles/tda_test.dir/tda_test.cc.o.d"
+  "tda_test"
+  "tda_test.pdb"
+  "tda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adarts_cli.dir/adarts_cli.cc.o"
+  "CMakeFiles/adarts_cli.dir/adarts_cli.cc.o.d"
+  "adarts_cli"
+  "adarts_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adarts_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
