@@ -5,17 +5,22 @@
 // recommendations, and duplicate classifier families among the winners.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <set>
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace adarts::bench {
 namespace {
 
-int Run() {
-  std::printf("=== Fig. 8: Recommendation Running Time vs Efficacy ===\n\n");
+int Run(std::size_t num_threads) {
+  std::printf("=== Fig. 8: Recommendation Running Time vs Efficacy ===\n");
+  std::printf("(ModelRace threads: %zu)\n\n",
+              ThreadPool::ResolveThreadCount(num_threads));
 
   // One moderately hard category keeps the sweep affordable.
   ExperimentOptions opts;
@@ -37,6 +42,7 @@ int Run() {
     automl::ModelRaceOptions race;
     race.num_seed_pipelines = n;
     race.num_partial_sets = 3;
+    race.num_threads = num_threads;
     auto adarts_scores = EvaluateAdarts(*exp, race);
     baselines::BaselineOptions bopts;
     bopts.num_configurations = n;
@@ -68,6 +74,7 @@ int Run() {
       automl::ModelRaceOptions race;
       race.num_seed_pipelines = n;
       race.num_partial_sets = 3;
+      race.num_threads = num_threads;
       race.seed = seed;
       auto scores = EvaluateAdarts(*exp, race);
       if (scores.ok()) f1s.push_back(scores->f1);
@@ -87,11 +94,47 @@ int Run() {
                 duplicate_family ? "yes" : "no");
   }
   std::printf("(paper shape: F1 rises and std shrinks with more pipelines; "
-              "duplicate classifier families appear among the winners)\n");
+              "duplicate classifier families appear among the winners)\n\n");
+
+  std::printf("--- (c) thread scaling of one race (24 pipelines) ---\n");
+  std::printf("%-10s %12s %10s\n", "threads", "seconds", "speedup");
+  PrintRule(34);
+  double serial_seconds = 0.0;
+  for (std::size_t threads : {1, 2, 4}) {
+    automl::ModelRaceOptions race;
+    race.num_seed_pipelines = 24;
+    race.num_partial_sets = 3;
+    race.num_threads = threads;
+    auto scores = EvaluateAdarts(*exp, race);
+    if (!scores.ok()) {
+      std::printf("%-10zu %12s %10s\n", threads, "fail", "-");
+      continue;
+    }
+    if (threads == 1) serial_seconds = scores->train_seconds;
+    std::printf("%-10zu %12s %9sx\n", threads,
+                Fmt(scores->train_seconds, 3).c_str(),
+                serial_seconds > 0.0
+                    ? Fmt(serial_seconds / scores->train_seconds, 2).c_str()
+                    : "-");
+  }
+  std::printf("(per-candidate fold evaluations run on the shared pool; the "
+              "selected elites are identical at every thread count)\n");
   return 0;
 }
 
 }  // namespace
 }  // namespace adarts::bench
 
-int main() { return adarts::bench::Run(); }
+int main(int argc, char** argv) {
+  // --threads N (default 0 = hardware concurrency) sizes the ModelRace
+  // evaluation pool for parts (a) and (b); part (c) sweeps 1/2/4 regardless.
+  std::size_t num_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      num_threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      num_threads = static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+  }
+  return adarts::bench::Run(num_threads);
+}

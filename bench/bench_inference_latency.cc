@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "adarts/adarts.h"
 #include "common/rng.h"
 #include "data/generators.h"
@@ -11,6 +14,11 @@
 
 namespace adarts {
 namespace {
+
+/// --threads N: pool size used while training the shared engine (0 =
+/// hardware concurrency). Inference itself is single-threaded by design —
+/// the claim under test is per-series recommendation latency.
+std::size_t g_train_threads = 0;
 
 /// A process-lifetime engine trained once and shared by all benchmarks
 /// (training itself is benchmarked separately in the figure benches).
@@ -33,6 +41,7 @@ const Adarts& SharedEngine() {
     opts.race.num_seed_pipelines = 12;
     opts.race.num_partial_sets = 2;
     opts.race.num_folds = 2;
+    opts.num_threads = g_train_threads;
     auto engine_result = Adarts::Train(corpus, opts);
     ADARTS_CHECK(engine_result.ok());
     return *new Adarts(std::move(*engine_result));
@@ -95,4 +104,24 @@ BENCHMARK(BM_EndToEndRepair);
 }  // namespace
 }  // namespace adarts
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our --threads flag before google-benchmark sees the arguments.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      adarts::g_train_threads =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      adarts::g_train_threads =
+          static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ts/missing.h"
 
 namespace adarts {
@@ -14,38 +15,62 @@ Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
     return Status::InvalidArgument("training corpus too small (< 8 series)");
   }
   Rng rng(options.seed);
+  ThreadPool pool(options.num_threads);
 
   // --- (1) Labeling, via clusters (fast) or exhaustively.
+  labeling::LabelingOptions labeling_options = options.labeling;
+  labeling_options.num_threads = options.num_threads;
   labeling::LabelingResult labels;
   if (options.use_cluster_labeling) {
     ADARTS_ASSIGN_OR_RETURN(
         cluster::Clustering clustering,
         cluster::IncrementalClustering(corpus, options.clustering));
     ADARTS_ASSIGN_OR_RETURN(
-        labels, labeling::LabelByClusters(corpus, clustering, options.labeling));
+        labels, labeling::LabelByClusters(corpus, clustering, labeling_options));
   } else {
-    ADARTS_ASSIGN_OR_RETURN(labels,
-                            labeling::LabelSeriesFull(corpus, options.labeling));
+    ADARTS_ASSIGN_OR_RETURN(
+        labels, labeling::LabelSeriesFull(corpus, labeling_options));
   }
 
   // --- (2) Feature extraction from faulty copies of the corpus: inference
-  // sees incomplete series, so training features must too.
+  // sees incomplete series, so training features must too. Each series masks
+  // with its own Rng, forked up front in index order on this thread, so the
+  // extracted features are bit-identical regardless of thread count.
   features::FeatureExtractor extractor(options.features);
   ml::Dataset labeled;
   labeled.num_classes = static_cast<int>(labels.algorithms.size());
+  labeled.labels = labels.labels;
+  labeled.features.resize(corpus.size());
+  std::vector<Rng> series_rngs;
+  series_rngs.reserve(corpus.size());
   for (std::size_t i = 0; i < corpus.size(); ++i) {
+    series_rngs.push_back(rng.Fork());
+  }
+  std::vector<Status> extract_status(corpus.size());
+  ParallelFor(&pool, corpus.size(), [&](std::size_t i) {
     ts::TimeSeries masked = corpus[i];
-    ADARTS_RETURN_NOT_OK(ts::InjectPattern(options.labeling.pattern,
-                                           options.labeling.missing_fraction,
-                                           &rng, &masked));
-    ADARTS_ASSIGN_OR_RETURN(la::Vector f, extractor.Extract(masked));
-    labeled.features.push_back(std::move(f));
-    labeled.labels.push_back(labels.labels[i]);
+    Status injected = ts::InjectPattern(options.labeling.pattern,
+                                        options.labeling.missing_fraction,
+                                        &series_rngs[i], &masked);
+    if (!injected.ok()) {
+      extract_status[i] = std::move(injected);
+      return;
+    }
+    Result<la::Vector> f = extractor.Extract(masked);
+    if (!f.ok()) {
+      extract_status[i] = f.status();
+      return;
+    }
+    labeled.features[i] = std::move(*f);
+  });
+  for (const Status& s : extract_status) {
+    ADARTS_RETURN_NOT_OK(s);
   }
 
   // --- (3)-(5) ModelRace over the labeled data, then the voting committee.
   automl::ModelRaceOptions race_options = options.race;
   race_options.seed = rng.NextU64();
+  race_options.num_threads = options.num_threads;
   ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
                           ml::StratifiedSplit(labeled,
                                               options.race_train_fraction,
@@ -82,6 +107,12 @@ Result<Adarts> Adarts::TrainFromLabeled(
 Result<impute::Algorithm> Adarts::Recommend(const ts::TimeSeries& faulty) const {
   ADARTS_ASSIGN_OR_RETURN(la::Vector f, extractor_.Extract(faulty));
   const int cls = recommender_.Recommend(f);
+  // The committee's class count and the pool are wired together at training
+  // time, but a hand-assembled or corrupted bundle can break the invariant;
+  // fail cleanly instead of indexing out of bounds.
+  if (cls < 0 || static_cast<std::size_t>(cls) >= pool_.size()) {
+    return Status::Internal("recommended class outside the algorithm pool");
+  }
   return pool_[static_cast<std::size_t>(cls)];
 }
 
@@ -90,6 +121,9 @@ Result<std::vector<impute::Algorithm>> Adarts::RecommendRanked(
   ADARTS_ASSIGN_OR_RETURN(la::Vector f, extractor_.Extract(faulty));
   std::vector<impute::Algorithm> out;
   for (int cls : recommender_.Ranking(f)) {
+    if (cls < 0 || static_cast<std::size_t>(cls) >= pool_.size()) {
+      return Status::Internal("ranked class outside the algorithm pool");
+    }
     out.push_back(pool_[static_cast<std::size_t>(cls)]);
   }
   return out;
@@ -105,6 +139,9 @@ Result<std::vector<ts::TimeSeries>> Adarts::RepairSet(
     const std::vector<ts::TimeSeries>& faulty_set) const {
   if (faulty_set.empty()) return Status::InvalidArgument("empty set");
   // Majority vote of per-series recommendations picks the set's algorithm.
+  // std::map iterates in ascending algorithm id and max_element keeps the
+  // first of equal counts, so ties break deterministically toward the
+  // smallest algorithm id (documented in the header).
   std::map<int, std::size_t> votes;
   for (const auto& s : faulty_set) {
     ADARTS_ASSIGN_OR_RETURN(impute::Algorithm algo, Recommend(s));

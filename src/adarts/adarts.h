@@ -28,6 +28,13 @@ struct TrainOptions {
   /// rest is the race's evaluation set T (the paper trains on e.g. 80%).
   double race_train_fraction = 0.9;
   std::uint64_t seed = 17;
+  /// Worker threads shared by the training phases (exhaustive labeling,
+  /// corpus feature extraction, ModelRace candidate evaluation): 0 sizes the
+  /// pool from `std::thread::hardware_concurrency()`, 1 runs serially.
+  /// Overrides `labeling.num_threads` and `race.num_threads`. The trained
+  /// engine and its recommendations are bit-identical for every value; see
+  /// the determinism contract in common/thread_pool.h.
+  std::size_t num_threads = 0;
 };
 
 /// The A-DARTS recommendation engine: train once on a corpus of series,
@@ -60,7 +67,9 @@ class Adarts {
   Result<ts::TimeSeries> Repair(const ts::TimeSeries& faulty) const;
 
   /// Recommends on the set (majority of per-series recommendations) and
-  /// repairs every series with the winning algorithm.
+  /// repairs every series with the winning algorithm. Vote ties are broken
+  /// deterministically toward the algorithm with the smallest id in the
+  /// engine's pool ordering.
   Result<std::vector<ts::TimeSeries>> RepairSet(
       const std::vector<ts::TimeSeries>& faulty_set) const;
 

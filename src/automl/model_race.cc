@@ -6,6 +6,7 @@
 #include "automl/synthesizer.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "ml/metrics.h"
 
 namespace adarts::automl {
@@ -99,15 +100,25 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
   Rng rng(options.seed);
   Synthesizer synth(rng.NextU64());
   ModelRaceReport report;
+  ThreadPool pool(options.num_threads);
 
   ADARTS_ASSIGN_OR_RETURN(
       std::vector<ml::Dataset> partials,
       ml::GrowingPartialSets(train, options.num_partial_sets, &rng));
 
   std::vector<RacedPipeline> elites;
+  std::size_t iterations_raced = 0;
 
   for (std::size_t iter = 0; iter < partials.size(); ++iter) {
     const ml::Dataset& s_i = partials[iter];
+
+    // A partial set below 4 samples cannot support a 2-fold split whose
+    // train sides hold at least 2 samples each — StratifiedKFoldIndices
+    // would be asked for more folds than samples, or fold-train splits
+    // would degenerate to a single class. Skip the iteration; later (larger)
+    // partials carry the race.
+    if (s_i.size() < 4) continue;
+    ++iterations_raced;
 
     // --- Synthesize candidates (line 3): seeds in the first iteration,
     // children of elites afterwards; elites keep racing with their history.
@@ -127,11 +138,11 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
       }
     }
 
-    // --- Stratified folds over the current partial set (line 5). Folds can
-    // exceed the class count on tiny partials; clamp.
-    std::size_t k = options.num_folds;
-    k = std::min(k, s_i.size() / 2);
-    if (k < 2) k = 2;
+    // --- Stratified folds over the current partial set (line 5). Clamp k so
+    // every fold keeps at least 2 samples; the size-4 guard above ensures
+    // the clamp never has to go below 2.
+    const std::size_t k =
+        std::max<std::size_t>(2, std::min(options.num_folds, s_i.size() / 2));
     auto folds_result = ml::StratifiedKFoldIndices(s_i, k, &rng);
     if (!folds_result.ok()) {
       return folds_result.status();
@@ -160,23 +171,42 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
       const ml::Dataset fold_eval = s_i.Subset(folds[fold]);
       if (fold_train.empty() || fold_eval.empty()) continue;
 
-      // Evaluate every active candidate on this fold (lines 6-8).
-      std::vector<FoldEval> evals(candidates.size());
-      double total_time = 1e-9;
+      // Evaluate every active candidate on this fold (lines 6-8), in
+      // parallel: fitting touches no shared state (each candidate builds its
+      // own scaler and classifier, seeded from its spec), so the only
+      // cross-candidate effects — the evaluation counter and the fold's
+      // total time — are folded in a serial post-pass over pre-sized,
+      // index-addressed slots.
+      std::vector<std::size_t> to_eval;
+      to_eval.reserve(candidates.size());
       for (std::size_t c = 0; c < candidates.size(); ++c) {
-        if (!active[c]) continue;
+        if (active[c]) to_eval.push_back(c);
+      }
+      std::vector<FoldEval> evals(candidates.size());
+      ParallelFor(&pool, to_eval.size(), [&](std::size_t t) {
+        const std::size_t c = to_eval[t];
         evals[c] =
             EvaluatePipelineOnFold(candidates[c].spec, fold_train, fold_eval);
-        ++report.pipelines_evaluated;
+      });
+      report.pipelines_evaluated += to_eval.size();
+      double total_time = 1e-9;
+      std::size_t fold_successes = 0;
+      for (std::size_t c : to_eval) {
         if (!evals[c].failed) {
           total_time += evals[c].seconds;
+          ++fold_successes;
         }
       }
 
       // Score with runtime normalised within the fold (line 9). The
       // normaliser is the fold's total evaluation time, so the penalty is a
       // pipeline's *share* of the round: it separates grossly expensive
-      // configurations without disqualifying moderately slower ones.
+      // configurations without disqualifying moderately slower ones. With
+      // fewer than two scored candidates a "share" is meaningless — the sole
+      // survivor's share is ~1.0, the maximum penalty, which would make its
+      // score history incomparable across folds and pollute the phase-two
+      // t-tests — so the penalty is skipped entirely.
+      const bool time_penalty = fold_successes >= 2;
       double best_score = -1e300;
       std::vector<double> fold_scores(candidates.size(), -1e300);
       for (std::size_t c = 0; c < candidates.size(); ++c) {
@@ -186,8 +216,9 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
           ++report.pipelines_pruned_early;
           continue;
         }
-        const double sc = Score(options, evals[c].f1, evals[c].recall_at3,
-                                evals[c].seconds / total_time);
+        const double sc =
+            Score(options, evals[c].f1, evals[c].recall_at3,
+                  time_penalty ? evals[c].seconds / total_time : 0.0);
         fold_scores[c] = sc;
         candidates[c].scores.push_back(sc);
         f1_acc[c] += evals[c].f1;
@@ -256,6 +287,11 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
     }
   }
 
+  if (iterations_raced == 0) {
+    return Status::InvalidArgument(
+        "every partial set holds < 4 samples; provide more training data or "
+        "fewer partial sets");
+  }
   if (elites.empty()) {
     return Status::Internal("ModelRace eliminated every pipeline");
   }

@@ -39,6 +39,11 @@ struct ModelRaceOptions {
   /// Cap on the number of surviving pipelines per iteration.
   std::size_t max_survivors = 10;
   std::uint64_t seed = 7;
+  /// Worker threads for the per-fold candidate evaluations: 0 sizes the pool
+  /// from `std::thread::hardware_concurrency()`, 1 runs serially. Reports
+  /// and elites are bit-identical for every value (timing fields aside);
+  /// see the determinism contract in common/thread_pool.h.
+  std::size_t num_threads = 0;
 };
 
 /// A pipeline together with its accumulated race statistics.

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace adarts {
+
+std::size_t ThreadPool::ResolveThreadCount(std::size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = ResolveThreadCount(num_threads);
+  if (n <= 1) return;  // size-1 pool: callers run everything inline
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// State of one ParallelFor, shared between the caller and the helper tasks
+/// via shared_ptr: a helper that only gets dequeued after the loop finished
+/// (the caller drained every index itself) must still find the state alive.
+struct LoopState {
+  std::function<void(std::size_t)> fn;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void Drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->fn = fn;
+  state->n = n;
+  const std::size_t helpers = std::min(pool->size() - 1, n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { state->Drain(); });
+  }
+  // The caller participates too: the loop completes even if every worker is
+  // busy, and nested ParallelFor calls on one pool cannot deadlock.
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  // done == n implies every fn(i) has returned, so references captured by
+  // `fn` may safely die with the caller's frame; stragglers that dequeue
+  // later see next >= n and return immediately.
+}
+
+}  // namespace adarts

@@ -1,0 +1,69 @@
+#ifndef ADARTS_COMMON_THREAD_POOL_H_
+#define ADARTS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adarts {
+
+/// A fixed-size worker pool for the library's embarrassingly-parallel loops
+/// (ModelRace candidate evaluation, corpus feature extraction, exhaustive
+/// labeling). Tasks are plain `std::function<void()>`; Status-style error
+/// handling is expected — tasks must not throw.
+///
+/// Determinism contract: the pool only changes *when* work runs, never *what*
+/// it computes. Callers keep results bit-identical across thread counts by
+/// (a) writing into pre-sized slots indexed by task id instead of appending,
+/// (b) forking any per-task `Rng` up front in index order on the calling
+/// thread, and (c) folding reductions in a serial post-pass.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means size from
+  /// `std::thread::hardware_concurrency()`. A pool of size 1 spawns no
+  /// workers at all — submitted tasks then run inline on the waiting caller.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers the pool resolves to (>= 1; counts the caller's
+  /// thread when no workers were spawned).
+  std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Enqueues one task. Fire-and-forget; pair with ParallelFor (or an
+  /// external latch) to wait for completion.
+  void Submit(std::function<void()> task);
+
+  /// Resolves a `num_threads` option value: 0 -> hardware concurrency
+  /// (at least 1), anything else passes through.
+  static std::size_t ResolveThreadCount(std::size_t num_threads);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs `fn(0) .. fn(n-1)` across the pool and blocks until every call has
+/// returned. Indices are claimed dynamically (work stealing via a shared
+/// atomic cursor), so completion *order* is nondeterministic — results are
+/// deterministic as long as `fn(i)` touches only state private to index `i`.
+/// The calling thread participates, so the loop makes progress even when
+/// every pool worker is busy elsewhere. `pool == nullptr`, a single-worker
+/// pool, or `n <= 1` degrade to a plain serial loop.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace adarts
+
+#endif  // ADARTS_COMMON_THREAD_POOL_H_

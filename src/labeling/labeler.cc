@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ts/metrics.h"
 
 namespace adarts::labeling {
@@ -30,23 +31,26 @@ Status MaskSeries(const LabelingOptions& options,
 }
 
 /// Runs every pool algorithm over the masked set and fills `rmse`
-/// (rows = targets order, cols = algorithms). Counts executions.
+/// (rows = targets order, cols = algorithms). Counts executions. Algorithms
+/// run in parallel across the pool's workers: each one builds its own
+/// imputer and writes only its own `rmse` column, so results match the
+/// serial pass bit-for-bit.
 Status ScoreAlgorithms(const std::vector<ts::TimeSeries>& masked_set,
                        const std::vector<std::size_t>& targets,
                        const std::vector<impute::Algorithm>& pool,
-                       la::Matrix* rmse, std::size_t* runs) {
-  for (std::size_t a = 0; a < pool.size(); ++a) {
+                       ThreadPool* workers, la::Matrix* rmse,
+                       std::size_t* runs) {
+  ParallelFor(workers, pool.size(), [&](std::size_t a) {
     const std::unique_ptr<impute::Imputer> imputer =
         impute::CreateImputer(pool[a]);
     auto repaired = imputer->ImputeSet(masked_set);
-    ++*runs;
     if (!repaired.ok()) {
       // An algorithm failing on a scenario is informative: it gets the
       // worst possible score rather than aborting the labeling pass.
       for (std::size_t r = 0; r < targets.size(); ++r) {
         (*rmse)(r, a) = std::numeric_limits<double>::infinity();
       }
-      continue;
+      return;
     }
     for (std::size_t r = 0; r < targets.size(); ++r) {
       const std::size_t i = targets[r];
@@ -54,7 +58,8 @@ Status ScoreAlgorithms(const std::vector<ts::TimeSeries>& masked_set,
       (*rmse)(r, a) =
           err.ok() ? *err : std::numeric_limits<double>::infinity();
     }
-  }
+  });
+  *runs += pool.size();
   return Status::OK();
 }
 
@@ -81,10 +86,12 @@ Result<LabelingResult> LabelSeriesFull(
   for (std::size_t i = 0; i < series.size(); ++i) targets[i] = i;
   ADARTS_RETURN_NOT_OK(MaskSeries(options, targets, &rng, &masked));
 
+  ThreadPool workers(options.num_threads);
   LabelingResult result;
   result.algorithms = pool;
   result.rmse = la::Matrix(series.size(), pool.size());
-  ADARTS_RETURN_NOT_OK(ScoreAlgorithms(masked, targets, pool, &result.rmse,
+  ADARTS_RETURN_NOT_OK(ScoreAlgorithms(masked, targets, pool, &workers,
+                                       &result.rmse,
                                        &result.imputation_runs));
   result.labels.resize(series.size());
   for (std::size_t i = 0; i < series.size(); ++i) {
@@ -100,6 +107,7 @@ Result<LabelingResult> LabelByClusters(
   const std::vector<impute::Algorithm> pool = ResolvePool(options);
   const la::Matrix corr = cluster::PairwiseCorrelationMatrix(series);
   Rng rng(options.seed);
+  ThreadPool workers(options.num_threads);
 
   LabelingResult result;
   result.algorithms = pool;
@@ -126,7 +134,8 @@ Result<LabelingResult> LabelByClusters(
 
     la::Matrix rep_rmse(local_reps.size(), pool.size());
     ADARTS_RETURN_NOT_OK(ScoreAlgorithms(cluster_set, local_reps, pool,
-                                         &rep_rmse, &result.imputation_runs));
+                                         &workers, &rep_rmse,
+                                         &result.imputation_runs));
 
     // The cluster label is the algorithm with the lowest mean RMSE across
     // the representatives; scores propagate to every member.

@@ -158,6 +158,38 @@ TEST(ModelRaceTest, MultipleWinnersSurvive) {
   EXPECT_GE(max_winners, 2u);
 }
 
+TEST(ModelRaceTest, TinyEarlyPartialSetsAreSkippedNotForced) {
+  // 8 samples over 4 growing partial sets gives partials of sizes 2, 4, 6
+  // and 8. The 2-sample partial cannot support a 2-fold split (the old
+  // clamp forced k back up to 2 and asked StratifiedKFoldIndices for more
+  // folds than samples); it must now be skipped while the larger partials
+  // carry the race.
+  const ml::Dataset train = MakeBlobs(2, 4, 3, 31);
+  const ml::Dataset test = MakeBlobs(2, 4, 3, 32);
+  ModelRaceOptions opts;
+  opts.num_seed_pipelines = 6;
+  opts.num_partial_sets = 4;
+  opts.num_folds = 2;
+  auto report = RunModelRace(train, test, opts);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->elites.empty());
+}
+
+TEST(ModelRaceTest, AllPartialsTinyIsInvalidArgument) {
+  // 2 samples total: every partial set is below the 4-sample floor, so the
+  // race cannot run a single iteration and must say so clearly instead of
+  // failing deep inside the fold split.
+  const ml::Dataset train = MakeBlobs(2, 1, 3, 33);
+  const ml::Dataset test = MakeBlobs(2, 2, 3, 34);
+  ModelRaceOptions opts;
+  opts.num_seed_pipelines = 6;
+  opts.num_partial_sets = 1;
+  opts.num_folds = 2;
+  auto report = RunModelRace(train, test, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ModelRaceTest, RejectsBadOptions) {
   const ml::Dataset d = MakeBlobs(2, 10, 2);
   ModelRaceOptions opts;

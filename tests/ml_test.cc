@@ -138,6 +138,32 @@ TEST(WelchTest, DegenerateSamplesReturnOne) {
   EXPECT_DOUBLE_EQ(WelchTTestPValue({1.0}, {2.0, 3.0}), 1.0);
 }
 
+TEST(WelchTest, KnownValuesMatchExternalReference) {
+  // References computed independently (scipy.stats.ttest_ind convention,
+  // equal_var=False). The classic equal-variance pair has t = -1, df = 8.
+  const la::Vector a1 = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const la::Vector b1 = {2.0, 3.0, 4.0, 5.0, 6.0};
+  EXPECT_NEAR(WelchTTestPValue(a1, b1), 0.34659350708733405, 1e-9);
+
+  // Unequal variances: Welch-Satterthwaite df = 7.4162, t = -1.5267.
+  const la::Vector a2 = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const la::Vector b2 = {2.5, 3.5, 4.5, 5.5, 8.0};
+  EXPECT_NEAR(WelchTTestPValue(a2, b2), 0.16827962790087192, 1e-9);
+
+  // Clearly separated: p in the 1e-5 range, not a hard zero.
+  const la::Vector a3 = {0.1, 0.2, 0.15, 0.12, 0.18, 0.16};
+  const la::Vector b3 = {0.3, 0.28, 0.35, 0.33, 0.31, 0.29};
+  EXPECT_NEAR(WelchTTestPValue(a3, b3), 1.3210689715896157e-05, 1e-10);
+}
+
+TEST(WelchTest, SymmetricUnderArgumentSwap) {
+  const la::Vector a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const la::Vector b = {2.5, 3.5, 4.5, 5.5, 8.0};
+  // t flips sign under the swap but only t^2 enters the CDF, so the
+  // two-sided p-value is exactly symmetric.
+  EXPECT_DOUBLE_EQ(WelchTTestPValue(a, b), WelchTTestPValue(b, a));
+}
+
 TEST(WelchTest, OverlappingSamplesMidPValue) {
   Rng rng(6);
   la::Vector a(30), b(30);
