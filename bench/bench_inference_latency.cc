@@ -1,11 +1,15 @@
 // Section VII-D claim check (google-benchmark): a trained A-DARTS engine's
 // recommendation is "almost instantaneous" — feature extraction plus a
-// committee vote per faulty series.
+// committee vote per faulty series. BM_RecommendBatch adds the set-wise
+// story: one RecommendBatch call amortises dispatch over many series and
+// sweeps the inference pool size (batch x threads).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "adarts/adarts.h"
 #include "common/rng.h"
@@ -60,6 +64,19 @@ ts::TimeSeries FaultySeries(std::size_t length) {
   return s;
 }
 
+std::vector<ts::TimeSeries> FaultyBatch(std::size_t count, std::size_t length) {
+  data::GeneratorOptions gopts;
+  gopts.num_series = count;
+  gopts.length = length;
+  gopts.seed = 56;
+  auto batch = data::GenerateCategory(data::Category::kClimate, gopts);
+  Rng rng(6);
+  for (auto& s : batch) {
+    (void)ts::InjectSingleBlock(length / 10, &rng, &s);
+  }
+  return batch;
+}
+
 void BM_Recommend(benchmark::State& state) {
   const Adarts& engine = SharedEngine();
   const ts::TimeSeries faulty =
@@ -90,6 +107,28 @@ void BM_FeatureExtractionShare(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeatureExtractionShare);
+
+void BM_RecommendBatch(benchmark::State& state) {
+  const Adarts& engine = SharedEngine();
+  const std::vector<ts::TimeSeries> batch =
+      FaultyBatch(static_cast<std::size_t>(state.range(0)), 160);
+  RecommendBatchOptions opts;
+  opts.num_threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto recs = engine.RecommendBatch(batch, opts);
+    benchmark::DoNotOptimize(recs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RecommendBatch)
+    ->ArgNames({"batch", "threads"})
+    ->Args({8, 1})
+    ->Args({8, 4})
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({128, 1})
+    ->Args({128, 4});
 
 void BM_EndToEndRepair(benchmark::State& state) {
   const Adarts& engine = SharedEngine();

@@ -22,9 +22,11 @@ Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
   labeling_options.num_threads = options.num_threads;
   labeling::LabelingResult labels;
   if (options.use_cluster_labeling) {
+    cluster::IncrementalOptions clustering_options = options.clustering;
+    clustering_options.num_threads = options.num_threads;
     ADARTS_ASSIGN_OR_RETURN(
         cluster::Clustering clustering,
-        cluster::IncrementalClustering(corpus, options.clustering));
+        cluster::IncrementalClustering(corpus, clustering_options));
     ADARTS_ASSIGN_OR_RETURN(
         labels, labeling::LabelByClusters(corpus, clustering, labeling_options));
   } else {
@@ -78,8 +80,9 @@ Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
   ADARTS_ASSIGN_OR_RETURN(
       automl::ModelRaceReport report,
       automl::RunModelRace(split.train, split.test, race_options));
-  ADARTS_ASSIGN_OR_RETURN(automl::VotingRecommender recommender,
-                          automl::VotingRecommender::FromRace(report, labeled));
+  ADARTS_ASSIGN_OR_RETURN(
+      automl::VotingRecommender recommender,
+      automl::VotingRecommender::FromRace(report, labeled, &pool));
   return Adarts(std::move(extractor), std::move(recommender), std::move(report),
                 labels.algorithms, std::move(labeled));
 }
@@ -93,13 +96,15 @@ Result<Adarts> Adarts::TrainFromLabeled(
     return Status::InvalidArgument("pool size != num_classes");
   }
   Rng rng(seed);
+  ThreadPool workers(race_options.num_threads);
   ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
                           ml::StratifiedSplit(labeled, 0.9, &rng));
   ADARTS_ASSIGN_OR_RETURN(
       automl::ModelRaceReport report,
       automl::RunModelRace(split.train, split.test, race_options));
-  ADARTS_ASSIGN_OR_RETURN(automl::VotingRecommender recommender,
-                          automl::VotingRecommender::FromRace(report, labeled));
+  ADARTS_ASSIGN_OR_RETURN(
+      automl::VotingRecommender recommender,
+      automl::VotingRecommender::FromRace(report, labeled, &workers));
   return Adarts(features::FeatureExtractor(feature_options),
                 std::move(recommender), std::move(report), pool, labeled);
 }
@@ -114,6 +119,31 @@ Result<impute::Algorithm> Adarts::Recommend(const ts::TimeSeries& faulty) const 
     return Status::Internal("recommended class outside the algorithm pool");
   }
   return pool_[static_cast<std::size_t>(cls)];
+}
+
+Result<std::vector<impute::Algorithm>> Adarts::RecommendBatch(
+    const std::vector<ts::TimeSeries>& batch,
+    const RecommendBatchOptions& options) const {
+  std::vector<impute::Algorithm> out(batch.size(), impute::Algorithm{});
+  if (batch.empty()) return out;
+  // One slot per series: extraction and the committee vote are pure reads of
+  // the engine, so tasks share nothing but const state. Errors land in the
+  // series' own status slot and the serial fold below reports the first one
+  // in input order — exactly what a per-series Recommend loop would return.
+  ThreadPool pool(options.num_threads);
+  std::vector<Status> statuses(batch.size());
+  ParallelFor(&pool, batch.size(), [&](std::size_t i) {
+    Result<impute::Algorithm> algo = Recommend(batch[i]);
+    if (!algo.ok()) {
+      statuses[i] = algo.status();
+      return;
+    }
+    out[i] = *algo;
+  });
+  for (const Status& s : statuses) {
+    ADARTS_RETURN_NOT_OK(s);
+  }
+  return out;
 }
 
 Result<std::vector<impute::Algorithm>> Adarts::RecommendRanked(
@@ -136,15 +166,18 @@ Result<ts::TimeSeries> Adarts::Repair(const ts::TimeSeries& faulty) const {
 }
 
 Result<std::vector<ts::TimeSeries>> Adarts::RepairSet(
-    const std::vector<ts::TimeSeries>& faulty_set) const {
+    const std::vector<ts::TimeSeries>& faulty_set,
+    const RecommendBatchOptions& options) const {
   if (faulty_set.empty()) return Status::InvalidArgument("empty set");
-  // Majority vote of per-series recommendations picks the set's algorithm.
+  // Majority vote of per-series recommendations picks the set's algorithm;
+  // the recommendations come from one batched pass over the pool.
   // std::map iterates in ascending algorithm id and max_element keeps the
   // first of equal counts, so ties break deterministically toward the
   // smallest algorithm id (documented in the header).
+  ADARTS_ASSIGN_OR_RETURN(std::vector<impute::Algorithm> recommendations,
+                          RecommendBatch(faulty_set, options));
   std::map<int, std::size_t> votes;
-  for (const auto& s : faulty_set) {
-    ADARTS_ASSIGN_OR_RETURN(impute::Algorithm algo, Recommend(s));
+  for (impute::Algorithm algo : recommendations) {
     ++votes[static_cast<int>(algo)];
   }
   const auto winner = std::max_element(

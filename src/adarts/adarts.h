@@ -28,12 +28,25 @@ struct TrainOptions {
   /// rest is the race's evaluation set T (the paper trains on e.g. 80%).
   double race_train_fraction = 0.9;
   std::uint64_t seed = 17;
-  /// Worker threads shared by the training phases (exhaustive labeling,
-  /// corpus feature extraction, ModelRace candidate evaluation): 0 sizes the
-  /// pool from `std::thread::hardware_concurrency()`, 1 runs serially.
-  /// Overrides `labeling.num_threads` and `race.num_threads`. The trained
-  /// engine and its recommendations are bit-identical for every value; see
-  /// the determinism contract in common/thread_pool.h.
+  /// Worker threads shared by the training phases (clustering, exhaustive
+  /// labeling, corpus feature extraction, ModelRace candidate evaluation,
+  /// committee refits): 0 sizes the pool from
+  /// `std::thread::hardware_concurrency()`, 1 runs serially. Overrides
+  /// `clustering.num_threads`, `labeling.num_threads` and
+  /// `race.num_threads`. The trained engine and its recommendations are
+  /// bit-identical for every value; see the determinism contract in
+  /// common/thread_pool.h.
+  std::size_t num_threads = 0;
+};
+
+/// Options for the batched inference entry points (`RecommendBatch`,
+/// `RepairSet`): many series extract features and vote concurrently on a
+/// shared pool. Recommendations are bit-identical to per-series `Recommend`
+/// calls for every thread count — the committee is read-only at inference
+/// time and each series owns one result slot.
+struct RecommendBatchOptions {
+  /// 0 sizes the pool from `std::thread::hardware_concurrency()`, 1 runs
+  /// serially.
   std::size_t num_threads = 0;
 };
 
@@ -59,6 +72,15 @@ class Adarts {
   /// Best imputation algorithm for a faulty series.
   Result<impute::Algorithm> Recommend(const ts::TimeSeries& faulty) const;
 
+  /// Best imputation algorithm for every series of `batch`, in input order
+  /// (`out[i]` is the recommendation for `batch[i]`; an empty batch yields
+  /// an empty vector). Feature extraction and committee voting fan out over
+  /// a pool sized by `options.num_threads`; element `i` equals
+  /// `Recommend(batch[i])` bit-for-bit at every thread count.
+  Result<std::vector<impute::Algorithm>> RecommendBatch(
+      const std::vector<ts::TimeSeries>& batch,
+      const RecommendBatchOptions& options = {}) const;
+
   /// Full ranking, best first (the basis of the MRR metric).
   Result<std::vector<impute::Algorithm>> RecommendRanked(
       const ts::TimeSeries& faulty) const;
@@ -66,12 +88,13 @@ class Adarts {
   /// Recommends and applies the winning algorithm to one series.
   Result<ts::TimeSeries> Repair(const ts::TimeSeries& faulty) const;
 
-  /// Recommends on the set (majority of per-series recommendations) and
-  /// repairs every series with the winning algorithm. Vote ties are broken
-  /// deterministically toward the algorithm with the smallest id in the
-  /// engine's pool ordering.
+  /// Recommends on the set (majority of per-series recommendations, batched
+  /// via `RecommendBatch`) and repairs every series with the winning
+  /// algorithm. Vote ties are broken deterministically toward the algorithm
+  /// with the smallest id in the engine's pool ordering.
   Result<std::vector<ts::TimeSeries>> RepairSet(
-      const std::vector<ts::TimeSeries>& faulty_set) const;
+      const std::vector<ts::TimeSeries>& faulty_set,
+      const RecommendBatchOptions& options = {}) const;
 
   /// Persists the engine as a deterministic model bundle: extractor
   /// options, algorithm pool, committee pipeline specs, and the labeled

@@ -2,11 +2,40 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
+
+#include "common/thread_pool.h"
 
 namespace adarts::automl {
 
+namespace {
+
+/// Refits the selected elites on `full_train`, one pool task per elite, and
+/// returns the successful fits in selection order (failed fits are skipped,
+/// matching the serial loop). Slot-indexed results keep the committee order
+/// independent of scheduling.
+std::vector<TrainedPipeline> FitElites(const ModelRaceReport& report,
+                                       const std::vector<std::size_t>& selected,
+                                       const ml::Dataset& full_train,
+                                       ThreadPool* pool) {
+  std::vector<std::optional<TrainedPipeline>> fits(selected.size());
+  ParallelFor(pool, selected.size(), [&](std::size_t s) {
+    auto fitted = FitPipeline(report.elites[selected[s]].spec, full_train);
+    if (fitted.ok()) fits[s] = std::move(*fitted);
+  });
+  std::vector<TrainedPipeline> committee;
+  committee.reserve(selected.size());
+  for (auto& fit : fits) {
+    if (fit.has_value()) committee.push_back(std::move(*fit));
+  }
+  return committee;
+}
+
+}  // namespace
+
 Result<VotingRecommender> VotingRecommender::FromRace(
-    const ModelRaceReport& report, const ml::Dataset& full_train) {
+    const ModelRaceReport& report, const ml::Dataset& full_train,
+    ThreadPool* pool) {
   ADARTS_RETURN_NOT_OK(full_train.Validate());
   if (report.elites.empty()) {
     return Status::InvalidArgument("race produced no elites");
@@ -20,18 +49,16 @@ Result<VotingRecommender> VotingRecommender::FromRace(
   for (const RacedPipeline& elite : report.elites) {
     best_score = std::max(best_score, elite.mean_score);
   }
-  for (const RacedPipeline& elite : report.elites) {
-    if (elite.mean_score < best_score - 0.1) continue;
-    auto fitted = FitPipeline(elite.spec, full_train);
-    if (!fitted.ok()) continue;  // skip configurations that fail on full data
-    rec.committee_.push_back(std::move(*fitted));
+  std::vector<std::size_t> gated;
+  for (std::size_t i = 0; i < report.elites.size(); ++i) {
+    if (report.elites[i].mean_score >= best_score - 0.1) gated.push_back(i);
   }
+  rec.committee_ = FitElites(report, gated, full_train, pool);
   if (rec.committee_.empty()) {
     // Gate removed everything fit-able: fall back to the ungated elites.
-    for (const RacedPipeline& elite : report.elites) {
-      auto fitted = FitPipeline(elite.spec, full_train);
-      if (fitted.ok()) rec.committee_.push_back(std::move(*fitted));
-    }
+    std::vector<std::size_t> all(report.elites.size());
+    std::iota(all.begin(), all.end(), 0);
+    rec.committee_ = FitElites(report, all, full_train, pool);
   }
   if (rec.committee_.empty()) {
     return Status::Internal("no elite pipeline could be fitted on full data");

@@ -8,6 +8,10 @@
 #include "common/status.h"
 #include "ml/dataset.h"
 
+namespace adarts {
+class ThreadPool;
+}
+
 namespace adarts::automl {
 
 /// The inference side of A-DARTS (Fig. 2, steps 6-7): the winning pipelines,
@@ -16,8 +20,13 @@ namespace adarts::automl {
 class VotingRecommender {
  public:
   /// Fits every elite of `report` on `full_train` and assembles the voter.
+  /// Elite refits are independent; with a `pool` they run concurrently, each
+  /// into its own slot, and the committee is collected in elite order in a
+  /// serial post-pass — the assembled voter is bit-identical to the serial
+  /// one for every pool size (nullptr runs serially).
   static Result<VotingRecommender> FromRace(const ModelRaceReport& report,
-                                            const ml::Dataset& full_train);
+                                            const ml::Dataset& full_train,
+                                            ThreadPool* pool = nullptr);
 
   /// Assembles a voter from already-fitted pipelines (deserialization path).
   static Result<VotingRecommender> FromPipelines(

@@ -1,7 +1,10 @@
 #include "cluster/clustering.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+#include "common/thread_pool.h"
 #include "ts/correlation.h"
 
 namespace adarts::cluster {
@@ -16,16 +19,39 @@ std::vector<std::size_t> Clustering::Assignments(std::size_t n) const {
 
 la::Matrix PairwiseCorrelationMatrix(
     const std::vector<ts::TimeSeries>& series) {
+  return PairwiseCorrelationMatrix(series, nullptr);
+}
+
+std::pair<std::size_t, std::size_t> PairFromIndex(std::size_t k, std::size_t n) {
+  ADARTS_CHECK(n >= 2 && k < n * (n - 1) / 2);
+  // Pairs with row < r occupy the first Before(r) = r*(2n - r - 1)/2 linear
+  // indices. Seed the row from the real-valued root of Before(r) = k, then
+  // correct with integer arithmetic — the float estimate can be off by one
+  // for large n, never more.
+  const auto before = [n](std::size_t r) { return r * (2 * n - r - 1) / 2; };
+  const double nd = static_cast<double>(n);
+  const double disc = (nd - 0.5) * (nd - 0.5) - 2.0 * static_cast<double>(k);
+  std::size_t row = static_cast<std::size_t>(
+      std::max(0.0, std::floor(nd - 0.5 - std::sqrt(std::max(0.0, disc)))));
+  row = std::min(row, n - 2);
+  while (row > 0 && before(row) > k) --row;
+  while (row + 2 < n && before(row + 1) <= k) ++row;
+  const std::size_t col = row + 1 + (k - before(row));
+  return {row, col};
+}
+
+la::Matrix PairwiseCorrelationMatrix(const std::vector<ts::TimeSeries>& series,
+                                     ThreadPool* pool) {
   const std::size_t n = series.size();
   la::Matrix corr(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    corr(i, i) = 1.0;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double c = ts::Pearson(series[i], series[j]);
-      corr(i, j) = c;
-      corr(j, i) = c;
-    }
-  }
+  for (std::size_t i = 0; i < n; ++i) corr(i, i) = 1.0;
+  const std::size_t num_pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  ParallelFor(pool, num_pairs, [&](std::size_t k) {
+    const auto [i, j] = PairFromIndex(k, n);
+    const double c = ts::Pearson(series[i], series[j]);
+    corr(i, j) = c;
+    corr(j, i) = c;
+  });
   return corr;
 }
 

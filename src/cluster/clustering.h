@@ -2,11 +2,16 @@
 #define ADARTS_CLUSTER_CLUSTERING_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "la/matrix.h"
 #include "ts/time_series.h"
+
+namespace adarts {
+class ThreadPool;
+}
 
 namespace adarts::cluster {
 
@@ -23,6 +28,20 @@ struct Clustering {
 /// Pairwise Pearson correlation matrix of a series set (symmetric, unit
 /// diagonal). The labeling pipeline computes this once and reuses it.
 la::Matrix PairwiseCorrelationMatrix(const std::vector<ts::TimeSeries>& series);
+
+/// Pool-backed variant: fans the n*(n-1)/2 upper-triangle pairs out over
+/// `pool` (nullptr or a size-1 pool runs serially). Each task owns exactly
+/// one pair index k, decoded to (i, j) with `PairFromIndex`, and writes only
+/// the two mirrored slots (i, j) / (j, i) — the matrix is bit-identical to
+/// the serial pass for every thread count.
+la::Matrix PairwiseCorrelationMatrix(const std::vector<ts::TimeSeries>& series,
+                                     ThreadPool* pool);
+
+/// Decodes a linear upper-triangle pair index into its (row, col) pair,
+/// row < col, over an n x n matrix: index 0 is (0, 1), index n-2 is
+/// (0, n-1), index n-1 is (1, 2), ..., index n*(n-1)/2 - 1 is (n-2, n-1).
+/// Exposed for the parallel tests; `k` must be < n*(n-1)/2.
+std::pair<std::size_t, std::size_t> PairFromIndex(std::size_t k, std::size_t n);
 
 /// Average absolute pairwise correlation inside one cluster (rho-bar of
 /// Algorithm 2); 1.0 for singletons.

@@ -6,15 +6,70 @@
 #include <numeric>
 
 #include "cluster/kshape.h"
+#include "common/thread_pool.h"
+#include "la/vector_ops.h"
 
 namespace adarts::cluster {
+
+namespace {
+
+/// Best merge/move partner for `source` among `clusters`, skipping index
+/// `skip` and empty clusters. Every candidate's correlation gain and merged
+/// correlation floor check is evaluated on the pool (one slot per candidate
+/// index); the argmax reduction then runs serially in index order, so the
+/// winner is bit-identical to the serial scan. Returns clusters.size() when
+/// no candidate has positive gain and an admissible merged correlation.
+std::size_t BestPartner(const std::vector<std::size_t>& source,
+                        std::size_t skip,
+                        const std::vector<std::vector<std::size_t>>& clusters,
+                        const la::Matrix& corr, std::size_t n,
+                        double merge_floor, ThreadPool* pool) {
+  std::vector<double> gains(clusters.size(), 0.0);
+  std::vector<char> admissible(clusters.size(), 0);
+  ParallelFor(pool, clusters.size(), [&](std::size_t j) {
+    if (j == skip || clusters[j].empty()) return;
+    gains[j] = CorrelationGain(source, clusters[j], corr, n);
+    std::vector<std::size_t> merged = source;
+    merged.insert(merged.end(), clusters[j].begin(), clusters[j].end());
+    admissible[j] = ClusterAvgCorrelation(merged, corr) >= merge_floor ? 1 : 0;
+  });
+  double best_gain = 0.0;
+  std::size_t best_j = clusters.size();
+  for (std::size_t j = 0; j < clusters.size(); ++j) {
+    if (j == skip || clusters[j].empty()) continue;
+    if (gains[j] > best_gain && admissible[j]) {
+      best_gain = gains[j];
+      best_j = j;
+    }
+  }
+  return best_j;
+}
+
+}  // namespace
 
 Result<Clustering> IncrementalClustering(
     const std::vector<ts::TimeSeries>& series,
     const IncrementalOptions& options) {
   if (series.empty()) return Status::InvalidArgument("no series to cluster");
+  // A constant series has zero variance, so its Pearson correlation to any
+  // other series is undefined; with *every* series constant the whole
+  // correlation matrix is meaningless and no threshold can partition it.
+  bool any_varying = false;
+  for (const ts::TimeSeries& s : series) {
+    if (la::StdDev(s.values()) > 0.0) {
+      any_varying = true;
+      break;
+    }
+  }
+  if (!any_varying) {
+    return Status::InvalidArgument(
+        "every series in the corpus is constant; pairwise correlation is "
+        "undefined");
+  }
   const std::size_t n = series.size();
-  const la::Matrix corr = PairwiseCorrelationMatrix(series);
+  ThreadPool workers(options.num_threads);
+  ThreadPool* pool = workers.size() > 1 ? &workers : nullptr;
+  const la::Matrix corr = PairwiseCorrelationMatrix(series, pool);
 
   // ---- Phase 1: recursive splitting (Algorithm 2, lines 2-8).
   std::deque<std::vector<std::size_t>> pending;
@@ -67,28 +122,17 @@ Result<Clustering> IncrementalClustering(
 
   const double merge_floor =
       options.merge_correlation_slack * options.correlation_threshold;
-  const auto merged_corr_ok = [&](const std::vector<std::size_t>& a,
-                                  const std::vector<std::size_t>& b) {
-    std::vector<std::size_t> merged = a;
-    merged.insert(merged.end(), b.begin(), b.end());
-    return ClusterAvgCorrelation(merged, corr) >= merge_floor;
-  };
 
-  // Merge small clusters into their best partner.
+  // Merge small clusters into their best partner. Candidate partners are
+  // scored concurrently (the merged-correlation check is the refinement
+  // phase's hot loop); the cluster lists only mutate between BestPartner
+  // calls, on this thread.
   for (std::size_t i = 0; i < clusters.size(); ++i) {
     if (clusters[i].empty() || clusters[i].size() > options.small_cluster_size) {
       continue;
     }
-    double best_gain = 0.0;
-    std::size_t best_j = clusters.size();
-    for (std::size_t j = 0; j < clusters.size(); ++j) {
-      if (j == i || clusters[j].empty()) continue;
-      const double gain = CorrelationGain(clusters[i], clusters[j], corr, n);
-      if (gain > best_gain && merged_corr_ok(clusters[i], clusters[j])) {
-        best_gain = gain;
-        best_j = j;
-      }
-    }
+    const std::size_t best_j =
+        BestPartner(clusters[i], i, clusters, corr, n, merge_floor, pool);
     if (best_j < clusters.size()) {
       clusters[best_j].insert(clusters[best_j].end(), clusters[i].begin(),
                               clusters[i].end());
@@ -100,17 +144,9 @@ Result<Clustering> IncrementalClustering(
     // the single pass over members).
     std::vector<std::size_t> remaining;
     for (std::size_t x : clusters[i]) {
-      double best_move_gain = 0.0;
-      std::size_t target = clusters.size();
       const std::vector<std::size_t> singleton = {x};
-      for (std::size_t j = 0; j < clusters.size(); ++j) {
-        if (j == i || clusters[j].empty()) continue;
-        const double gain = CorrelationGain(singleton, clusters[j], corr, n);
-        if (gain > best_move_gain && merged_corr_ok(singleton, clusters[j])) {
-          best_move_gain = gain;
-          target = j;
-        }
-      }
+      const std::size_t target =
+          BestPartner(singleton, i, clusters, corr, n, merge_floor, pool);
       if (target < clusters.size()) {
         clusters[target].push_back(x);
       } else {

@@ -23,6 +23,12 @@ struct IncrementalOptions {
   /// while the merged cluster stays above slack * threshold.
   double merge_correlation_slack = 0.85;
   std::uint64_t seed = 1;
+  /// Worker threads for the correlation matrix and the refinement phase's
+  /// per-candidate gain evaluation: 0 sizes the pool from
+  /// `std::thread::hardware_concurrency()`, 1 runs serially. Clusterings are
+  /// bit-identical for every value; see the determinism contract in
+  /// common/thread_pool.h.
+  std::size_t num_threads = 0;
 };
 
 /// Two-phase incremental clustering: (1) recursively split clusters whose

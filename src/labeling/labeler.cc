@@ -105,9 +105,11 @@ Result<LabelingResult> LabelByClusters(
     const cluster::Clustering& clustering, const LabelingOptions& options) {
   if (series.empty()) return Status::InvalidArgument("no series to label");
   const std::vector<impute::Algorithm> pool = ResolvePool(options);
-  const la::Matrix corr = cluster::PairwiseCorrelationMatrix(series);
   Rng rng(options.seed);
   ThreadPool workers(options.num_threads);
+  // The representative-selection matrix reuses the labeling pool: pairs fan
+  // out before the per-cluster benchmark loop begins.
+  const la::Matrix corr = cluster::PairwiseCorrelationMatrix(series, &workers);
 
   LabelingResult result;
   result.algorithms = pool;

@@ -23,9 +23,11 @@ struct LabelingOptions {
   /// Representatives benchmarked per cluster in the fast path.
   std::size_t representatives_per_cluster = 2;
   std::uint64_t seed = 42;
-  /// Worker threads for the per-algorithm imputation benchmark: 0 sizes the
-  /// pool from `std::thread::hardware_concurrency()`, 1 runs serially.
-  /// Labels and RMSE matrices are bit-identical for every value.
+  /// Worker threads for the per-algorithm imputation benchmark and, in the
+  /// cluster path, the pairwise correlation matrix behind representative
+  /// selection: 0 sizes the pool from `std::thread::hardware_concurrency()`,
+  /// 1 runs serially. Labels and RMSE matrices are bit-identical for every
+  /// value.
   std::size_t num_threads = 0;
 };
 

@@ -1,6 +1,10 @@
 // Additional coverage of the facade and race options: exhaustive-labeling
-// training path, race option edge cases, committee quality gate, and the
-// feature extractor's configurable embedding.
+// training path, race option edge cases, committee quality gate, the
+// feature extractor's configurable embedding, and the batched inference
+// entry points (RecommendBatch / RepairSet).
+
+#include <algorithm>
+#include <map>
 
 #include <gtest/gtest.h>
 
@@ -153,6 +157,112 @@ TEST(CommitteeGateTest, CloseElitesAllVote) {
   auto rec = automl::VotingRecommender::FromRace(report, train);
   ASSERT_TRUE(rec.ok());
   EXPECT_EQ(rec->committee_size(), 3u);
+}
+
+/// A batch of faulty probes spanning two categories, so the committee does
+/// not trivially recommend one algorithm for every element.
+std::vector<ts::TimeSeries> FaultyProbes(std::size_t per_category,
+                                         std::uint64_t seed = 63) {
+  data::GeneratorOptions gopts;
+  gopts.num_series = per_category;
+  gopts.length = 144;
+  gopts.seed = seed;
+  std::vector<ts::TimeSeries> probes;
+  for (data::Category c : {data::Category::kClimate, data::Category::kMotion}) {
+    for (auto& s : data::GenerateCategory(c, gopts)) {
+      probes.push_back(std::move(s));
+    }
+  }
+  Rng rng(9);
+  for (auto& s : probes) {
+    EXPECT_TRUE(ts::InjectSingleBlock(12, &rng, &s).ok());
+  }
+  return probes;
+}
+
+TEST(BatchInferenceTest, RecommendBatchAgreesWithPerSeriesRecommend) {
+  auto engine = Adarts::Train(TinyCorpus(), TinyTrainOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  const auto probes = FaultyProbes(4);
+  RecommendBatchOptions opts;
+  opts.num_threads = testing::TestThreadCount();
+  auto batch = engine->RecommendBatch(probes, opts);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), probes.size());
+  // Element i of the batch is series i's recommendation: order preserved,
+  // values identical to the per-series calls.
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    auto single = engine->Recommend(probes[i]);
+    ASSERT_TRUE(single.ok()) << single.status();
+    EXPECT_EQ((*batch)[i], *single) << "series " << i;
+  }
+}
+
+TEST(BatchInferenceTest, RecommendBatchBitIdenticalAcrossThreadCounts) {
+  auto engine = Adarts::Train(TinyCorpus(), TinyTrainOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  const auto probes = FaultyProbes(3, 71);
+  RecommendBatchOptions serial;
+  serial.num_threads = 1;
+  auto reference = engine->RecommendBatch(probes, serial);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (std::size_t threads : {std::size_t{2}, testing::TestThreadCount()}) {
+    RecommendBatchOptions opts;
+    opts.num_threads = threads;
+    auto batch = engine->RecommendBatch(probes, opts);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    EXPECT_EQ(*batch, *reference) << "threads=" << threads;
+  }
+}
+
+TEST(BatchInferenceTest, RecommendBatchEmptyBatchYieldsEmptyVector) {
+  auto engine = Adarts::Train(TinyCorpus(), TinyTrainOptions());
+  ASSERT_TRUE(engine.ok());
+  auto batch = engine->RecommendBatch({});
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST(BatchInferenceTest, RepairSetMatchesSerialSeedBehavior) {
+  // Golden check: the batched RepairSet must reproduce the seed's serial
+  // semantics exactly — per-series recommendations, majority vote with ties
+  // toward the smallest algorithm id, one ImputeSet with the winner.
+  auto engine = Adarts::Train(TinyCorpus(), TinyTrainOptions());
+  ASSERT_TRUE(engine.ok());
+  const auto probes = FaultyProbes(3, 67);
+
+  std::map<int, std::size_t> votes;
+  for (const auto& s : probes) {
+    auto algo = engine->Recommend(s);
+    ASSERT_TRUE(algo.ok());
+    ++votes[static_cast<int>(*algo)];
+  }
+  const auto winner = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  const auto golden_algo = static_cast<impute::Algorithm>(winner->first);
+  auto golden = impute::CreateImputer(golden_algo)->ImputeSet(probes);
+  ASSERT_TRUE(golden.ok());
+
+  for (std::size_t threads : {std::size_t{1}, testing::TestThreadCount()}) {
+    RecommendBatchOptions opts;
+    opts.num_threads = threads;
+    auto repaired = engine->RepairSet(probes, opts);
+    ASSERT_TRUE(repaired.ok()) << repaired.status();
+    ASSERT_EQ(repaired->size(), golden->size());
+    for (std::size_t i = 0; i < golden->size(); ++i) {
+      EXPECT_EQ((*repaired)[i].values(), (*golden)[i].values())
+          << "series " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(BatchInferenceTest, RepairSetStillRejectsEmptySet) {
+  auto engine = Adarts::Train(TinyCorpus(), TinyTrainOptions());
+  ASSERT_TRUE(engine.ok());
+  auto repaired = engine->RepairSet({});
+  ASSERT_FALSE(repaired.ok());
+  EXPECT_EQ(repaired.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(RepairSetTest, MixedCompleteAndFaultySeries) {

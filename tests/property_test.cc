@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include "automl/model_race.h"
 #include "automl/pipeline.h"
+#include "automl/recommender.h"
 #include "automl/synthesizer.h"
+#include "cluster/clustering.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "impute/cdrec.h"
 #include "impute/imputer.h"
 #include "la/decompositions.h"
@@ -348,6 +352,71 @@ TEST(SvdPropertyTest, TruncationErrorMonotoneInRank) {
     const double err = recon.Subtract(x).FrobeniusNorm();
     EXPECT_LE(err, prev_err + 1e-9);
     prev_err = err;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-path properties: the pooled correlation matrix keeps its algebraic
+// invariants on arbitrary random corpora, and parallel committee refits vote
+// exactly like serial ones.
+
+TEST(ParallelPropertyTest, CorrelationMatrixSymmetricUnitDiagonalOnRandomCorpora) {
+  ThreadPool pool(testing::TestThreadCount());
+  for (std::uint64_t seed : {101u, 202u, 303u, 404u, 505u}) {
+    Rng rng(seed);
+    std::vector<ts::TimeSeries> corpus;
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.UniformInt(0, 9));
+    const std::size_t length = 64 + static_cast<std::size_t>(rng.UniformInt(0, 64));
+    for (std::size_t i = 0; i < n; ++i) {
+      corpus.push_back(testing::MakeSine(
+          length, rng.Uniform(4.0, 40.0), rng.Uniform(0.0, 0.5),
+          seed * 100 + i, rng.Uniform(0.5, 2.0), rng.Uniform(0.0, 3.0)));
+    }
+    const la::Matrix serial = cluster::PairwiseCorrelationMatrix(corpus);
+    const la::Matrix parallel =
+        cluster::PairwiseCorrelationMatrix(corpus, &pool);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(parallel(i, i), 1.0) << "seed " << seed;
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(parallel(i, j), parallel(j, i)) << "seed " << seed;
+        EXPECT_LE(std::fabs(parallel(i, j)), 1.0 + 1e-12) << "seed " << seed;
+        EXPECT_EQ(parallel(i, j), serial(i, j)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ParallelPropertyTest, ParallelFromRaceCommitteesVoteIdenticallyToSerial) {
+  const ml::Dataset train = MakeBlobs(3, 25, 5, 91);
+  const ml::Dataset test = MakeBlobs(3, 8, 5, 92);
+  automl::ModelRaceOptions race;
+  race.num_seed_pipelines = 12;
+  race.num_partial_sets = 2;
+  race.num_folds = 2;
+  race.seed = 93;
+  auto report = automl::RunModelRace(train, test, race);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  auto serial = automl::VotingRecommender::FromRace(*report, train, nullptr);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ThreadPool pool(testing::TestThreadCount());
+  auto parallel = automl::VotingRecommender::FromRace(*report, train, &pool);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  ASSERT_EQ(parallel->committee_size(), serial->committee_size());
+  for (std::size_t i = 0; i < serial->committee().size(); ++i) {
+    EXPECT_EQ(parallel->committee()[i].spec.ToString(),
+              serial->committee()[i].spec.ToString());
+  }
+  for (const la::Vector& features : train.features) {
+    const la::Vector pa = parallel->PredictProba(features);
+    const la::Vector pb = serial->PredictProba(features);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t c = 0; c < pa.size(); ++c) {
+      EXPECT_EQ(pa[c], pb[c]);
+    }
+    EXPECT_EQ(parallel->Recommend(features), serial->Recommend(features));
+    EXPECT_EQ(parallel->Ranking(features), serial->Ranking(features));
   }
 }
 

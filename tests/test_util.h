@@ -2,6 +2,7 @@
 #define ADARTS_TESTS_TEST_UTIL_H_
 
 #include <cmath>
+#include <cstdlib>
 #include <vector>
 
 #include "common/rng.h"
@@ -10,6 +11,19 @@
 #include "ts/time_series.h"
 
 namespace adarts::testing {
+
+/// Thread count used by the parallel determinism suites as the "many
+/// threads" side of 1-vs-N comparisons. Overridable via the
+/// ADARTS_TEST_THREADS environment variable (the TSan CI job sets 8 to
+/// stress scheduling); defaults to `fallback`.
+inline std::size_t TestThreadCount(std::size_t fallback = 4) {
+  const char* env = std::getenv("ADARTS_TEST_THREADS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(env, &end, 10);
+  if (end == env || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
 
 /// A well-separated Gaussian-blob classification dataset: class c is
 /// centred at (4c, 4c, ..., 4c) with unit noise. Any sane classifier
