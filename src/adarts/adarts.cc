@@ -2,17 +2,56 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
 
+#include "common/cancellation.h"
+#include "common/failpoint.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "ts/missing.h"
 
 namespace adarts {
 
+Adarts::Adarts(features::FeatureExtractor extractor,
+               automl::VotingRecommender recommender,
+               automl::ModelRaceReport report,
+               std::vector<impute::Algorithm> pool, ml::Dataset training_data)
+    : extractor_(std::move(extractor)),
+      recommender_(std::move(recommender)),
+      race_report_(std::move(report)),
+      pool_(std::move(pool)),
+      training_data_(std::move(training_data)) {
+  // Majority training label = the last rung of the degradation ladder. The
+  // scan keeps the first (smallest) label on ties, so the choice is
+  // deterministic and independent of label order.
+  std::vector<std::size_t> counts(pool_.size(), 0);
+  for (int label : training_data_.labels) {
+    if (label >= 0 && static_cast<std::size_t>(label) < counts.size()) {
+      ++counts[static_cast<std::size_t>(label)];
+    }
+  }
+  for (std::size_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > counts[static_cast<std::size_t>(default_class_)]) {
+      default_class_ = static_cast<int>(c);
+    }
+  }
+}
+
 Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
                              const TrainOptions& options) {
+  ADARTS_FAILPOINT("adarts.train.start");
   if (corpus.size() < 8) {
     return Status::InvalidArgument("training corpus too small (< 8 series)");
+  }
+  // Reject poisoned inputs at the boundary: one NaN observation would
+  // otherwise surface deep inside an imputer as an opaque numerical error.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    Status finite = corpus[i].ValidateObservedFinite();
+    if (!finite.ok()) {
+      return Status::InvalidArgument("corpus series " + std::to_string(i) +
+                                     ": " + finite.message());
+    }
   }
   Rng rng(options.seed);
   ThreadPool pool(options.num_threads);
@@ -33,6 +72,9 @@ Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
     ADARTS_ASSIGN_OR_RETURN(
         labels, labeling::LabelSeriesFull(corpus, labeling_options));
   }
+  if (options.cancel != nullptr) {
+    ADARTS_RETURN_NOT_OK(options.cancel->Check("Train after labeling"));
+  }
 
   // --- (2) Feature extraction from faulty copies of the corpus: inference
   // sees incomplete series, so training features must too. Each series masks
@@ -49,22 +91,30 @@ Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
     series_rngs.push_back(rng.Fork());
   }
   std::vector<Status> extract_status(corpus.size());
-  ParallelFor(&pool, corpus.size(), [&](std::size_t i) {
-    ts::TimeSeries masked = corpus[i];
-    Status injected = ts::InjectPattern(options.labeling.pattern,
-                                        options.labeling.missing_fraction,
-                                        &series_rngs[i], &masked);
-    if (!injected.ok()) {
-      extract_status[i] = std::move(injected);
-      return;
-    }
-    Result<la::Vector> f = extractor.Extract(masked);
-    if (!f.ok()) {
-      extract_status[i] = f.status();
-      return;
-    }
-    labeled.features[i] = std::move(*f);
-  });
+  ParallelFor(
+      &pool, corpus.size(),
+      [&](std::size_t i) {
+        ts::TimeSeries masked = corpus[i];
+        Status injected = ts::InjectPattern(options.labeling.pattern,
+                                            options.labeling.missing_fraction,
+                                            &series_rngs[i], &masked);
+        if (!injected.ok()) {
+          extract_status[i] = std::move(injected);
+          return;
+        }
+        Result<la::Vector> f = extractor.Extract(masked);
+        if (!f.ok()) {
+          extract_status[i] = f.status();
+          return;
+        }
+        labeled.features[i] = std::move(*f);
+      },
+      options.cancel);
+  // Cancellation skips iterations, leaving empty feature slots — bail out
+  // before the dataset is read.
+  if (options.cancel != nullptr) {
+    ADARTS_RETURN_NOT_OK(options.cancel->Check("Train feature extraction"));
+  }
   for (const Status& s : extract_status) {
     ADARTS_RETURN_NOT_OK(s);
   }
@@ -73,6 +123,7 @@ Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
   automl::ModelRaceOptions race_options = options.race;
   race_options.seed = rng.NextU64();
   race_options.num_threads = options.num_threads;
+  if (race_options.cancel == nullptr) race_options.cancel = options.cancel;
   ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
                           ml::StratifiedSplit(labeled,
                                               options.race_train_fraction,
@@ -110,38 +161,97 @@ Result<Adarts> Adarts::TrainFromLabeled(
 }
 
 Result<impute::Algorithm> Adarts::Recommend(const ts::TimeSeries& faulty) const {
+  ADARTS_ASSIGN_OR_RETURN(Recommendation rec, RecommendEx(faulty));
+  return rec.algorithm;
+}
+
+Result<Recommendation> Adarts::RecommendEx(const ts::TimeSeries& faulty) const {
   ADARTS_ASSIGN_OR_RETURN(la::Vector f, extractor_.Extract(faulty));
-  const int cls = recommender_.Recommend(f);
+  Recommendation rec;
+  const la::Vector p = recommender_.PredictProba(f, &rec.vote);
+  rec.degradation = rec.vote.level;
+  int cls;
+  if (p.empty()) {
+    // Every committee member failed: the last rung of the ladder is the
+    // corpus-majority algorithm — degraded but valid, never a crash.
+    cls = default_class_;
+  } else {
+    cls = static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+  }
   // The committee's class count and the pool are wired together at training
   // time, but a hand-assembled or corrupted bundle can break the invariant;
   // fail cleanly instead of indexing out of bounds.
   if (cls < 0 || static_cast<std::size_t>(cls) >= pool_.size()) {
     return Status::Internal("recommended class outside the algorithm pool");
   }
-  return pool_[static_cast<std::size_t>(cls)];
+  rec.algorithm = pool_[static_cast<std::size_t>(cls)];
+  return rec;
+}
+
+std::vector<Result<impute::Algorithm>> Adarts::RecommendBatchPartial(
+    const std::vector<ts::TimeSeries>& batch,
+    const RecommendBatchOptions& options) const {
+  // One slot per series: extraction and the committee vote are pure reads of
+  // the engine, so tasks share nothing but const state. Errors land in the
+  // series' own slot; the batch itself always comes back full-size.
+  std::vector<Result<impute::Algorithm>> out(
+      batch.size(), Result<impute::Algorithm>(
+                        Status::Internal("series not evaluated")));
+  if (batch.empty()) return out;
+  ThreadPool pool(options.num_threads);
+  std::vector<char> done(batch.size(), 0);
+  ParallelFor(
+      &pool, batch.size(),
+      [&](std::size_t i) {
+        out[i] = Recommend(batch[i]);
+        done[i] = 1;
+      },
+      options.cancel);
+  if (options.cancel != nullptr) {
+    const Status cancelled = options.cancel->Check("RecommendBatch");
+    if (!cancelled.ok()) {
+      // Slots the cancelled loop skipped report the cancellation itself,
+      // not the "not evaluated" placeholder.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (done[i] == 0) out[i] = cancelled;
+      }
+    }
+  }
+  return out;
 }
 
 Result<std::vector<impute::Algorithm>> Adarts::RecommendBatch(
     const std::vector<ts::TimeSeries>& batch,
     const RecommendBatchOptions& options) const {
-  std::vector<impute::Algorithm> out(batch.size(), impute::Algorithm{});
-  if (batch.empty()) return out;
-  // One slot per series: extraction and the committee vote are pure reads of
-  // the engine, so tasks share nothing but const state. Errors land in the
-  // series' own status slot and the serial fold below reports the first one
-  // in input order — exactly what a per-series Recommend loop would return.
-  ThreadPool pool(options.num_threads);
-  std::vector<Status> statuses(batch.size());
-  ParallelFor(&pool, batch.size(), [&](std::size_t i) {
-    Result<impute::Algorithm> algo = Recommend(batch[i]);
-    if (!algo.ok()) {
-      statuses[i] = algo.status();
-      return;
+  std::vector<Result<impute::Algorithm>> partial =
+      RecommendBatchPartial(batch, options);
+  std::vector<impute::Algorithm> out;
+  out.reserve(batch.size());
+  std::size_t failures = 0;
+  StatusCode first_code = StatusCode::kInternal;
+  std::ostringstream failed_detail;
+  for (std::size_t i = 0; i < partial.size(); ++i) {
+    if (partial[i].ok()) {
+      out.push_back(*partial[i]);
+      continue;
     }
-    out[i] = *algo;
-  });
-  for (const Status& s : statuses) {
-    ADARTS_RETURN_NOT_OK(s);
+    ++failures;
+    if (failures == 1) first_code = partial[i].status().code();
+    if (options.fail_fast) {
+      // Aggregate every failed index — a partial report ("first error
+      // wins") used to hide the batch's real damage.
+      if (failures > 1) failed_detail << "; ";
+      failed_detail << "series " << i << ": " << partial[i].status().message();
+    } else {
+      // Degraded mode: the failed series gets the corpus-majority default.
+      out.push_back(pool_[static_cast<std::size_t>(default_class_)]);
+    }
+  }
+  if (options.fail_fast && failures > 0) {
+    return Status(first_code,
+                  "RecommendBatch failed for " + std::to_string(failures) +
+                      " of " + std::to_string(batch.size()) + " series [" +
+                      failed_detail.str() + "]");
   }
   return out;
 }
@@ -162,7 +272,17 @@ Result<std::vector<impute::Algorithm>> Adarts::RecommendRanked(
 Result<ts::TimeSeries> Adarts::Repair(const ts::TimeSeries& faulty) const {
   if (!faulty.HasMissing()) return faulty;
   ADARTS_ASSIGN_OR_RETURN(impute::Algorithm algo, Recommend(faulty));
-  return impute::CreateImputer(algo)->Impute(faulty);
+  Result<ts::TimeSeries> repaired = impute::CreateImputer(algo)->Impute(faulty);
+  if (repaired.ok()) return repaired;
+  // The recommended algorithm can still reject this particular input (rank
+  // too high for the observation count, degenerate masks, an armed
+  // failpoint). Degrade to linear interpolation — it accepts any series
+  // with one observation — rather than failing the repair outright.
+  LogWarn("repair with " + std::string(impute::AlgorithmToString(algo)) +
+          " failed (" + repaired.status().message() +
+          "); falling back to linear interpolation");
+  return impute::CreateImputer(impute::Algorithm::kLinearInterp)
+      ->Impute(faulty);
 }
 
 Result<std::vector<ts::TimeSeries>> Adarts::RepairSet(
@@ -184,7 +304,29 @@ Result<std::vector<ts::TimeSeries>> Adarts::RepairSet(
       votes.begin(), votes.end(),
       [](const auto& a, const auto& b) { return a.second < b.second; });
   const auto algo = static_cast<impute::Algorithm>(winner->first);
-  return impute::CreateImputer(algo)->ImputeSet(faulty_set);
+  impute::FitDiagnostics diagnostics;
+  Result<std::vector<ts::TimeSeries>> repaired =
+      impute::CreateImputer(algo)->ImputeSetWithDiagnostics(faulty_set,
+                                                            &diagnostics);
+  if (repaired.ok()) {
+    if (!diagnostics.converged && diagnostics.iterations > 0) {
+      LogWarn("repair with " +
+              std::string(impute::AlgorithmToString(algo)) +
+              " stopped after " + std::to_string(diagnostics.iterations) +
+              " iterations without converging (last change " +
+              std::to_string(diagnostics.final_change) +
+              "); the repaired values may be rough");
+    }
+    return repaired;
+  }
+  // Same ladder as Repair: the set's winning algorithm can fail on this
+  // particular set even though it fitted during training. Linear
+  // interpolation handles anything with >= 1 observed value per series.
+  LogWarn("set repair with " + std::string(impute::AlgorithmToString(algo)) +
+          " failed (" + repaired.status().message() +
+          "); falling back to linear interpolation");
+  return impute::CreateImputer(impute::Algorithm::kLinearInterp)
+      ->ImputeSet(faulty_set);
 }
 
 Result<la::Vector> Adarts::ExtractFeatures(const ts::TimeSeries& series) const {

@@ -37,6 +37,11 @@ struct TrainOptions {
   /// bit-identical for every value; see the determinism contract in
   /// common/thread_pool.h.
   std::size_t num_threads = 0;
+  /// Optional cooperative cancellation/deadline token, polled between
+  /// training phases and inside the parallel loops. Not owned; must outlive
+  /// Train. nullptr (the default) disables it and preserves
+  /// bit-determinism (DESIGN.md §7).
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Options for the batched inference entry points (`RecommendBatch`,
@@ -48,6 +53,24 @@ struct RecommendBatchOptions {
   /// 0 sizes the pool from `std::thread::hardware_concurrency()`, 1 runs
   /// serially.
   std::size_t num_threads = 0;
+  /// true (the default): any per-series failure fails the whole batch with
+  /// an aggregate error naming every failed series index. false: failed
+  /// series degrade to the engine's corpus-majority default algorithm and
+  /// the batch succeeds (`RecommendBatchPartial` exposes the per-series
+  /// statuses when the caller needs them).
+  bool fail_fast = true;
+  /// Optional cooperative cancellation/deadline token polled inside the
+  /// batch loop. Not owned; must outlive the call. nullptr disables it.
+  const CancellationToken* cancel = nullptr;
+};
+
+/// One recommendation with its health report: which algorithm won, and how
+/// far down the degradation ladder the vote had to fall to produce it.
+struct Recommendation {
+  impute::Algorithm algorithm = impute::Algorithm{};
+  automl::DegradationLevel degradation =
+      automl::DegradationLevel::kFullCommittee;
+  automl::VoteDiagnostics vote;
 };
 
 /// The A-DARTS recommendation engine: train once on a corpus of series,
@@ -69,15 +92,34 @@ class Adarts {
       const features::FeatureExtractorOptions& feature_options,
       const automl::ModelRaceOptions& race_options, std::uint64_t seed = 17);
 
-  /// Best imputation algorithm for a faulty series.
+  /// Best imputation algorithm for a faulty series. Degrades gracefully:
+  /// committee members that emit malformed probabilities are skipped, and
+  /// when every member fails the corpus-majority default algorithm is
+  /// returned (see `RecommendEx` for the degradation report). Only feature
+  /// extraction failures surface as errors.
   Result<impute::Algorithm> Recommend(const ts::TimeSeries& faulty) const;
+
+  /// `Recommend` plus the degradation diagnostics: how many committee
+  /// members voted and which rung of the ladder (full committee → partial
+  /// committee → single elite → default class) produced the answer.
+  Result<Recommendation> RecommendEx(const ts::TimeSeries& faulty) const;
 
   /// Best imputation algorithm for every series of `batch`, in input order
   /// (`out[i]` is the recommendation for `batch[i]`; an empty batch yields
   /// an empty vector). Feature extraction and committee voting fan out over
   /// a pool sized by `options.num_threads`; element `i` equals
-  /// `Recommend(batch[i])` bit-for-bit at every thread count.
+  /// `Recommend(batch[i])` bit-for-bit at every thread count. With the
+  /// default `options.fail_fast` any failed series fails the call with one
+  /// aggregate error naming every failed index; with `fail_fast = false`
+  /// failed series fall back to the corpus-majority default algorithm.
   Result<std::vector<impute::Algorithm>> RecommendBatch(
+      const std::vector<ts::TimeSeries>& batch,
+      const RecommendBatchOptions& options = {}) const;
+
+  /// Per-series recommendations that never fail the batch: `out[i]` holds
+  /// either `batch[i]`'s recommendation or that series' own error status
+  /// (cancelled slots report the cancellation status). Input order.
+  std::vector<Result<impute::Algorithm>> RecommendBatchPartial(
       const std::vector<ts::TimeSeries>& batch,
       const RecommendBatchOptions& options = {}) const;
 
@@ -85,7 +127,9 @@ class Adarts {
   Result<std::vector<impute::Algorithm>> RecommendRanked(
       const ts::TimeSeries& faulty) const;
 
-  /// Recommends and applies the winning algorithm to one series.
+  /// Recommends and applies the winning algorithm to one series. When the
+  /// winner's fit fails on this input, logs a warning and falls back to
+  /// linear interpolation (which accepts any series with >= 1 observation).
   Result<ts::TimeSeries> Repair(const ts::TimeSeries& faulty) const;
 
   /// Recommends on the set (majority of per-series recommendations, batched
@@ -121,6 +165,9 @@ class Adarts {
     return extractor_;
   }
   std::size_t committee_size() const { return recommender_.committee_size(); }
+  /// Corpus-majority class: the most frequent training label (smallest
+  /// label on ties). The last rung of the degradation ladder.
+  int default_class() const { return default_class_; }
   /// The fitted winning pipelines behind the soft vote.
   const std::vector<automl::TrainedPipeline>& committee() const {
     return recommender_.committee();
@@ -134,18 +181,16 @@ class Adarts {
   Adarts(features::FeatureExtractor extractor,
          automl::VotingRecommender recommender,
          automl::ModelRaceReport report, std::vector<impute::Algorithm> pool,
-         ml::Dataset training_data)
-      : extractor_(std::move(extractor)),
-        recommender_(std::move(recommender)),
-        race_report_(std::move(report)),
-        pool_(std::move(pool)),
-        training_data_(std::move(training_data)) {}
+         ml::Dataset training_data);
 
   features::FeatureExtractor extractor_;
   automl::VotingRecommender recommender_;
   automl::ModelRaceReport race_report_;
   std::vector<impute::Algorithm> pool_;
   ml::Dataset training_data_;
+  /// Majority training label; computed in the constructor so Save/Load
+  /// needs no bundle-format change. 0 when labels are absent.
+  int default_class_ = 0;
 };
 
 }  // namespace adarts

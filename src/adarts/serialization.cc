@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "adarts/adarts.h"
+#include "common/failpoint.h"
 
 namespace adarts {
 
@@ -27,6 +28,7 @@ Status Expect(std::istream& in, const std::string& token) {
 }  // namespace
 
 Status Adarts::Save(const std::string& path) const {
+  ADARTS_FAILPOINT("adarts.save.write");
   std::ostringstream out;
   out.precision(17);
   out << kMagic << '\n';
@@ -73,6 +75,7 @@ Status Adarts::Save(const std::string& path) const {
 }
 
 Result<Adarts> Adarts::Load(const std::string& path) {
+  ADARTS_FAILPOINT("adarts.load.read");
   std::ifstream file(path);
   if (!file) return Status::NotFound("cannot open: " + path);
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "automl/synthesizer.h"
+#include "common/cancellation.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -19,16 +22,25 @@ struct FoldEval {
   double recall_at3 = 0.0;
   double seconds = 0.0;
   bool failed = false;
+  bool timed_out = false;
 };
 
 FoldEval EvaluatePipelineOnFold(const Pipeline& spec,
                                 const ml::Dataset& fold_train,
-                                const ml::Dataset& test) {
+                                const ml::Dataset& test,
+                                double budget_seconds) {
   FoldEval eval;
   Stopwatch watch;
   auto fitted = FitPipeline(spec, fold_train);
   if (!fitted.ok()) {
     eval.failed = true;
+    return eval;
+  }
+  // The budget is cooperative: checked after the fit and after prediction,
+  // never preemptively, so a candidate can overshoot by one phase.
+  if (budget_seconds > 0.0 && watch.ElapsedSeconds() > budget_seconds) {
+    eval.failed = true;
+    eval.timed_out = true;
     return eval;
   }
   const std::vector<la::Vector> probas =
@@ -41,6 +53,11 @@ FoldEval EvaluatePipelineOnFold(const Pipeline& spec,
         return out;
       }();
   eval.seconds = watch.ElapsedSeconds();
+  if (budget_seconds > 0.0 && eval.seconds > budget_seconds) {
+    eval.failed = true;
+    eval.timed_out = true;
+    return eval;
+  }
 
   std::vector<int> preds(test.size());
   for (std::size_t i = 0; i < test.size(); ++i) {
@@ -95,6 +112,9 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
   if (options.num_partial_sets == 0 || options.num_folds < 2) {
     return Status::InvalidArgument("need >= 1 partial set and >= 2 folds");
   }
+  if (options.cancel != nullptr) {
+    ADARTS_RETURN_NOT_OK(options.cancel->Check("ModelRace start"));
+  }
 
   Stopwatch total_watch;
   Rng rng(options.seed);
@@ -110,6 +130,10 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
   std::size_t iterations_raced = 0;
 
   for (std::size_t iter = 0; iter < partials.size(); ++iter) {
+    ADARTS_FAILPOINT("automl.race.iteration");
+    if (options.cancel != nullptr) {
+      ADARTS_RETURN_NOT_OK(options.cancel->Check("ModelRace iteration"));
+    }
     const ml::Dataset& s_i = partials[iter];
 
     // A partial set below 4 samples cannot support a 2-fold split whose
@@ -156,6 +180,9 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
     std::vector<double> time_acc(candidates.size(), 0.0);
 
     for (std::size_t fold = 0; fold < folds.size(); ++fold) {
+      if (options.cancel != nullptr) {
+        ADARTS_RETURN_NOT_OK(options.cancel->Check("ModelRace fold"));
+      }
       // Standard k-fold usage: train on the complement of the held-out
       // fold, score on the held-out fold. Scoring each fold on its own
       // held-out data keeps the per-fold scores (approximately)
@@ -183,11 +210,21 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
         if (active[c]) to_eval.push_back(c);
       }
       std::vector<FoldEval> evals(candidates.size());
-      ParallelFor(&pool, to_eval.size(), [&](std::size_t t) {
-        const std::size_t c = to_eval[t];
-        evals[c] =
-            EvaluatePipelineOnFold(candidates[c].spec, fold_train, fold_eval);
-      });
+      ParallelFor(
+          &pool, to_eval.size(),
+          [&](std::size_t t) {
+            const std::size_t c = to_eval[t];
+            evals[c] = EvaluatePipelineOnFold(candidates[c].spec, fold_train,
+                                              fold_eval,
+                                              options.candidate_budget_seconds);
+          },
+          options.cancel);
+      // An expired token makes ParallelFor skip remaining iterations, so
+      // `evals` may hold default (unevaluated) slots — bail out before
+      // reading them.
+      if (options.cancel != nullptr) {
+        ADARTS_RETURN_NOT_OK(options.cancel->Check("ModelRace evaluation"));
+      }
       report.pipelines_evaluated += to_eval.size();
       double total_time = 1e-9;
       std::size_t fold_successes = 0;
@@ -213,7 +250,15 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
         if (!active[c]) continue;
         if (evals[c].failed) {
           active[c] = false;  // a failing configuration leaves the race
-          ++report.pipelines_pruned_early;
+          if (evals[c].timed_out) {
+            ++report.pipelines_timed_out;
+            report.eliminations.push_back(
+                {candidates[c].spec.ToString(), EliminationReason::kTimedOut});
+          } else {
+            ++report.pipelines_pruned_early;
+            report.eliminations.push_back(
+                {candidates[c].spec.ToString(), EliminationReason::kFailedFit});
+          }
           continue;
         }
         const double sc =
@@ -234,6 +279,8 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
         if (fold_scores[c] < best_score - options.early_termination_margin) {
           active[c] = false;
           ++report.pipelines_pruned_early;
+          report.eliminations.push_back({candidates[c].spec.ToString(),
+                                         EliminationReason::kEarlyTermination});
         }
       }
     }
@@ -272,6 +319,8 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
             p > options.ttest_similarity_pvalue) {
           keep[j] = false;
           ++report.pipelines_pruned_ttest;
+          report.eliminations.push_back({survivors[j].spec.ToString(),
+                                         EliminationReason::kTTestPruned});
         }
       }
     }
@@ -293,6 +342,13 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
         "fewer partial sets");
   }
   if (elites.empty()) {
+    if (report.pipelines_timed_out > 0) {
+      return Status::DeadlineExceeded(
+          "ModelRace eliminated every pipeline; " +
+          std::to_string(report.pipelines_timed_out) +
+          " evaluations exceeded the candidate budget of " +
+          std::to_string(options.candidate_budget_seconds) + "s");
+    }
     return Status::Internal("ModelRace eliminated every pipeline");
   }
   report.elites = std::move(elites);

@@ -3,11 +3,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "automl/pipeline.h"
 #include "common/status.h"
 #include "ml/dataset.h"
+
+namespace adarts {
+class CancellationToken;
+}  // namespace adarts
 
 namespace adarts::automl {
 
@@ -44,6 +49,17 @@ struct ModelRaceOptions {
   /// and elites are bit-identical for every value (timing fields aside);
   /// see the determinism contract in common/thread_pool.h.
   std::size_t num_threads = 0;
+  /// Per-candidate wall-clock budget for a single fold evaluation
+  /// (fit + predict), in seconds. A candidate that exceeds it is recorded
+  /// as timed out and leaves the race. 0 (the default) disables the budget.
+  /// Enabling it makes elimination wall-clock-dependent, which forfeits
+  /// bit-determinism across runs and thread counts (DESIGN.md §7).
+  double candidate_budget_seconds = 0.0;
+  /// Optional cooperative cancellation/deadline token, polled between
+  /// iterations and folds and inside the parallel evaluation loop. Not
+  /// owned; must outlive the race. nullptr (the default) disables it and
+  /// preserves bit-determinism.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// A pipeline together with its accumulated race statistics.
@@ -56,6 +72,20 @@ struct RacedPipeline {
   double mean_time_seconds = 0.0;
 };
 
+/// Why a pipeline left the race.
+enum class EliminationReason {
+  kFailedFit,         ///< fit or scoring returned an error
+  kEarlyTermination,  ///< trailed the fold's best beyond the margin
+  kTTestPruned,       ///< statistically worse or redundant (phase two)
+  kTimedOut,          ///< exceeded `candidate_budget_seconds` on a fold
+};
+
+/// One elimination event, in the order the race recorded it.
+struct Elimination {
+  std::string pipeline;  ///< Pipeline::ToString() of the eliminated spec
+  EliminationReason reason = EliminationReason::kFailedFit;
+};
+
 /// Outcome of one ModelRace run.
 struct ModelRaceReport {
   /// Theta-elite: the surviving pipelines, best mean score first.
@@ -63,6 +93,9 @@ struct ModelRaceReport {
   std::size_t pipelines_evaluated = 0;
   std::size_t pipelines_pruned_early = 0;
   std::size_t pipelines_pruned_ttest = 0;
+  std::size_t pipelines_timed_out = 0;
+  /// Every elimination with its reason, in deterministic race order.
+  std::vector<Elimination> eliminations;
   double elapsed_seconds = 0.0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace adarts::automl {
 
 std::string Pipeline::ToString() const {
@@ -25,6 +27,7 @@ la::Vector TrainedPipeline::PredictProba(const la::Vector& features) const {
 
 Result<TrainedPipeline> FitPipeline(const Pipeline& spec,
                                     const ml::Dataset& train) {
+  ADARTS_FAILPOINT("automl.pipeline.fit");
   ADARTS_RETURN_NOT_OK(train.Validate());
   TrainedPipeline fitted;
   fitted.spec = spec;

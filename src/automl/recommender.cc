@@ -1,9 +1,11 @@
 #include "automl/recommender.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <optional>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace adarts::automl {
@@ -80,23 +82,62 @@ Result<VotingRecommender> VotingRecommender::FromPipelines(
   return rec;
 }
 
-la::Vector VotingRecommender::PredictProba(const la::Vector& features) const {
+la::Vector VotingRecommender::PredictProba(const la::Vector& features,
+                                           VoteDiagnostics* diagnostics) const {
   la::Vector acc(static_cast<std::size_t>(num_classes_), 0.0);
+  std::size_t voters = 0;
+  std::size_t failed = 0;
   for (const TrainedPipeline& member : committee_) {
+    if (ADARTS_FAILPOINT_TRIGGERS("automl.vote.member")) {
+      ++failed;
+      continue;
+    }
     const la::Vector p = member.PredictProba(features);
+    const bool malformed =
+        p.size() != acc.size() ||
+        std::any_of(p.begin(), p.end(),
+                    [](double v) { return !std::isfinite(v); });
+    if (malformed) {
+      // A poisoned member (NaN probabilities, wrong class count) must not
+      // contaminate the vote; the committee degrades instead of failing.
+      ++failed;
+      continue;
+    }
     for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+    ++voters;
   }
-  for (double& v : acc) v /= static_cast<double>(committee_.size());
+  if (diagnostics != nullptr) {
+    diagnostics->members_total = committee_.size();
+    diagnostics->members_failed = failed;
+    if (voters == 0) {
+      diagnostics->level = DegradationLevel::kDefaultClass;
+    } else if (failed == 0) {
+      diagnostics->level = DegradationLevel::kFullCommittee;
+    } else if (voters == 1) {
+      diagnostics->level = DegradationLevel::kSingleElite;
+    } else {
+      diagnostics->level = DegradationLevel::kPartialCommittee;
+    }
+  }
+  if (voters == 0) return {};
+  for (double& v : acc) v /= static_cast<double>(voters);
   return acc;
 }
 
 int VotingRecommender::Recommend(const la::Vector& features) const {
   const la::Vector p = PredictProba(features);
+  if (p.empty()) return 0;  // total vote failure; callers wanting the full
+                            // ladder use PredictProba + diagnostics
   return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
 }
 
 std::vector<int> VotingRecommender::Ranking(const la::Vector& features) const {
   const la::Vector p = PredictProba(features);
+  if (p.empty()) {
+    std::vector<int> order(static_cast<std::size_t>(num_classes_));
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+  }
   std::vector<int> order(p.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {

@@ -14,6 +14,24 @@ class ThreadPool;
 
 namespace adarts::automl {
 
+/// How far the inference path had to fall down the degradation ladder
+/// (DESIGN.md §7): full committee → partial committee (failing members
+/// skipped) → single surviving elite → corpus-majority default class.
+enum class DegradationLevel {
+  kFullCommittee,
+  kPartialCommittee,
+  kSingleElite,
+  kDefaultClass,
+};
+
+/// Per-vote health report: how many committee members contributed and how
+/// degraded the answer is.
+struct VoteDiagnostics {
+  std::size_t members_total = 0;
+  std::size_t members_failed = 0;
+  DegradationLevel level = DegradationLevel::kFullCommittee;
+};
+
 /// The inference side of A-DARTS (Fig. 2, steps 6-7): the winning pipelines,
 /// re-fitted on the full training data, vote softly — the probability matrix
 /// is averaged per class and the class with the highest mean wins.
@@ -32,8 +50,14 @@ class VotingRecommender {
   static Result<VotingRecommender> FromPipelines(
       std::vector<TrainedPipeline> committee, int num_classes);
 
-  /// Average per-class probability over the committee.
-  la::Vector PredictProba(const la::Vector& features) const;
+  /// Average per-class probability over the committee. Members that emit a
+  /// malformed vector (wrong size or non-finite entries) are skipped and the
+  /// average is taken over the survivors; `diagnostics` (optional) reports
+  /// how many members contributed and the resulting degradation level. An
+  /// empty return vector means every member failed — the caller must fall
+  /// back (kDefaultClass); see Adarts::RecommendEx for the full ladder.
+  la::Vector PredictProba(const la::Vector& features,
+                          VoteDiagnostics* diagnostics = nullptr) const;
 
   /// The recommended class (argmax of the soft vote).
   int Recommend(const la::Vector& features) const;

@@ -1,0 +1,210 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace adarts {
+
+namespace {
+
+/// Parses a spec-list code token. Accepts the short and long spellings used
+/// in docs and tests.
+Result<StatusCode> ParseCode(std::string_view token) {
+  if (token == "internal") return StatusCode::kInternal;
+  if (token == "invalid" || token == "invalid_argument") {
+    return StatusCode::kInvalidArgument;
+  }
+  if (token == "numerical" || token == "numerical_error") {
+    return StatusCode::kNumericalError;
+  }
+  if (token == "notfound" || token == "not_found") return StatusCode::kNotFound;
+  if (token == "failed_precondition") return StatusCode::kFailedPrecondition;
+  if (token == "out_of_range") return StatusCode::kOutOfRange;
+  if (token == "cancelled") return StatusCode::kCancelled;
+  if (token == "deadline" || token == "deadline_exceeded") {
+    return StatusCode::kDeadlineExceeded;
+  }
+  return Status::InvalidArgument("unknown failpoint status code: " +
+                                 std::string(token));
+}
+
+}  // namespace
+
+std::atomic<int> FailpointRegistry::armed_count_{0};
+
+namespace {
+
+/// Forces env-configured activations to arm at process start. The macro
+/// fast path (`Armed()`) never constructs the registry while the armed
+/// count is zero, so without this a binary that sets ADARTS_FAILPOINTS but
+/// never touches the registry programmatically would silently run healthy.
+const struct ArmFromEnvAtStartup {
+  ArmFromEnvAtStartup() {
+    if (std::getenv("ADARTS_FAILPOINTS") != nullptr) {
+      FailpointRegistry::Instance();
+    }
+  }
+} arm_from_env_at_startup;
+
+}  // namespace
+
+struct FailpointRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, Activation, std::less<>> active;
+};
+
+FailpointRegistry::FailpointRegistry() : impl_(new Impl) {
+  // Env-configured activations arm once, at first registry use; a bad spec
+  // cannot return a Status from here, so it aborts loudly rather than
+  // silently running the suite without the requested faults.
+  if (const char* env = std::getenv("ADARTS_FAILPOINTS")) {
+    const Status st = ArmFromSpec(env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "ADARTS_FAILPOINTS: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Enable(const std::string& site, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto [it, inserted] =
+      impl_->active.insert_or_assign(site, Activation{std::move(spec), 0});
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::Disable(const std::string& site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->active.erase(site) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  armed_count_.fetch_sub(static_cast<int>(impl_->active.size()),
+                         std::memory_order_relaxed);
+  impl_->active.clear();
+}
+
+Status FailpointRegistry::ArmFromSpec(std::string_view spec_list) {
+  std::size_t pos = 0;
+  while (pos < spec_list.size()) {
+    std::size_t end = spec_list.find_first_of(";,", pos);
+    if (end == std::string_view::npos) end = spec_list.size();
+    std::string_view entry = spec_list.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding spaces.
+    while (!entry.empty() && entry.front() == ' ') entry.remove_prefix(1);
+    while (!entry.empty() && entry.back() == ' ') entry.remove_suffix(1);
+    if (entry.empty()) continue;
+
+    FailpointSpec spec;
+    // `site[=code][@skip]` — split off @skip first, then =code.
+    if (const std::size_t at = entry.rfind('@'); at != std::string_view::npos) {
+      const std::string_view skip_str = entry.substr(at + 1);
+      if (skip_str.empty() ||
+          skip_str.find_first_not_of("0123456789") != std::string_view::npos) {
+        return Status::InvalidArgument("bad failpoint skip count in '" +
+                                       std::string(entry) + "'");
+      }
+      spec.skip = std::strtoull(std::string(skip_str).c_str(), nullptr, 10);
+      entry = entry.substr(0, at);
+    }
+    if (const std::size_t eq = entry.find('='); eq != std::string_view::npos) {
+      ADARTS_ASSIGN_OR_RETURN(spec.code, ParseCode(entry.substr(eq + 1)));
+      entry = entry.substr(0, eq);
+    }
+    if (entry.empty()) {
+      return Status::InvalidArgument("empty failpoint site name in spec list");
+    }
+    Enable(std::string(entry), std::move(spec));
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::Check(std::string_view site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->active.find(site);
+  if (it == impl_->active.end()) return Status::OK();
+  Activation& act = it->second;
+  ++act.hits;
+  if (act.hits <= act.spec.skip) return Status::OK();
+  if (act.spec.max_fires >= 0 &&
+      act.hits > act.spec.skip +
+                     static_cast<std::uint64_t>(act.spec.max_fires)) {
+    return Status::OK();
+  }
+  const std::string message =
+      act.spec.message.empty()
+          ? "failpoint '" + std::string(site) + "' fired"
+          : act.spec.message;
+  return Status(act.spec.code, message);
+}
+
+bool FailpointRegistry::Triggers(std::string_view site) {
+  return !Check(site).ok();
+}
+
+std::uint64_t FailpointRegistry::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->active.find(site);
+  return it == impl_->active.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FailpointRegistry::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> out;
+  out.reserve(impl_->active.size());
+  for (const auto& [name, act] : impl_->active) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+const std::vector<std::string_view>& AllFailpointSites() {
+  // Every ADARTS_FAILPOINT / ADARTS_FAILPOINT_TRIGGERS site in the library.
+  // tests/fault_injection_test.cc fires each entry and asserts the planted
+  // site reacts, which keeps this list honest.
+  static const std::vector<std::string_view>* sites =
+      new std::vector<std::string_view>{
+          "adarts.load.read",
+          "adarts.save.write",
+          "adarts.train.start",
+          "automl.pipeline.fit",
+          "automl.race.iteration",
+          "automl.vote.member",
+          "features.extract",
+          "impute.cdrec.fit",
+          "impute.dynammo.fit",
+          "impute.grouse.fit",
+          "impute.rosl.fit",
+          "impute.soft.fit",
+          "impute.svd.fit",
+          "impute.svt.fit",
+          "impute.tenmf.fit",
+          "impute.trmf.fit",
+          "io.csv.read",
+          "io.csv.write",
+          "la.pca.fit",
+          "la.svd",
+      };
+  return *sites;
+}
+
+ScopedFailpoint::ScopedFailpoint(std::string site, FailpointSpec spec)
+    : site_(std::move(site)) {
+  FailpointRegistry::Instance().Enable(site_, std::move(spec));
+}
+
+ScopedFailpoint::~ScopedFailpoint() {
+  FailpointRegistry::Instance().Disable(site_);
+}
+
+}  // namespace adarts

@@ -1,0 +1,138 @@
+#ifndef ADARTS_COMMON_FAILPOINT_H_
+#define ADARTS_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adarts {
+
+/// Deterministic fault injection for testing Status paths that healthy
+/// inputs cannot reach (a non-converging fit, a failed write, a poisoned
+/// committee member).
+///
+/// Library code plants named sites with `ADARTS_FAILPOINT("la.svd")`; the
+/// macro is a no-op unless at least one failpoint is armed (one relaxed
+/// atomic load), so production paths pay nothing. Tests arm sites
+/// programmatically (`ScopedFailpoint`) or via the `ADARTS_FAILPOINTS`
+/// environment variable, read once at first use:
+///
+///   ADARTS_FAILPOINTS="la.svd=internal;io.csv.read=notfound@3"
+///
+/// Each entry is `site[=code][@skip]`: `code` names the injected StatusCode
+/// (`internal`, `invalid`, `numerical`, `notfound`, `failed_precondition`,
+/// `out_of_range`, `cancelled`, `deadline`; default `internal`) and `skip`
+/// is the number of hits to let through before firing (default 0: fire on
+/// the first hit). Hit counting is per-activation and deterministic under
+/// serial execution.
+///
+/// Naming convention (DESIGN.md §7): `<module>.<component>.<operation>`,
+/// lower-case, dot-separated — e.g. `impute.cdrec.fit`,
+/// `adarts.save.write`.
+
+/// Activation parameters of one armed failpoint.
+struct FailpointSpec {
+  StatusCode code = StatusCode::kInternal;
+  /// Custom message; empty uses "failpoint '<site>' fired".
+  std::string message;
+  /// Hits to let through before the site starts firing.
+  std::uint64_t skip = 0;
+  /// Fires at most this many times after `skip`; -1 = every hit.
+  std::int64_t max_fires = -1;
+};
+
+/// Process-wide registry of armed failpoints. Thread-safe; the unarmed fast
+/// path is a single relaxed atomic load.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  /// Arms `site` with `spec` (re-arming resets the hit counter).
+  void Enable(const std::string& site, FailpointSpec spec = {});
+  /// Disarms `site`; unknown names are ignored.
+  void Disable(const std::string& site);
+  /// Disarms everything (including env-configured activations).
+  void DisableAll();
+
+  /// Parses an `ADARTS_FAILPOINTS`-style spec list and arms each entry.
+  Status ArmFromSpec(std::string_view spec_list);
+
+  /// Evaluates `site`: increments its hit counter and returns the injected
+  /// error when armed and triggered, OK otherwise. Called via the macros.
+  Status Check(std::string_view site);
+
+  /// Bool-valued variant for sites that cannot return a Status (e.g. a
+  /// committee member producing a probability vector): true = simulate the
+  /// site's failure mode.
+  bool Triggers(std::string_view site);
+
+  /// Total evaluations of `site` since it was (re-)armed; 0 when unarmed.
+  std::uint64_t HitCount(const std::string& site) const;
+
+  /// Names currently armed, sorted.
+  std::vector<std::string> ArmedSites() const;
+
+  /// True when at least one site is armed (the macro fast path).
+  static bool Armed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  FailpointRegistry();
+
+  struct Activation {
+    FailpointSpec spec;
+    std::uint64_t hits = 0;
+  };
+
+  /// Decides firing and counts the hit; returns the message to inject (or
+  /// nullopt). Implemented in the .cc to keep <map>/<mutex> out of the
+  /// header users include everywhere.
+  struct Impl;
+  Impl* impl_;
+
+  static std::atomic<int> armed_count_;
+};
+
+/// Canonical list of every injection site planted in the library, kept in
+/// one place so sweep harnesses (tests/fault_injection_test.cc, the CI
+/// fault-injection job) can iterate all of them. A test cross-checks that
+/// each listed site actually fires.
+const std::vector<std::string_view>& AllFailpointSites();
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string site, FailpointSpec spec = {});
+  ~ScopedFailpoint();
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string site_;
+};
+
+/// Evaluates a failpoint in a Status- or Result-returning function:
+/// propagates the injected error out of the enclosing function when armed
+/// and triggered.
+#define ADARTS_FAILPOINT(site)                                       \
+  do {                                                               \
+    if (::adarts::FailpointRegistry::Armed()) {                      \
+      ::adarts::Status _adarts_fp =                                  \
+          ::adarts::FailpointRegistry::Instance().Check(site);       \
+      if (!_adarts_fp.ok()) return _adarts_fp;                       \
+    }                                                                \
+  } while (false)
+
+/// Bool expression for sites that cannot return Status; false when unarmed.
+#define ADARTS_FAILPOINT_TRIGGERS(site)       \
+  (::adarts::FailpointRegistry::Armed() &&    \
+   ::adarts::FailpointRegistry::Instance().Triggers(site))
+
+}  // namespace adarts
+
+#endif  // ADARTS_COMMON_FAILPOINT_H_

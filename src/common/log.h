@@ -1,0 +1,22 @@
+#ifndef ADARTS_COMMON_LOG_H_
+#define ADARTS_COMMON_LOG_H_
+
+#include <cstdio>
+#include <string>
+
+namespace adarts {
+
+/// Minimal stderr diagnostics for events the library survives but the
+/// operator should know about (degradation-ladder hops, non-converged
+/// fits, repair fallbacks). Not a logging framework: one line, one
+/// severity, silence available for tests via ADARTS_QUIET.
+inline void LogWarn(const std::string& message) {
+  static const bool quiet = std::getenv("ADARTS_QUIET") != nullptr;
+  if (!quiet) {
+    std::fprintf(stderr, "[adarts] WARN: %s\n", message.c_str());
+  }
+}
+
+}  // namespace adarts
+
+#endif  // ADARTS_COMMON_LOG_H_

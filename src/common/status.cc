@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode {
   kNumericalError,
   kNotImplemented,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code ("OK", "Invalid argument"...).
@@ -61,6 +63,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/cancellation.h"
+
 namespace adarts {
 
 std::size_t ThreadPool::ResolveThreadCount(std::size_t num_threads) {
@@ -60,6 +62,7 @@ namespace {
 struct LoopState {
   std::function<void(std::size_t)> fn;
   std::size_t n = 0;
+  const CancellationToken* cancel = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex mu;
@@ -69,7 +72,10 @@ struct LoopState {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      fn(i);
+      // Cooperative cancellation: an expired token skips the body but still
+      // counts the index, so the completion barrier (done == n) holds and
+      // the caller can fold the partial state after re-checking the token.
+      if (cancel == nullptr || !cancel->expired()) fn(i);
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_all();
@@ -82,15 +88,25 @@ struct LoopState {
 
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn) {
+  ParallelFor(pool, n, fn, nullptr);
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn,
+                 const CancellationToken* cancel) {
   if (n == 0) return;
   if (pool == nullptr || pool->size() <= 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->expired()) return;
+      fn(i);
+    }
     return;
   }
 
   auto state = std::make_shared<LoopState>();
   state->fn = fn;
   state->n = n;
+  state->cancel = cancel;
   const std::size_t helpers = std::min(pool->size() - 1, n - 1);
   for (std::size_t h = 0; h < helpers; ++h) {
     pool->Submit([state] { state->Drain(); });

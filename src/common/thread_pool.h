@@ -54,6 +54,8 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+class CancellationToken;
+
 /// Runs `fn(0) .. fn(n-1)` across the pool and blocks until every call has
 /// returned. Indices are claimed dynamically (work stealing via a shared
 /// atomic cursor), so completion *order* is nondeterministic — results are
@@ -63,6 +65,16 @@ class ThreadPool {
 /// pool, or `n <= 1` degrade to a plain serial loop.
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
+
+/// Cancellable variant: once `cancel` is expired (cancelled or past its
+/// deadline), indices not yet started are *skipped* — their slots keep
+/// whatever default the caller pre-filled, and the loop still returns only
+/// after every started `fn(i)` finished. The caller MUST re-check the token
+/// afterwards and propagate its Status instead of publishing the partial
+/// results. `cancel == nullptr` behaves exactly like the plain overload.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn,
+                 const CancellationToken* cancel);
 
 }  // namespace adarts
 

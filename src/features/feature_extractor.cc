@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "la/pca.h"
 #include "ts/acf.h"
 #include "ts/fft.h"
@@ -288,6 +289,7 @@ la::Vector InterpolateMissing(const ts::TimeSeries& series) {
 
 Result<la::Vector> FeatureExtractor::Extract(
     const ts::TimeSeries& series) const {
+  ADARTS_FAILPOINT("features.extract");
   if (series.length() - series.MissingCount() < 8) {
     return Status::InvalidArgument(
         "feature extraction needs at least 8 observed points");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "impute/masked_matrix.h"
 #include "la/vector_ops.h"
 
@@ -93,12 +94,15 @@ Result<CentroidDecomposition> ComputeCentroidDecomposition(const la::Matrix& x,
   return cd;
 }
 
-Result<std::vector<ts::TimeSeries>> CdRecImputer::ImputeSet(
-    const std::vector<ts::TimeSeries>& set) const {
+Result<std::vector<ts::TimeSeries>> CdRecImputer::ImputeSetWithDiagnostics(
+    const std::vector<ts::TimeSeries>& set, FitDiagnostics* diagnostics) const {
+  ADARTS_FAILPOINT("impute.cdrec.fit");
   ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
   la::Matrix x = m.values;
   const std::size_t rank =
       std::min<std::size_t>(rank_, std::min(x.rows(), x.cols()));
+  FitDiagnostics diag;
+  diag.converged = false;
   for (int it = 0; it < max_iters_; ++it) {
     ADARTS_ASSIGN_OR_RETURN(CentroidDecomposition cd,
                             ComputeCentroidDecomposition(x, rank));
@@ -106,8 +110,14 @@ Result<std::vector<ts::TimeSeries>> CdRecImputer::ImputeSet(
     RestoreObserved(m, &recon);
     const double change = RelativeChange(recon, x);
     x = std::move(recon);
-    if (change < tol_) break;
+    diag.iterations = it + 1;
+    diag.final_change = change;
+    if (change < tol_) {
+      diag.converged = true;
+      break;
+    }
   }
+  if (diagnostics != nullptr) *diagnostics = diag;
   MaskedMatrix repaired = m;
   repaired.values = std::move(x);
   return MatrixToSeries(repaired, set);

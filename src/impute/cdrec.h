@@ -31,7 +31,12 @@ class CdRecImputer final : public Imputer {
       : rank_(rank), max_iters_(max_iters), tol_(tol) {}
   std::string_view name() const override { return "cdrec"; }
   Result<std::vector<ts::TimeSeries>> ImputeSet(
-      const std::vector<ts::TimeSeries>& set) const override;
+      const std::vector<ts::TimeSeries>& set) const override {
+    return ImputeSetWithDiagnostics(set, nullptr);
+  }
+  Result<std::vector<ts::TimeSeries>> ImputeSetWithDiagnostics(
+      const std::vector<ts::TimeSeries>& set,
+      FitDiagnostics* diagnostics) const override;
 
  private:
   std::size_t rank_;

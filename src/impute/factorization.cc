@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "impute/masked_matrix.h"
 #include "la/decompositions.h"
 
 namespace adarts::impute {
 
-Result<std::vector<ts::TimeSeries>> TrmfImputer::ImputeSet(
-    const std::vector<ts::TimeSeries>& set) const {
+Result<std::vector<ts::TimeSeries>> TrmfImputer::ImputeSetWithDiagnostics(
+    const std::vector<ts::TimeSeries>& set, FitDiagnostics* diagnostics) const {
+  ADARTS_FAILPOINT("impute.trmf.fit");
   ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
   const std::size_t t_len = m.rows();
   const std::size_t n = m.cols();
@@ -42,6 +44,8 @@ Result<std::vector<ts::TimeSeries>> TrmfImputer::ImputeSet(
   }
 
   la::Matrix prev_recon = m.values;
+  FitDiagnostics diag;
+  diag.converged = false;
   for (int it = 0; it < max_iters_; ++it) {
     // --- Update G: per-series ridge regression on observed rows.
     for (std::size_t j = 0; j < n; ++j) {
@@ -108,8 +112,14 @@ Result<std::vector<ts::TimeSeries>> TrmfImputer::ImputeSet(
     la::Matrix recon = f.Multiply(g.Transpose());
     const double change = RelativeChange(recon, prev_recon);
     prev_recon = std::move(recon);
-    if (change < tol_) break;
+    diag.iterations = it + 1;
+    diag.final_change = change;
+    if (change < tol_) {
+      diag.converged = true;
+      break;
+    }
   }
+  if (diagnostics != nullptr) *diagnostics = diag;
 
   RestoreObserved(m, &prev_recon);
   MaskedMatrix repaired = m;
@@ -117,8 +127,9 @@ Result<std::vector<ts::TimeSeries>> TrmfImputer::ImputeSet(
   return MatrixToSeries(repaired, set);
 }
 
-Result<std::vector<ts::TimeSeries>> TeNmfImputer::ImputeSet(
-    const std::vector<ts::TimeSeries>& set) const {
+Result<std::vector<ts::TimeSeries>> TeNmfImputer::ImputeSetWithDiagnostics(
+    const std::vector<ts::TimeSeries>& set, FitDiagnostics* diagnostics) const {
+  ADARTS_FAILPOINT("impute.tenmf.fit");
   ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
   const std::size_t t_len = m.rows();
   const std::size_t n = m.cols();
@@ -150,6 +161,8 @@ Result<std::vector<ts::TimeSeries>> TeNmfImputer::ImputeSet(
 
   constexpr double kEps = 1e-9;
   la::Matrix prev = x;
+  FitDiagnostics diag;
+  diag.converged = false;
   for (int it = 0; it < max_iters_; ++it) {
     const la::Matrix wh = w.Multiply(h);
     // Mask-weighted multiplicative updates (observed entries only drive the
@@ -181,8 +194,14 @@ Result<std::vector<ts::TimeSeries>> TeNmfImputer::ImputeSet(
     const la::Matrix recon = w.Multiply(h);
     const double change = RelativeChange(recon, prev);
     prev = recon;
-    if (change < tol_) break;
+    diag.iterations = it + 1;
+    diag.final_change = change;
+    if (change < tol_) {
+      diag.converged = true;
+      break;
+    }
   }
+  if (diagnostics != nullptr) *diagnostics = diag;
 
   // Shift back and restore observed values.
   la::Matrix result(t_len, n);

@@ -23,7 +23,12 @@ class TrmfImputer final : public Imputer {
         tol_(tol) {}
   std::string_view name() const override { return "trmf"; }
   Result<std::vector<ts::TimeSeries>> ImputeSet(
-      const std::vector<ts::TimeSeries>& set) const override;
+      const std::vector<ts::TimeSeries>& set) const override {
+    return ImputeSetWithDiagnostics(set, nullptr);
+  }
+  Result<std::vector<ts::TimeSeries>> ImputeSetWithDiagnostics(
+      const std::vector<ts::TimeSeries>& set,
+      FitDiagnostics* diagnostics) const override;
 
  private:
   std::size_t rank_;
@@ -43,7 +48,12 @@ class TeNmfImputer final : public Imputer {
       : rank_(rank), max_iters_(max_iters), tol_(tol) {}
   std::string_view name() const override { return "tenmf"; }
   Result<std::vector<ts::TimeSeries>> ImputeSet(
-      const std::vector<ts::TimeSeries>& set) const override;
+      const std::vector<ts::TimeSeries>& set) const override {
+    return ImputeSetWithDiagnostics(set, nullptr);
+  }
+  Result<std::vector<ts::TimeSeries>> ImputeSetWithDiagnostics(
+      const std::vector<ts::TimeSeries>& set,
+      FitDiagnostics* diagnostics) const override;
 
  private:
   std::size_t rank_;

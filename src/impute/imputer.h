@@ -44,6 +44,18 @@ Result<Algorithm> AlgorithmFromString(std::string_view name);
 /// All algorithms, enum order.
 std::vector<Algorithm> AllAlgorithms();
 
+/// Convergence report of one imputer fit. Iterative completers (CDRec, the
+/// SVD family, TRMF/TeNMF, DynaMMo, GROUSE) fill it instead of silently
+/// returning best-effort output: `converged == false` means the iteration
+/// hit its cap while the reconstruction was still moving by more than the
+/// tolerance. One-shot imputers (mean, interpolation, kNN, pattern-based)
+/// report the defaults.
+struct FitDiagnostics {
+  bool converged = true;
+  int iterations = 0;       ///< iterations (or passes) actually run
+  double final_change = 0.0;  ///< last relative change of the reconstruction
+};
+
 /// Interface shared by every imputation algorithm.
 ///
 /// Imputers operate on a *set* of equal-length series (the columns of an
@@ -58,10 +70,22 @@ class Imputer {
   virtual std::string_view name() const = 0;
 
   /// Repairs every missing position in every series of the set.
-  /// All series must have the same non-zero length and at least one
-  /// observed value each.
+  /// All series must have the same non-zero length, at least one observed
+  /// value each, and only finite observed values.
   virtual Result<std::vector<ts::TimeSeries>> ImputeSet(
       const std::vector<ts::TimeSeries>& set) const = 0;
+
+  /// ImputeSet plus a convergence report. The base implementation delegates
+  /// to ImputeSet and reports the one-shot defaults; iterative imputers
+  /// override it (and route their plain ImputeSet through it), so callers
+  /// that care — Adarts::Repair's degradation ladder, benches — always see
+  /// honest diagnostics. `diagnostics` may be nullptr.
+  virtual Result<std::vector<ts::TimeSeries>> ImputeSetWithDiagnostics(
+      const std::vector<ts::TimeSeries>& set,
+      FitDiagnostics* diagnostics) const {
+    if (diagnostics != nullptr) *diagnostics = FitDiagnostics{};
+    return ImputeSet(set);
+  }
 
   /// Convenience wrapper for a single series.
   Result<ts::TimeSeries> Impute(const ts::TimeSeries& series) const;

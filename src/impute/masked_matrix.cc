@@ -11,13 +11,18 @@ Result<MaskedMatrix> BuildMaskedMatrix(
   if (set.empty()) return Status::InvalidArgument("empty series set");
   const std::size_t n = set[0].length();
   if (n == 0) return Status::InvalidArgument("zero-length series");
-  for (const auto& s : set) {
+  for (std::size_t j = 0; j < set.size(); ++j) {
+    const auto& s = set[j];
     if (s.length() != n) {
       return Status::InvalidArgument("series lengths differ within set");
     }
     if (s.MissingCount() == s.length()) {
-      return Status::InvalidArgument("series has no observed values");
+      return Status::InvalidArgument("series " + std::to_string(j) +
+                                     " has no observed values");
     }
+    // NaN/Inf in observed positions would silently poison every iterative
+    // completer; reject at the boundary instead (DESIGN.md §7).
+    ADARTS_RETURN_NOT_OK(s.ValidateObservedFinite());
   }
 
   MaskedMatrix m;

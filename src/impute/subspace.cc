@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "impute/masked_matrix.h"
 #include "la/decompositions.h"
 #include "la/pca.h"
@@ -36,8 +37,10 @@ void Orthonormalize(la::Matrix* u) {
 
 }  // namespace
 
-Result<std::vector<ts::TimeSeries>> GrouseImputer::ImputeSet(
-    const std::vector<ts::TimeSeries>& set) const {
+Result<std::vector<ts::TimeSeries>> GrouseImputer::ImputeSetWithDiagnostics(
+    const std::vector<ts::TimeSeries>& set, FitDiagnostics* diagnostics) const {
+  ADARTS_FAILPOINT("impute.grouse.fit");
+  if (diagnostics != nullptr) *diagnostics = FitDiagnostics{};
   ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
   const std::size_t n = m.cols();  // ambient dimension = number of series
   const std::size_t t_len = m.rows();
@@ -46,6 +49,10 @@ Result<std::vector<ts::TimeSeries>> GrouseImputer::ImputeSet(
     // No cross-section to track: the interpolation pre-fill is the output.
     return MatrixToSeries(m, set);
   }
+  // GROUSE runs a fixed number of decaying-step passes rather than
+  // iterating to a tolerance; it reports the pass count and counts as
+  // converged by construction.
+  if (diagnostics != nullptr) diagnostics->iterations = passes_;
   const std::size_t k = std::min<std::size_t>(std::max<std::size_t>(rank_, 1),
                                               n);
 
@@ -124,8 +131,9 @@ Result<std::vector<ts::TimeSeries>> GrouseImputer::ImputeSet(
   return MatrixToSeries(repaired, set);
 }
 
-Result<std::vector<ts::TimeSeries>> DynaMmoImputer::ImputeSet(
-    const std::vector<ts::TimeSeries>& set) const {
+Result<std::vector<ts::TimeSeries>> DynaMmoImputer::ImputeSetWithDiagnostics(
+    const std::vector<ts::TimeSeries>& set, FitDiagnostics* diagnostics) const {
+  ADARTS_FAILPOINT("impute.dynammo.fit");
   ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
   la::Matrix x = m.values;
   const std::size_t t_len = m.rows();
@@ -134,6 +142,8 @@ Result<std::vector<ts::TimeSeries>> DynaMmoImputer::ImputeSet(
       std::min<std::size_t>(std::max<std::size_t>(latent_dim_, 1),
                             std::min(t_len > 1 ? t_len - 1 : 1, n));
 
+  FitDiagnostics diag;
+  diag.converged = false;
   for (int it = 0; it < max_iters_; ++it) {
     // E-step surrogate: latent trajectory via PCA of the current fill.
     la::Pca pca;
@@ -191,8 +201,14 @@ Result<std::vector<ts::TimeSeries>> DynaMmoImputer::ImputeSet(
     RestoreObserved(m, &recon);
     const double change = RelativeChange(recon, x);
     x = std::move(recon);
-    if (change < tol_) break;
+    diag.iterations = it + 1;
+    diag.final_change = change;
+    if (change < tol_) {
+      diag.converged = true;
+      break;
+    }
   }
+  if (diagnostics != nullptr) *diagnostics = diag;
 
   MaskedMatrix repaired = m;
   repaired.values = std::move(x);

@@ -19,7 +19,12 @@ class GrouseImputer final : public Imputer {
       : rank_(rank), passes_(passes), step_(step) {}
   std::string_view name() const override { return "grouse"; }
   Result<std::vector<ts::TimeSeries>> ImputeSet(
-      const std::vector<ts::TimeSeries>& set) const override;
+      const std::vector<ts::TimeSeries>& set) const override {
+    return ImputeSetWithDiagnostics(set, nullptr);
+  }
+  Result<std::vector<ts::TimeSeries>> ImputeSetWithDiagnostics(
+      const std::vector<ts::TimeSeries>& set,
+      FitDiagnostics* diagnostics) const override;
 
  private:
   std::size_t rank_;
@@ -39,7 +44,12 @@ class DynaMmoImputer final : public Imputer {
       : latent_dim_(latent_dim), max_iters_(max_iters), tol_(tol) {}
   std::string_view name() const override { return "dynammo"; }
   Result<std::vector<ts::TimeSeries>> ImputeSet(
-      const std::vector<ts::TimeSeries>& set) const override;
+      const std::vector<ts::TimeSeries>& set) const override {
+    return ImputeSetWithDiagnostics(set, nullptr);
+  }
+  Result<std::vector<ts::TimeSeries>> ImputeSetWithDiagnostics(
+      const std::vector<ts::TimeSeries>& set,
+      FitDiagnostics* diagnostics) const override;
 
  private:
   std::size_t latent_dim_;

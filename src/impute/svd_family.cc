@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "impute/masked_matrix.h"
 #include "la/decompositions.h"
 
@@ -56,51 +57,72 @@ double TopSingularValue(const la::Matrix& x) {
 
 }  // namespace
 
-Result<std::vector<ts::TimeSeries>> SvdImputer::ImputeSet(
-    const std::vector<ts::TimeSeries>& set) const {
+Result<std::vector<ts::TimeSeries>> SvdImputer::ImputeSetWithDiagnostics(
+    const std::vector<ts::TimeSeries>& set, FitDiagnostics* diagnostics) const {
+  ADARTS_FAILPOINT("impute.svd.fit");
   ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
   la::Matrix x = m.values;
   const std::size_t rank =
       std::min<std::size_t>(rank_, std::min(x.rows(), x.cols()));
+  FitDiagnostics diag;
+  diag.converged = false;
   for (int it = 0; it < max_iters_; ++it) {
     ADARTS_ASSIGN_OR_RETURN(la::Matrix recon,
                             TruncatedReconstruction(x, rank));
     RestoreObserved(m, &recon);
     const double change = RelativeChange(recon, x);
     x = std::move(recon);
-    if (change < tol_) break;
+    diag.iterations = it + 1;
+    diag.final_change = change;
+    if (change < tol_) {
+      diag.converged = true;
+      break;
+    }
   }
+  if (diagnostics != nullptr) *diagnostics = diag;
   MaskedMatrix repaired = m;
   repaired.values = std::move(x);
   return MatrixToSeries(repaired, set);
 }
 
-Result<std::vector<ts::TimeSeries>> SoftImputer::ImputeSet(
-    const std::vector<ts::TimeSeries>& set) const {
+Result<std::vector<ts::TimeSeries>> SoftImputer::ImputeSetWithDiagnostics(
+    const std::vector<ts::TimeSeries>& set, FitDiagnostics* diagnostics) const {
+  ADARTS_FAILPOINT("impute.soft.fit");
   ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
   la::Matrix x = m.values;
   const double lambda = lambda_ratio_ * TopSingularValue(x);
+  FitDiagnostics diag;
+  diag.converged = false;
   for (int it = 0; it < max_iters_; ++it) {
     ADARTS_ASSIGN_OR_RETURN(la::Matrix recon,
                             SoftThresholdedReconstruction(x, lambda));
     RestoreObserved(m, &recon);
     const double change = RelativeChange(recon, x);
     x = std::move(recon);
-    if (change < tol_) break;
+    diag.iterations = it + 1;
+    diag.final_change = change;
+    if (change < tol_) {
+      diag.converged = true;
+      break;
+    }
   }
+  if (diagnostics != nullptr) *diagnostics = diag;
   MaskedMatrix repaired = m;
   repaired.values = std::move(x);
   return MatrixToSeries(repaired, set);
 }
 
-Result<std::vector<ts::TimeSeries>> SvtImputer::ImputeSet(
-    const std::vector<ts::TimeSeries>& set) const {
+Result<std::vector<ts::TimeSeries>> SvtImputer::ImputeSetWithDiagnostics(
+    const std::vector<ts::TimeSeries>& set, FitDiagnostics* diagnostics) const {
+  ADARTS_FAILPOINT("impute.svt.fit");
   ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
   const double tau = tau_ratio_ * TopSingularValue(m.values);
 
   // Y accumulates the dual variable; start from the observed projection.
   la::Matrix y = m.values;
   la::Matrix z = m.values;
+  FitDiagnostics diag;
+  diag.converged = false;
   for (int it = 0; it < max_iters_; ++it) {
     ADARTS_ASSIGN_OR_RETURN(la::Matrix znew,
                             SoftThresholdedReconstruction(y, tau));
@@ -114,16 +136,23 @@ Result<std::vector<ts::TimeSeries>> SvtImputer::ImputeSet(
         }
       }
     }
-    if (change < tol_) break;
+    diag.iterations = it + 1;
+    diag.final_change = change;
+    if (change < tol_) {
+      diag.converged = true;
+      break;
+    }
   }
+  if (diagnostics != nullptr) *diagnostics = diag;
   RestoreObserved(m, &z);
   MaskedMatrix repaired = m;
   repaired.values = std::move(z);
   return MatrixToSeries(repaired, set);
 }
 
-Result<std::vector<ts::TimeSeries>> RoslImputer::ImputeSet(
-    const std::vector<ts::TimeSeries>& set) const {
+Result<std::vector<ts::TimeSeries>> RoslImputer::ImputeSetWithDiagnostics(
+    const std::vector<ts::TimeSeries>& set, FitDiagnostics* diagnostics) const {
+  ADARTS_FAILPOINT("impute.rosl.fit");
   ADARTS_ASSIGN_OR_RETURN(MaskedMatrix m, BuildMaskedMatrix(set));
   la::Matrix x = m.values;
   la::Matrix sparse(x.rows(), x.cols());
@@ -139,12 +168,16 @@ Result<std::vector<ts::TimeSeries>> RoslImputer::ImputeSet(
   const double thr = sparsity_ * scale;
 
   la::Matrix lowrank = x;
+  FitDiagnostics diag;
+  diag.converged = false;
   for (int it = 0; it < max_iters_; ++it) {
     // Low-rank fit of the outlier-cleaned matrix.
     ADARTS_ASSIGN_OR_RETURN(la::Matrix fit,
                             TruncatedReconstruction(x.Subtract(sparse), rank));
     const double change = RelativeChange(fit, lowrank);
     lowrank = std::move(fit);
+    diag.iterations = it + 1;
+    diag.final_change = change;
     // Sparse component: soft-threshold the observed residuals.
     for (std::size_t t = 0; t < m.rows(); ++t) {
       for (std::size_t j = 0; j < m.cols(); ++j) {
@@ -157,8 +190,12 @@ Result<std::vector<ts::TimeSeries>> RoslImputer::ImputeSet(
         }
       }
     }
-    if (change < tol_) break;
+    if (change < tol_) {
+      diag.converged = true;
+      break;
+    }
   }
+  if (diagnostics != nullptr) *diagnostics = diag;
   MaskedMatrix repaired = m;
   repaired.values = std::move(lowrank);
   RestoreObserved(m, &repaired.values);

@@ -17,7 +17,12 @@ class SvdImputer final : public Imputer {
       : rank_(rank), max_iters_(max_iters), tol_(tol) {}
   std::string_view name() const override { return "svd_impute"; }
   Result<std::vector<ts::TimeSeries>> ImputeSet(
-      const std::vector<ts::TimeSeries>& set) const override;
+      const std::vector<ts::TimeSeries>& set) const override {
+    return ImputeSetWithDiagnostics(set, nullptr);
+  }
+  Result<std::vector<ts::TimeSeries>> ImputeSetWithDiagnostics(
+      const std::vector<ts::TimeSeries>& set,
+      FitDiagnostics* diagnostics) const override;
 
  private:
   std::size_t rank_;
@@ -35,7 +40,12 @@ class SoftImputer final : public Imputer {
       : lambda_ratio_(lambda_ratio), max_iters_(max_iters), tol_(tol) {}
   std::string_view name() const override { return "soft_impute"; }
   Result<std::vector<ts::TimeSeries>> ImputeSet(
-      const std::vector<ts::TimeSeries>& set) const override;
+      const std::vector<ts::TimeSeries>& set) const override {
+    return ImputeSetWithDiagnostics(set, nullptr);
+  }
+  Result<std::vector<ts::TimeSeries>> ImputeSetWithDiagnostics(
+      const std::vector<ts::TimeSeries>& set,
+      FitDiagnostics* diagnostics) const override;
 
  private:
   double lambda_ratio_;
@@ -53,7 +63,12 @@ class SvtImputer final : public Imputer {
       : tau_ratio_(tau_ratio), step_(step), max_iters_(max_iters), tol_(tol) {}
   std::string_view name() const override { return "svt"; }
   Result<std::vector<ts::TimeSeries>> ImputeSet(
-      const std::vector<ts::TimeSeries>& set) const override;
+      const std::vector<ts::TimeSeries>& set) const override {
+    return ImputeSetWithDiagnostics(set, nullptr);
+  }
+  Result<std::vector<ts::TimeSeries>> ImputeSetWithDiagnostics(
+      const std::vector<ts::TimeSeries>& set,
+      FitDiagnostics* diagnostics) const override;
 
  private:
   double tau_ratio_;
@@ -73,7 +88,12 @@ class RoslImputer final : public Imputer {
       : rank_(rank), sparsity_(sparsity), max_iters_(max_iters), tol_(tol) {}
   std::string_view name() const override { return "rosl"; }
   Result<std::vector<ts::TimeSeries>> ImputeSet(
-      const std::vector<ts::TimeSeries>& set) const override;
+      const std::vector<ts::TimeSeries>& set) const override {
+    return ImputeSetWithDiagnostics(set, nullptr);
+  }
+  Result<std::vector<ts::TimeSeries>> ImputeSetWithDiagnostics(
+      const std::vector<ts::TimeSeries>& set,
+      FitDiagnostics* diagnostics) const override;
 
  private:
   std::size_t rank_;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
+
+#include "common/failpoint.h"
 
 namespace adarts::io {
 
@@ -68,6 +71,7 @@ Result<std::string> FormatSeriesCsv(const std::vector<ts::TimeSeries>& set) {
 
 Status WriteSeriesCsv(const std::string& path,
                       const std::vector<ts::TimeSeries>& set) {
+  ADARTS_FAILPOINT("io.csv.write");
   ADARTS_ASSIGN_OR_RETURN(std::string content, FormatSeriesCsv(set));
   std::ofstream file(path, std::ios::trunc);
   if (!file) return Status::NotFound("cannot open for writing: " + path);
@@ -120,6 +124,13 @@ Result<std::vector<ts::TimeSeries>> ParseSeriesCsv(const std::string& content) {
         return Status::InvalidArgument("bad numeric cell '" + cells[j] +
                                        "' at row " + std::to_string(row));
       }
+      // from_chars accepts "inf"/"-inf" (and "nan" spellings IsMissingCell
+      // does not catch, e.g. "nan(0)"); a non-finite observed value must
+      // not enter the engine (DESIGN.md §7).
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("non-finite cell '" + cells[j] +
+                                       "' at row " + std::to_string(row));
+      }
       values[j].push_back(v);
       missing[j].push_back(false);
     }
@@ -137,6 +148,7 @@ Result<std::vector<ts::TimeSeries>> ParseSeriesCsv(const std::string& content) {
 }
 
 Result<std::vector<ts::TimeSeries>> ReadSeriesCsv(const std::string& path) {
+  ADARTS_FAILPOINT("io.csv.read");
   std::ifstream file(path);
   if (!file) return Status::NotFound("cannot open: " + path);
   std::ostringstream content;

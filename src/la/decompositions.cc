@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/failpoint.h"
+
 namespace adarts::la {
 
 namespace {
@@ -13,6 +15,7 @@ constexpr double kJacobiEps = 1e-12;
 }  // namespace
 
 Result<SvdResult> ComputeSvd(const Matrix& a, int max_sweeps) {
+  ADARTS_FAILPOINT("la.svd");
   if (a.empty()) return Status::InvalidArgument("SVD of empty matrix");
   // One-sided Jacobi works on a tall matrix; transpose wide inputs and swap
   // U/V at the end.

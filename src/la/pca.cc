@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "la/decompositions.h"
 
 namespace adarts::la {
 
 Status Pca::Fit(const Matrix& data, std::size_t n_components) {
+  ADARTS_FAILPOINT("la.pca.fit");
   if (data.empty()) return Status::InvalidArgument("PCA on empty matrix");
   const std::size_t n = data.rows();
   const std::size_t d = data.cols();

@@ -11,6 +11,29 @@ TimeSeries::TimeSeries(la::Vector values, std::vector<bool> missing)
   ADARTS_CHECK(values_.size() == missing_.size());
 }
 
+Result<TimeSeries> TimeSeries::Create(la::Vector values,
+                                      std::vector<bool> missing) {
+  if (values.size() != missing.size()) {
+    return Status::InvalidArgument("value/mask size mismatch: " +
+                                   std::to_string(values.size()) + " vs " +
+                                   std::to_string(missing.size()));
+  }
+  TimeSeries out(std::move(values), std::move(missing));
+  ADARTS_RETURN_NOT_OK(out.ValidateObservedFinite());
+  return out;
+}
+
+Status TimeSeries::ValidateObservedFinite() const {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (!missing_[i] && !std::isfinite(values_[i])) {
+      return Status::InvalidArgument(
+          "non-finite observed value at position " + std::to_string(i) +
+          (name_.empty() ? "" : " of series '" + name_ + "'"));
+    }
+  }
+  return Status::OK();
+}
+
 std::size_t TimeSeries::MissingCount() const {
   std::size_t n = 0;
   for (bool m : missing_) n += m ? 1 : 0;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "la/vector_ops.h"
 
 namespace adarts::ts {
@@ -24,6 +25,18 @@ class TimeSeries {
 
   /// Series with an explicit mask; sizes must match.
   TimeSeries(la::Vector values, std::vector<bool> missing);
+
+  /// Validating construction: rejects size mismatches and NaN/Inf at
+  /// *observed* (non-masked) positions with InvalidArgument. Masked
+  /// positions may hold anything — their values are placeholders. This is
+  /// the boundary check the engine entry points rely on; the plain
+  /// constructors stay unchecked for internal use on trusted data.
+  static Result<TimeSeries> Create(la::Vector values,
+                                   std::vector<bool> missing);
+
+  /// OK when every observed position holds a finite value; InvalidArgument
+  /// naming the first offending index otherwise.
+  Status ValidateObservedFinite() const;
 
   std::size_t length() const { return values_.size(); }
   bool empty() const { return values_.empty(); }

@@ -2,6 +2,7 @@
 // checks, and API behaviours not exercised by the main suites.
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -119,6 +120,115 @@ TEST(ImputerEdgeTest, GapAtTheVeryStart) {
     ASSERT_TRUE(repaired.ok()) << impute::AlgorithmToString(a);
     EXPECT_FALSE((*repaired)[0].HasMissing()) << impute::AlgorithmToString(a);
   }
+}
+
+TEST(ImputerEdgeTest, AllMissingSeriesIsRejectedByEveryImputer) {
+  // One series with zero observations: no algorithm can anchor a repair,
+  // so every imputer must refuse with a clean InvalidArgument naming the
+  // offending series — never crash or emit garbage.
+  std::vector<ts::TimeSeries> set = {MakeSine(32, 8.0, 0.0, 21),
+                                     MakeSine(32, 8.0, 0.0, 22)};
+  for (std::size_t t = 0; t < 32; ++t) set[1].SetMissing(t, true);
+  for (impute::Algorithm a : impute::AllAlgorithms()) {
+    auto repaired = impute::CreateImputer(a)->ImputeSet(set);
+    ASSERT_FALSE(repaired.ok()) << impute::AlgorithmToString(a);
+    EXPECT_EQ(repaired.status().code(), StatusCode::kInvalidArgument)
+        << impute::AlgorithmToString(a);
+    EXPECT_NE(repaired.status().message().find("series 1"), std::string::npos)
+        << impute::AlgorithmToString(a) << ": " << repaired.status();
+  }
+}
+
+TEST(ImputerEdgeTest, NonFiniteObservedValueIsRejectedByEveryImputer) {
+  std::vector<ts::TimeSeries> set = {MakeSine(32, 8.0, 0.0, 23),
+                                     MakeSine(32, 8.0, 0.0, 24)};
+  set[0].SetMissing(5, true);
+  set[1].set_value(7, std::numeric_limits<double>::quiet_NaN());
+  for (impute::Algorithm a : impute::AllAlgorithms()) {
+    auto repaired = impute::CreateImputer(a)->ImputeSet(set);
+    ASSERT_FALSE(repaired.ok()) << impute::AlgorithmToString(a);
+    EXPECT_EQ(repaired.status().code(), StatusCode::kInvalidArgument)
+        << impute::AlgorithmToString(a);
+  }
+}
+
+TEST(ImputerEdgeTest, SinglePointSeries) {
+  // A length-1 set is degenerate but well-formed; imputers must either
+  // return it unchanged (nothing is missing) or refuse cleanly.
+  std::vector<ts::TimeSeries> set = {ts::TimeSeries(la::Vector{3.5}),
+                                     ts::TimeSeries(la::Vector{-1.0})};
+  for (impute::Algorithm a : impute::AllAlgorithms()) {
+    auto repaired = impute::CreateImputer(a)->ImputeSet(set);
+    if (repaired.ok()) {
+      ASSERT_EQ(repaired->size(), 2u) << impute::AlgorithmToString(a);
+      EXPECT_EQ((*repaired)[0].value(0), 3.5) << impute::AlgorithmToString(a);
+    } else {
+      EXPECT_FALSE(repaired.status().message().empty())
+          << impute::AlgorithmToString(a);
+    }
+  }
+}
+
+TEST(ImputerEdgeTest, SingleObservationRestMissing) {
+  // 1 observed point out of 24: the thinnest input BuildMaskedMatrix
+  // accepts. Every imputer must fill all gaps with finite values or refuse
+  // cleanly — no NaN output, no crash.
+  std::vector<ts::TimeSeries> set = {MakeSine(24, 8.0, 0.0, 25),
+                                     MakeSine(24, 8.0, 0.0, 26)};
+  for (std::size_t t = 0; t < 24; ++t) {
+    if (t != 11) set[0].SetMissing(t, true);
+  }
+  for (impute::Algorithm a : impute::AllAlgorithms()) {
+    auto repaired = impute::CreateImputer(a)->ImputeSet(set);
+    if (!repaired.ok()) {
+      EXPECT_FALSE(repaired.status().message().empty())
+          << impute::AlgorithmToString(a);
+      continue;
+    }
+    EXPECT_FALSE((*repaired)[0].HasMissing()) << impute::AlgorithmToString(a);
+    for (std::size_t t = 0; t < 24; ++t) {
+      EXPECT_TRUE(std::isfinite((*repaired)[0].value(t)))
+          << impute::AlgorithmToString(a) << " at " << t;
+    }
+  }
+}
+
+TEST(ImputerEdgeTest, MissingBlockSpanningAlmostTheWholeSeries) {
+  // A block gap longer than the observed remainder (only the endpoints
+  // survive). Every imputer must bridge it with finite values or refuse.
+  std::vector<ts::TimeSeries> set = {MakeSine(40, 10.0, 0.0, 27),
+                                     MakeSine(40, 10.0, 0.0, 28)};
+  for (std::size_t t = 1; t + 1 < 40; ++t) set[0].SetMissing(t, true);
+  for (impute::Algorithm a : impute::AllAlgorithms()) {
+    auto repaired = impute::CreateImputer(a)->ImputeSet(set);
+    if (!repaired.ok()) {
+      EXPECT_FALSE(repaired.status().message().empty())
+          << impute::AlgorithmToString(a);
+      continue;
+    }
+    EXPECT_FALSE((*repaired)[0].HasMissing()) << impute::AlgorithmToString(a);
+    for (std::size_t t = 0; t < 40; ++t) {
+      EXPECT_TRUE(std::isfinite((*repaired)[0].value(t)))
+          << impute::AlgorithmToString(a) << " at " << t;
+    }
+  }
+}
+
+TEST(TimeSeriesEdgeTest, CreateRejectsNonFiniteObservedValues) {
+  la::Vector values{1.0, std::numeric_limits<double>::infinity(), 3.0};
+  auto bad = ts::TimeSeries::Create(values, {false, false, false});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("position 1"), std::string::npos);
+
+  // The same value behind the mask is a legal placeholder.
+  auto masked = ts::TimeSeries::Create(values, {false, true, false});
+  ASSERT_TRUE(masked.ok()) << masked.status();
+  EXPECT_TRUE(masked->IsMissing(1));
+
+  auto mismatched = ts::TimeSeries::Create({1.0, 2.0}, {false});
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(MissingEdgeTest, BlockAtExactBounds) {

@@ -76,6 +76,19 @@ TEST(CsvParseTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseSeriesCsv("a,b\n").ok());            // header only
 }
 
+TEST(CsvParseTest, RejectsNonFiniteObservedValues) {
+  // from_chars accepts infinity spellings, but a non-finite *observed*
+  // value must not enter the engine (DESIGN.md §7). The "nan" spellings of
+  // AcceptsNanSpellings stay valid — they mean "missing", not "observed".
+  auto inf = ParseSeriesCsv("a\n1.0\ninf\n");
+  ASSERT_FALSE(inf.ok());
+  EXPECT_NE(inf.status().message().find("non-finite"), std::string::npos);
+  EXPECT_NE(inf.status().message().find("row 3"), std::string::npos);
+  EXPECT_FALSE(ParseSeriesCsv("a,b\n-inf,2.0\n").ok());
+  EXPECT_FALSE(ParseSeriesCsv("a\nnan(0)\n").ok());
+  EXPECT_FALSE(ParseSeriesCsv("a\nINFINITY\n").ok());
+}
+
 TEST(CsvParseTest, NegativeAndScientificNumbers) {
   auto parsed = ParseSeriesCsv("x\n-1.5\n2e3\n-4.25e-2\n");
   ASSERT_TRUE(parsed.ok());
