@@ -16,13 +16,15 @@
 #include "bench/bench_util.h"
 #include "cluster/incremental.h"
 #include "cluster/kshape.h"
+#include "common/exec_context.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
 namespace adarts::bench {
 namespace {
 
-int Run(std::size_t num_threads) {
+int Run(std::size_t num_threads, const std::string& json_path) {
+  const BenchJsonWriter json(json_path);
   std::printf("=== Fig. 11: Clustering Performance ===\n");
   std::printf("(clustering threads: %zu)\n\n",
               ThreadPool::ResolveThreadCount(num_threads));
@@ -44,14 +46,16 @@ int Run(std::size_t num_threads) {
   };
   std::vector<Row> rows;
 
+  StageMetrics incremental_stages;
   {
     Stopwatch w;
     cluster::IncrementalOptions opts;
     opts.correlation_threshold = 0.75;
     opts.small_cluster_size = 6;
     opts.merge_correlation_slack = 0.8;
-    opts.num_threads = num_threads;
-    auto c = cluster::IncrementalClustering(corpus, opts);
+    ExecContext ctx(num_threads);
+    auto c = cluster::IncrementalClustering(corpus, opts, ctx);
+    incremental_stages = ctx.metrics().Snapshot();
     if (c.ok()) {
       rows.push_back({"incremental (A-DARTS)",
                       cluster::AverageIntraClusterCorrelation(*c, corr),
@@ -95,6 +99,14 @@ int Run(std::size_t num_threads) {
   for (const Row& r : rows) {
     std::printf("%-24s %14s %12s\n", r.name, Fmt(r.correlation, 3).c_str(),
                 Fmt(r.seconds, 3).c_str());
+    // The incremental row carries its ExecContext stage breakdown
+    // (cluster.correlation_seconds, cluster.splits/merges/moves).
+    const bool is_incremental = std::strncmp(r.name, "incremental", 11) == 0;
+    json.Record("fig11.clustering",
+                {{"method", r.name},
+                 {"clusters", std::to_string(r.clusters)}},
+                r.seconds, r.correlation,
+                is_incremental ? &incremental_stages : nullptr);
   }
 
   std::printf("\n--- (b) number of final clusters (ground truth via grid "
@@ -122,17 +134,19 @@ int Run(std::size_t num_threads) {
   copts.correlation_threshold = 0.75;
   copts.small_cluster_size = 6;
   copts.merge_correlation_slack = 0.8;
-  copts.num_threads = 1;
-  const auto ref_clusters = cluster::IncrementalClustering(corpus, copts);
+  ExecContext ref_ctx(1);
+  const auto ref_clusters =
+      cluster::IncrementalClustering(corpus, copts, ref_ctx);
   double serial_total = 0.0;
   for (std::size_t threads : {1, 2, 4}) {
-    ThreadPool pool(threads);
+    // One context per row: the correlation matrix and the clustering share
+    // its pool (constructed lazily, once).
+    ExecContext ctx(threads);
     Stopwatch corr_watch;
-    const la::Matrix corr_t = cluster::PairwiseCorrelationMatrix(corpus, &pool);
+    const la::Matrix corr_t = cluster::PairwiseCorrelationMatrix(corpus, ctx);
     const double corr_seconds = corr_watch.ElapsedSeconds();
-    copts.num_threads = threads;
     Stopwatch cluster_watch;
-    const auto clusters_t = cluster::IncrementalClustering(corpus, copts);
+    const auto clusters_t = cluster::IncrementalClustering(corpus, copts, ctx);
     const double cluster_seconds = cluster_watch.ElapsedSeconds();
     bool identical = clusters_t.ok() && ref_clusters.ok() &&
                      clusters_t->clusters == ref_clusters->clusters;
@@ -150,6 +164,15 @@ int Run(std::size_t num_threads) {
                 Fmt(corr_seconds, 4).c_str(), Fmt(cluster_seconds, 4).c_str(),
                 serial_total > 0.0 ? Fmt(serial_total / total, 2).c_str() : "-",
                 identical ? "ok" : "MISMATCH");
+    const StageMetrics thread_stages = ctx.metrics().Snapshot();
+    json.Record("fig11.thread_scaling",
+                {{"threads", std::to_string(threads)},
+                 {"parity", identical ? "ok" : "mismatch"}},
+                total,
+                clusters_t.ok()
+                    ? static_cast<double>(clusters_t->NumClusters())
+                    : -1.0,
+                &thread_stages);
   }
   std::printf("(pairs fan out over the upper-triangle index space; matrices "
               "and cluster assignments are bit-identical at every thread "
@@ -171,5 +194,6 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
     }
   }
-  return adarts::bench::Run(num_threads);
+  return adarts::bench::Run(num_threads,
+                            adarts::bench::JsonPathFromArgs(argc, argv));
 }

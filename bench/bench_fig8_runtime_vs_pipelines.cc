@@ -17,7 +17,8 @@
 namespace adarts::bench {
 namespace {
 
-int Run(std::size_t num_threads) {
+int Run(std::size_t num_threads, const std::string& json_path) {
+  const BenchJsonWriter json(json_path);
   std::printf("=== Fig. 8: Recommendation Running Time vs Efficacy ===\n");
   std::printf("(ModelRace threads: %zu)\n\n",
               ThreadPool::ResolveThreadCount(num_threads));
@@ -42,8 +43,14 @@ int Run(std::size_t num_threads) {
     automl::ModelRaceOptions race;
     race.num_seed_pipelines = n;
     race.num_partial_sets = 3;
-    race.num_threads = num_threads;
-    auto adarts_scores = EvaluateAdarts(*exp, race);
+    auto adarts_scores = EvaluateAdarts(*exp, race, num_threads);
+    if (adarts_scores.ok()) {
+      json.Record("fig8.selection_time",
+                  {{"pipelines", std::to_string(n)},
+                   {"threads", std::to_string(num_threads)}},
+                  adarts_scores->train_seconds, adarts_scores->f1,
+                  &adarts_scores->train_stages);
+    }
     baselines::BaselineOptions bopts;
     bopts.num_configurations = n;
     auto flaml = baselines::CreateFlamlLite(bopts);
@@ -68,16 +75,19 @@ int Run(std::size_t num_threads) {
   PrintRule(60);
   for (std::size_t n : sweep) {
     std::vector<double> f1s;
+    std::vector<double> secs;
     std::size_t winners = 0;
     bool duplicate_family = false;
     for (std::uint64_t seed : {11ULL, 22ULL, 33ULL, 44ULL, 55ULL}) {
       automl::ModelRaceOptions race;
       race.num_seed_pipelines = n;
       race.num_partial_sets = 3;
-      race.num_threads = num_threads;
       race.seed = seed;
-      auto scores = EvaluateAdarts(*exp, race);
-      if (scores.ok()) f1s.push_back(scores->f1);
+      auto scores = EvaluateAdarts(*exp, race, num_threads);
+      if (scores.ok()) {
+        f1s.push_back(scores->f1);
+        secs.push_back(scores->train_seconds);
+      }
       // Inspect the committee composition via a direct race.
       auto engine = Adarts::TrainFromLabeled(exp->train, exp->pool, {}, race,
                                              seed);
@@ -92,6 +102,8 @@ int Run(std::size_t num_threads) {
     std::printf("%-10zu %10s %10s %12zu %14s\n", n, Fmt(MeanOf(f1s), 3).c_str(),
                 Fmt(StdDevOf(f1s), 3).c_str(), winners,
                 duplicate_family ? "yes" : "no");
+    json.Record("fig8.f1_vs_pipelines", {{"pipelines", std::to_string(n)}},
+                MeanOf(secs), MeanOf(f1s));
   }
   std::printf("(paper shape: F1 rises and std shrinks with more pipelines; "
               "duplicate classifier families appear among the winners)\n\n");
@@ -104,13 +116,14 @@ int Run(std::size_t num_threads) {
     automl::ModelRaceOptions race;
     race.num_seed_pipelines = 24;
     race.num_partial_sets = 3;
-    race.num_threads = threads;
-    auto scores = EvaluateAdarts(*exp, race);
+    auto scores = EvaluateAdarts(*exp, race, threads);
     if (!scores.ok()) {
       std::printf("%-10zu %12s %10s\n", threads, "fail", "-");
       continue;
     }
     if (threads == 1) serial_seconds = scores->train_seconds;
+    json.Record("fig8.thread_scaling", {{"threads", std::to_string(threads)}},
+                scores->train_seconds, scores->f1, &scores->train_stages);
     std::printf("%-10zu %12s %9sx\n", threads,
                 Fmt(scores->train_seconds, 3).c_str(),
                 serial_seconds > 0.0
@@ -128,6 +141,7 @@ int Run(std::size_t num_threads) {
 int main(int argc, char** argv) {
   // --threads N (default 0 = hardware concurrency) sizes the ModelRace
   // evaluation pool for parts (a) and (b); part (c) sweeps 1/2/4 regardless.
+  // --json <path> appends machine-readable records per measurement.
   std::size_t num_threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -136,5 +150,6 @@ int main(int argc, char** argv) {
       num_threads = static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
     }
   }
-  return adarts::bench::Run(num_threads);
+  return adarts::bench::Run(num_threads,
+                            adarts::bench::JsonPathFromArgs(argc, argv));
 }

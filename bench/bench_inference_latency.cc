@@ -9,10 +9,14 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "adarts/adarts.h"
+#include "bench/bench_util.h"
+#include "common/exec_context.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "data/generators.h"
 #include "ts/missing.h"
 
@@ -23,6 +27,10 @@ namespace {
 /// hardware concurrency). Inference itself is single-threaded by design —
 /// the claim under test is per-series recommendation latency.
 std::size_t g_train_threads = 0;
+
+/// Wall-clock of the shared engine's one-time training, for the `--json`
+/// record (the per-stage breakdown comes from the engine's TrainReport).
+double g_train_seconds = 0.0;
 
 /// A process-lifetime engine trained once and shared by all benchmarks
 /// (training itself is benchmarked separately in the figure benches).
@@ -45,8 +53,10 @@ const Adarts& SharedEngine() {
     opts.race.num_seed_pipelines = 12;
     opts.race.num_partial_sets = 2;
     opts.race.num_folds = 2;
-    opts.num_threads = g_train_threads;
-    auto engine_result = Adarts::Train(corpus, opts);
+    ExecContext ctx(g_train_threads);
+    Stopwatch watch;
+    auto engine_result = Adarts::Train(corpus, opts, ctx);
+    g_train_seconds = watch.ElapsedSeconds();
     ADARTS_CHECK(engine_result.ok());
     return *new Adarts(std::move(*engine_result));
   }();
@@ -112,10 +122,11 @@ void BM_RecommendBatch(benchmark::State& state) {
   const Adarts& engine = SharedEngine();
   const std::vector<ts::TimeSeries> batch =
       FaultyBatch(static_cast<std::size_t>(state.range(0)), 160);
-  RecommendBatchOptions opts;
-  opts.num_threads = static_cast<std::size_t>(state.range(1));
+  // One context for the whole timing loop: the pool is built once, every
+  // iteration reuses it (what a serving process would do).
+  ExecContext ctx(static_cast<std::size_t>(state.range(1)));
   for (auto _ : state) {
-    auto recs = engine.RecommendBatch(batch, opts);
+    auto recs = engine.RecommendBatch(batch, {}, ctx);
     benchmark::DoNotOptimize(recs);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -144,7 +155,8 @@ BENCHMARK(BM_EndToEndRepair);
 }  // namespace adarts
 
 int main(int argc, char** argv) {
-  // Strip our --threads flag before google-benchmark sees the arguments.
+  // Strip our --threads/--json flags before google-benchmark sees them.
+  const std::string json_path = adarts::bench::JsonPathFromArgs(argc, argv);
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -153,6 +165,10 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       adarts::g_train_threads =
           static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;  // value consumed by JsonPathFromArgs above
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      // consumed by JsonPathFromArgs above
     } else {
       argv[kept++] = argv[i];
     }
@@ -162,5 +178,16 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_path.empty()) {
+    // Where the shared engine's one-time training cost went, from its
+    // TrainReport — the committee size doubles as the result checksum.
+    const adarts::Adarts& engine = adarts::SharedEngine();
+    const adarts::bench::BenchJsonWriter json(json_path);
+    json.Record("inference_latency.shared_engine_train",
+                {{"threads", std::to_string(adarts::g_train_threads)}},
+                adarts::g_train_seconds,
+                static_cast<double>(engine.committee_size()),
+                &engine.train_report().stages);
+  }
   return 0;
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "cluster/incremental.h"
+#include "common/exec_context.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "labeling/labeler.h"
@@ -116,30 +118,36 @@ Result<SystemScores> ScoreProbas(const ml::Dataset& test,
 }  // namespace
 
 Result<SystemScores> EvaluateAdarts(const CategoryExperiment& experiment,
-                                    const automl::ModelRaceOptions& race) {
+                                    const automl::ModelRaceOptions& race,
+                                    std::size_t num_threads) {
   Stopwatch watch;
+  ExecContext ctx(num_threads);
   ADARTS_ASSIGN_OR_RETURN(
       Adarts engine,
       Adarts::TrainFromLabeled(experiment.train, experiment.pool, {}, race,
-                               race.seed));
+                               race.seed, ctx));
   const double train_seconds = watch.ElapsedSeconds();
   std::vector<la::Vector> probas;
   probas.reserve(experiment.test.size());
   for (const auto& f : experiment.test.features) {
     probas.push_back(engine.PredictProba(f));
   }
-  return ScoreProbas(experiment.test, probas, /*has_mrr=*/true, train_seconds);
+  ADARTS_ASSIGN_OR_RETURN(
+      SystemScores scores,
+      ScoreProbas(experiment.test, probas, /*has_mrr=*/true, train_seconds));
+  scores.train_stages = engine.train_report().stages;
+  return scores;
 }
 
 Result<SystemScores> EvaluateAdartsAveraged(
     const CategoryExperiment& experiment, const automl::ModelRaceOptions& race,
-    int repeats) {
+    int repeats, std::size_t num_threads) {
   SystemScores mean;
   int runs = 0;
   for (int r = 0; r < repeats; ++r) {
     automl::ModelRaceOptions seeded = race;
     seeded.seed = race.seed + static_cast<std::uint64_t>(r) * 1013;
-    auto scores = EvaluateAdarts(experiment, seeded);
+    auto scores = EvaluateAdarts(experiment, seeded, num_threads);
     if (!scores.ok()) continue;
     mean.accuracy += scores->accuracy;
     mean.precision += scores->precision;
@@ -147,6 +155,7 @@ Result<SystemScores> EvaluateAdartsAveraged(
     mean.f1 += scores->f1;
     mean.mrr += scores->mrr;
     mean.train_seconds += scores->train_seconds;
+    mean.train_stages = std::move(scores->train_stages);
     ++runs;
   }
   if (runs == 0) return Status::Internal("every A-DARTS run failed");
@@ -199,6 +208,74 @@ std::string Fmt(double v, int precision) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchJsonWriter::Record(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    double seconds, double checksum, const StageMetrics* stages) const {
+  if (path_.empty()) return;
+  std::string line = "{\"bench\":\"" + JsonEscape(bench) + "\",\"params\":{";
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) line += ',';
+    first = false;
+    line += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+  }
+  line += "},\"seconds\":" + Fmt(seconds, 6) +
+          ",\"checksum\":" + Fmt(checksum, 6);
+  if (stages != nullptr && !stages->empty()) {
+    line += ",\"stages\":" + stages->ToJson();
+  }
+  line += "}\n";
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench json: cannot open %s for append\n",
+                 path_.c_str());
+    return;
+  }
+  std::fputs(line.c_str(), f);
+  std::fclose(f);
+}
+
+std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return argv[i] + 7;
+    }
+  }
+  return "";
 }
 
 }  // namespace adarts::bench

@@ -2,10 +2,12 @@
 #define ADARTS_BENCH_BENCH_UTIL_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "adarts/adarts.h"
 #include "baselines/baselines.h"
+#include "common/metrics.h"
 #include "data/generators.h"
 #include "ml/dataset.h"
 
@@ -51,18 +53,25 @@ struct SystemScores {
   double mrr = 0.0;
   bool has_mrr = false;
   double train_seconds = 0.0;
+  /// For A-DARTS runs: the training `ExecContext`'s StageMetrics snapshot
+  /// (where the train_seconds went, race counters); empty for baselines.
+  StageMetrics train_stages;
 };
 
 /// Trains A-DARTS (ModelRace + soft voting) on the experiment's train side
-/// and scores it on the test side.
+/// and scores it on the test side. Training runs on an `ExecContext` with
+/// `num_threads` workers (0 = hardware concurrency); the context's stage
+/// metrics land in `SystemScores::train_stages`.
 Result<SystemScores> EvaluateAdarts(const CategoryExperiment& experiment,
-                                    const automl::ModelRaceOptions& race);
+                                    const automl::ModelRaceOptions& race,
+                                    std::size_t num_threads = 0);
 
 /// EvaluateAdarts averaged over `repeats` race seeds (race selection is
 /// stochastic; reported numbers are means over repeated runs).
+/// `train_stages` carries the last successful run's snapshot.
 Result<SystemScores> EvaluateAdartsAveraged(
     const CategoryExperiment& experiment, const automl::ModelRaceOptions& race,
-    int repeats);
+    int repeats, std::size_t num_threads = 0);
 
 /// Trains one baseline selector and scores it.
 Result<SystemScores> EvaluateBaseline(baselines::ModelSelector* selector,
@@ -75,6 +84,37 @@ double StdDevOf(const std::vector<double>& v);
 /// Fixed-width cell printing helpers for the table output.
 void PrintRule(int width);
 std::string Fmt(double v, int precision = 2);
+
+/// Machine-readable bench output: one JSON object per measurement, appended
+/// as a line to the `--json <path>` file so repeated runs and several
+/// benches can share one log. Record format:
+///
+///   {"bench":"fig8.selection_time","params":{"pipelines":"24"},
+///    "seconds":1.234567,"checksum":0.873000,
+///    "stages":{"counters":{...},"spans_seconds":{...}}}
+///
+/// `checksum` is a bench-chosen result digest (an F1, a correlation, a
+/// cluster count...) that makes regressions in *results* — not just in
+/// runtime — diffable across commits. `stages` is present when the bench
+/// passes the run's StageMetrics snapshot.
+class BenchJsonWriter {
+ public:
+  /// An empty path disables the writer; `Record` becomes a no-op.
+  explicit BenchJsonWriter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Record(const std::string& bench,
+              const std::vector<std::pair<std::string, std::string>>& params,
+              double seconds, double checksum,
+              const StageMetrics* stages = nullptr) const;
+
+ private:
+  std::string path_;
+};
+
+/// Scans argv for `--json <path>` / `--json=<path>`; empty when absent.
+std::string JsonPathFromArgs(int argc, char** argv);
 
 }  // namespace adarts::bench
 

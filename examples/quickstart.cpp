@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "adarts/adarts.h"
+#include "common/exec_context.h"
 #include "common/rng.h"
 #include "data/generators.h"
 #include "ts/metrics.h"
@@ -30,12 +31,16 @@ int main() {
   std::printf("  %zu series of length %zu\n", corpus.size(), gen.length);
 
   // --- 2. Train: clustering -> cluster-level labeling -> feature
-  // extraction -> ModelRace -> soft-voting committee. One call.
+  // extraction -> ModelRace -> soft-voting committee. One call, one
+  // ExecContext: the context owns the shared worker pool (0 = hardware
+  // concurrency), carries an optional cancellation deadline, and collects
+  // per-stage metrics as the run goes.
   std::printf("Training the recommendation engine (one-time step)...\n");
   TrainOptions options;
   options.race.num_seed_pipelines = 16;
   options.race.num_partial_sets = 2;
-  auto engine = Adarts::Train(corpus, options);
+  ExecContext ctx;
+  auto engine = Adarts::Train(corpus, options, ctx);
   if (!engine.ok()) {
     std::printf("training failed: %s\n", engine.status().ToString().c_str());
     return 1;
@@ -43,6 +48,17 @@ int main() {
   std::printf("  committee of %zu winning pipelines over a pool of %zu "
               "imputation algorithms\n",
               engine->committee_size(), engine->algorithm_pool().size());
+
+  // Where the training time went, from the run's StageMetrics snapshot.
+  const StageMetrics& stages = engine->train_report().stages;
+  std::printf("  stages: labeling %.2fs, features %.2fs, race %.2fs "
+              "(%llu pipelines evaluated), committee %.2fs\n",
+              stages.SpanSeconds("train.labeling_seconds"),
+              stages.SpanSeconds("train.features_seconds"),
+              stages.SpanSeconds("train.race_seconds"),
+              static_cast<unsigned long long>(
+                  stages.Counter("race.pipelines_evaluated")),
+              stages.SpanSeconds("train.committee_seconds"));
 
   // --- 3. A new faulty series arrives (here: a fresh climate series with a
   // sensor outage we injected ourselves so we can score the repair).

@@ -5,9 +5,11 @@
 #include <sstream>
 
 #include "common/cancellation.h"
+#include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "ts/missing.h"
 
@@ -40,6 +42,19 @@ Adarts::Adarts(features::FeatureExtractor extractor,
 
 Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
                              const TrainOptions& options) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // The pre-context API let `race.cancel` carry a token when the top-level
+  // one was unset; preserve that by promoting it to the context's token.
+  const CancellationToken* cancel =
+      options.cancel != nullptr ? options.cancel : options.race.cancel;
+  ExecContext ctx(options.num_threads, cancel);
+#pragma GCC diagnostic pop
+  return Train(corpus, options, ctx);
+}
+
+Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
+                             const TrainOptions& options, ExecContext& ctx) {
   ADARTS_FAILPOINT("adarts.train.start");
   if (corpus.size() < 8) {
     return Status::InvalidArgument("training corpus too small (< 8 series)");
@@ -54,27 +69,30 @@ Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
     }
   }
   Rng rng(options.seed);
-  ThreadPool pool(options.num_threads);
 
-  // --- (1) Labeling, via clusters (fast) or exhaustively.
-  labeling::LabelingOptions labeling_options = options.labeling;
-  labeling_options.num_threads = options.num_threads;
+  // --- (1) Labeling, via clusters (fast) or exhaustively. Every phase runs
+  // on the context's one shared pool.
   labeling::LabelingResult labels;
-  if (options.use_cluster_labeling) {
-    cluster::IncrementalOptions clustering_options = options.clustering;
-    clustering_options.num_threads = options.num_threads;
-    ADARTS_ASSIGN_OR_RETURN(
-        cluster::Clustering clustering,
-        cluster::IncrementalClustering(corpus, clustering_options));
-    ADARTS_ASSIGN_OR_RETURN(
-        labels, labeling::LabelByClusters(corpus, clustering, labeling_options));
-  } else {
-    ADARTS_ASSIGN_OR_RETURN(
-        labels, labeling::LabelSeriesFull(corpus, labeling_options));
+  {
+    StageTimer labeling_timer(&ctx.metrics(), "train.labeling_seconds");
+    if (options.use_cluster_labeling) {
+      cluster::Clustering clustering;
+      {
+        StageTimer clustering_timer(&ctx.metrics(),
+                                    "train.clustering_seconds");
+        ADARTS_ASSIGN_OR_RETURN(
+            clustering,
+            cluster::IncrementalClustering(corpus, options.clustering, ctx));
+      }
+      ADARTS_ASSIGN_OR_RETURN(
+          labels, labeling::LabelByClusters(corpus, clustering,
+                                            options.labeling, ctx));
+    } else {
+      ADARTS_ASSIGN_OR_RETURN(
+          labels, labeling::LabelSeriesFull(corpus, options.labeling, ctx));
+    }
   }
-  if (options.cancel != nullptr) {
-    ADARTS_RETURN_NOT_OK(options.cancel->Check("Train after labeling"));
-  }
+  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("Train after labeling"));
 
   // --- (2) Feature extraction from faulty copies of the corpus: inference
   // sees incomplete series, so training features must too. Each series masks
@@ -85,36 +103,30 @@ Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
   labeled.num_classes = static_cast<int>(labels.algorithms.size());
   labeled.labels = labels.labels;
   labeled.features.resize(corpus.size());
-  std::vector<Rng> series_rngs;
-  series_rngs.reserve(corpus.size());
-  for (std::size_t i = 0; i < corpus.size(); ++i) {
-    series_rngs.push_back(rng.Fork());
-  }
+  std::vector<Rng> series_rngs = ExecContext::ForkRngs(&rng, corpus.size());
   std::vector<Status> extract_status(corpus.size());
-  ParallelFor(
-      &pool, corpus.size(),
-      [&](std::size_t i) {
-        ts::TimeSeries masked = corpus[i];
-        Status injected = ts::InjectPattern(options.labeling.pattern,
-                                            options.labeling.missing_fraction,
-                                            &series_rngs[i], &masked);
-        if (!injected.ok()) {
-          extract_status[i] = std::move(injected);
-          return;
-        }
-        Result<la::Vector> f = extractor.Extract(masked);
-        if (!f.ok()) {
-          extract_status[i] = f.status();
-          return;
-        }
-        labeled.features[i] = std::move(*f);
-      },
-      options.cancel);
+  {
+    StageTimer features_timer(&ctx.metrics(), "train.features_seconds");
+    ParallelFor(ctx, corpus.size(), [&](std::size_t i) {
+      ts::TimeSeries masked = corpus[i];
+      Status injected = ts::InjectPattern(options.labeling.pattern,
+                                          options.labeling.missing_fraction,
+                                          &series_rngs[i], &masked);
+      if (!injected.ok()) {
+        extract_status[i] = std::move(injected);
+        return;
+      }
+      Result<la::Vector> f = extractor.Extract(masked);
+      if (!f.ok()) {
+        extract_status[i] = f.status();
+        return;
+      }
+      labeled.features[i] = std::move(*f);
+    });
+  }
   // Cancellation skips iterations, leaving empty feature slots — bail out
   // before the dataset is read.
-  if (options.cancel != nullptr) {
-    ADARTS_RETURN_NOT_OK(options.cancel->Check("Train feature extraction"));
-  }
+  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("Train feature extraction"));
   for (const Status& s : extract_status) {
     ADARTS_RETURN_NOT_OK(s);
   }
@@ -122,42 +134,64 @@ Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
   // --- (3)-(5) ModelRace over the labeled data, then the voting committee.
   automl::ModelRaceOptions race_options = options.race;
   race_options.seed = rng.NextU64();
-  race_options.num_threads = options.num_threads;
-  if (race_options.cancel == nullptr) race_options.cancel = options.cancel;
   ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
                           ml::StratifiedSplit(labeled,
                                               options.race_train_fraction,
                                               &rng));
-  ADARTS_ASSIGN_OR_RETURN(
-      automl::ModelRaceReport report,
-      automl::RunModelRace(split.train, split.test, race_options));
+  automl::ModelRaceReport report;
+  {
+    StageTimer race_timer(&ctx.metrics(), "train.race_seconds");
+    ADARTS_ASSIGN_OR_RETURN(
+        report, automl::RunModelRace(split.train, split.test, race_options,
+                                     ctx));
+  }
   ADARTS_ASSIGN_OR_RETURN(
       automl::VotingRecommender recommender,
-      automl::VotingRecommender::FromRace(report, labeled, &pool));
-  return Adarts(std::move(extractor), std::move(recommender), std::move(report),
-                labels.algorithms, std::move(labeled));
+      automl::VotingRecommender::FromRace(report, labeled, ctx));
+  Adarts engine(std::move(extractor), std::move(recommender),
+                std::move(report), labels.algorithms, std::move(labeled));
+  engine.train_report_.stages = ctx.metrics().Snapshot();
+  return engine;
 }
 
 Result<Adarts> Adarts::TrainFromLabeled(
     const ml::Dataset& labeled, const std::vector<impute::Algorithm>& pool,
     const features::FeatureExtractorOptions& feature_options,
     const automl::ModelRaceOptions& race_options, std::uint64_t seed) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecContext ctx(race_options.num_threads, race_options.cancel);
+#pragma GCC diagnostic pop
+  return TrainFromLabeled(labeled, pool, feature_options, race_options, seed,
+                          ctx);
+}
+
+Result<Adarts> Adarts::TrainFromLabeled(
+    const ml::Dataset& labeled, const std::vector<impute::Algorithm>& pool,
+    const features::FeatureExtractorOptions& feature_options,
+    const automl::ModelRaceOptions& race_options, std::uint64_t seed,
+    ExecContext& ctx) {
   ADARTS_RETURN_NOT_OK(labeled.Validate());
   if (static_cast<int>(pool.size()) != labeled.num_classes) {
     return Status::InvalidArgument("pool size != num_classes");
   }
   Rng rng(seed);
-  ThreadPool workers(race_options.num_threads);
   ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
                           ml::StratifiedSplit(labeled, 0.9, &rng));
-  ADARTS_ASSIGN_OR_RETURN(
-      automl::ModelRaceReport report,
-      automl::RunModelRace(split.train, split.test, race_options));
+  automl::ModelRaceReport report;
+  {
+    StageTimer race_timer(&ctx.metrics(), "train.race_seconds");
+    ADARTS_ASSIGN_OR_RETURN(
+        report, automl::RunModelRace(split.train, split.test, race_options,
+                                     ctx));
+  }
   ADARTS_ASSIGN_OR_RETURN(
       automl::VotingRecommender recommender,
-      automl::VotingRecommender::FromRace(report, labeled, &workers));
-  return Adarts(features::FeatureExtractor(feature_options),
+      automl::VotingRecommender::FromRace(report, labeled, ctx));
+  Adarts engine(features::FeatureExtractor(feature_options),
                 std::move(recommender), std::move(report), pool, labeled);
+  engine.train_report_.stages = ctx.metrics().Snapshot();
+  return engine;
 }
 
 Result<impute::Algorithm> Adarts::Recommend(const ts::TimeSeries& faulty) const {
@@ -165,11 +199,43 @@ Result<impute::Algorithm> Adarts::Recommend(const ts::TimeSeries& faulty) const 
   return rec.algorithm;
 }
 
+Result<impute::Algorithm> Adarts::Recommend(const ts::TimeSeries& faulty,
+                                            ExecContext& ctx) const {
+  ADARTS_ASSIGN_OR_RETURN(Recommendation rec, RecommendEx(faulty, ctx));
+  return rec.algorithm;
+}
+
+Result<Recommendation> Adarts::RecommendEx(const ts::TimeSeries& faulty,
+                                           ExecContext& ctx) const {
+  ADARTS_ASSIGN_OR_RETURN(Recommendation rec, RecommendEx(faulty));
+  // Fold the per-call breakdown into the context's long-lived registry, so
+  // a serving loop sees request totals alongside the training spans.
+  Metrics& metrics = ctx.metrics();
+  metrics.Increment("recommend.requests");
+  if (rec.degradation != automl::DegradationLevel::kFullCommittee) {
+    metrics.Increment("recommend.degraded");
+  }
+  metrics.Increment("vote.members_failed", rec.vote.members_failed);
+  for (const auto& [name, seconds] : rec.stages.spans_seconds) {
+    metrics.RecordSpanSeconds(name, seconds);
+  }
+  return rec;
+}
+
 Result<Recommendation> Adarts::RecommendEx(const ts::TimeSeries& faulty) const {
+  Stopwatch extract_watch;
   ADARTS_ASSIGN_OR_RETURN(la::Vector f, extractor_.Extract(faulty));
+  const double extract_seconds = extract_watch.ElapsedSeconds();
   Recommendation rec;
+  Stopwatch vote_watch;
   const la::Vector p = recommender_.PredictProba(f, &rec.vote);
+  const double vote_seconds = vote_watch.ElapsedSeconds();
   rec.degradation = rec.vote.level;
+  rec.stages.spans_seconds["recommend.extract_seconds"] = extract_seconds;
+  rec.stages.spans_seconds["recommend.vote_seconds"] = vote_seconds;
+  rec.stages.counters["recommend.degradation_rung"] =
+      static_cast<std::uint64_t>(rec.degradation);
+  rec.stages.counters["vote.members_failed"] = rec.vote.members_failed;
   int cls;
   if (p.empty()) {
     // Every committee member failed: the last rung of the ladder is the
@@ -191,6 +257,17 @@ Result<Recommendation> Adarts::RecommendEx(const ts::TimeSeries& faulty) const {
 std::vector<Result<impute::Algorithm>> Adarts::RecommendBatchPartial(
     const std::vector<ts::TimeSeries>& batch,
     const RecommendBatchOptions& options) const {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecContext ctx(options.num_threads, options.cancel);
+#pragma GCC diagnostic pop
+  return RecommendBatchPartial(batch, options, ctx);
+}
+
+std::vector<Result<impute::Algorithm>> Adarts::RecommendBatchPartial(
+    const std::vector<ts::TimeSeries>& batch,
+    const RecommendBatchOptions& options, ExecContext& ctx) const {
+  (void)options;  // fail_fast is RecommendBatch's concern; kept for symmetry
   // One slot per series: extraction and the committee vote are pure reads of
   // the engine, so tasks share nothing but const state. Errors land in the
   // series' own slot; the batch itself always comes back full-size.
@@ -198,17 +275,29 @@ std::vector<Result<impute::Algorithm>> Adarts::RecommendBatchPartial(
       batch.size(), Result<impute::Algorithm>(
                         Status::Internal("series not evaluated")));
   if (batch.empty()) return out;
-  ThreadPool pool(options.num_threads);
+  // Counter handles are registered once up front: inside the loop every
+  // increment is a relaxed atomic — lock-free on the batch hot path.
+  Metrics& metrics = ctx.metrics();
+  MetricCounter* requests = metrics.counter("recommend.requests");
+  MetricCounter* degraded = metrics.counter("recommend.degraded");
+  MetricCounter* members_failed = metrics.counter("vote.members_failed");
   std::vector<char> done(batch.size(), 0);
-  ParallelFor(
-      &pool, batch.size(),
-      [&](std::size_t i) {
-        out[i] = Recommend(batch[i]);
-        done[i] = 1;
-      },
-      options.cancel);
-  if (options.cancel != nullptr) {
-    const Status cancelled = options.cancel->Check("RecommendBatch");
+  ParallelFor(ctx, batch.size(), [&](std::size_t i) {
+    Result<Recommendation> rec = RecommendEx(batch[i]);
+    requests->Increment();
+    if (rec.ok()) {
+      if (rec->degradation != automl::DegradationLevel::kFullCommittee) {
+        degraded->Increment();
+      }
+      members_failed->Increment(rec->vote.members_failed);
+      out[i] = rec->algorithm;
+    } else {
+      out[i] = rec.status();
+    }
+    done[i] = 1;
+  });
+  if (ctx.cancel() != nullptr) {
+    const Status cancelled = ctx.cancel()->Check("RecommendBatch");
     if (!cancelled.ok()) {
       // Slots the cancelled loop skipped report the cancellation itself,
       // not the "not evaluated" placeholder.
@@ -223,8 +312,18 @@ std::vector<Result<impute::Algorithm>> Adarts::RecommendBatchPartial(
 Result<std::vector<impute::Algorithm>> Adarts::RecommendBatch(
     const std::vector<ts::TimeSeries>& batch,
     const RecommendBatchOptions& options) const {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecContext ctx(options.num_threads, options.cancel);
+#pragma GCC diagnostic pop
+  return RecommendBatch(batch, options, ctx);
+}
+
+Result<std::vector<impute::Algorithm>> Adarts::RecommendBatch(
+    const std::vector<ts::TimeSeries>& batch,
+    const RecommendBatchOptions& options, ExecContext& ctx) const {
   std::vector<Result<impute::Algorithm>> partial =
-      RecommendBatchPartial(batch, options);
+      RecommendBatchPartial(batch, options, ctx);
   std::vector<impute::Algorithm> out;
   out.reserve(batch.size());
   std::size_t failures = 0;
@@ -257,6 +356,12 @@ Result<std::vector<impute::Algorithm>> Adarts::RecommendBatch(
 }
 
 Result<std::vector<impute::Algorithm>> Adarts::RecommendRanked(
+    const ts::TimeSeries& faulty, ExecContext& ctx) const {
+  ctx.metrics().Increment("recommend.requests");
+  return RecommendRanked(faulty);
+}
+
+Result<std::vector<impute::Algorithm>> Adarts::RecommendRanked(
     const ts::TimeSeries& faulty) const {
   ADARTS_ASSIGN_OR_RETURN(la::Vector f, extractor_.Extract(faulty));
   std::vector<impute::Algorithm> out;
@@ -270,8 +375,14 @@ Result<std::vector<impute::Algorithm>> Adarts::RecommendRanked(
 }
 
 Result<ts::TimeSeries> Adarts::Repair(const ts::TimeSeries& faulty) const {
+  ExecContext ctx;
+  return Repair(faulty, ctx);
+}
+
+Result<ts::TimeSeries> Adarts::Repair(const ts::TimeSeries& faulty,
+                                      ExecContext& ctx) const {
   if (!faulty.HasMissing()) return faulty;
-  ADARTS_ASSIGN_OR_RETURN(impute::Algorithm algo, Recommend(faulty));
+  ADARTS_ASSIGN_OR_RETURN(impute::Algorithm algo, Recommend(faulty, ctx));
   Result<ts::TimeSeries> repaired = impute::CreateImputer(algo)->Impute(faulty);
   if (repaired.ok()) return repaired;
   // The recommended algorithm can still reject this particular input (rank
@@ -281,6 +392,7 @@ Result<ts::TimeSeries> Adarts::Repair(const ts::TimeSeries& faulty) const {
   LogWarn("repair with " + std::string(impute::AlgorithmToString(algo)) +
           " failed (" + repaired.status().message() +
           "); falling back to linear interpolation");
+  ctx.metrics().Increment("repair.fallback_linear_interp");
   return impute::CreateImputer(impute::Algorithm::kLinearInterp)
       ->Impute(faulty);
 }
@@ -288,6 +400,16 @@ Result<ts::TimeSeries> Adarts::Repair(const ts::TimeSeries& faulty) const {
 Result<std::vector<ts::TimeSeries>> Adarts::RepairSet(
     const std::vector<ts::TimeSeries>& faulty_set,
     const RecommendBatchOptions& options) const {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecContext ctx(options.num_threads, options.cancel);
+#pragma GCC diagnostic pop
+  return RepairSet(faulty_set, options, ctx);
+}
+
+Result<std::vector<ts::TimeSeries>> Adarts::RepairSet(
+    const std::vector<ts::TimeSeries>& faulty_set,
+    const RecommendBatchOptions& options, ExecContext& ctx) const {
   if (faulty_set.empty()) return Status::InvalidArgument("empty set");
   // Majority vote of per-series recommendations picks the set's algorithm;
   // the recommendations come from one batched pass over the pool.
@@ -295,7 +417,7 @@ Result<std::vector<ts::TimeSeries>> Adarts::RepairSet(
   // first of equal counts, so ties break deterministically toward the
   // smallest algorithm id (documented in the header).
   ADARTS_ASSIGN_OR_RETURN(std::vector<impute::Algorithm> recommendations,
-                          RecommendBatch(faulty_set, options));
+                          RecommendBatch(faulty_set, options, ctx));
   std::map<int, std::size_t> votes;
   for (impute::Algorithm algo : recommendations) {
     ++votes[static_cast<int>(algo)];
@@ -308,6 +430,12 @@ Result<std::vector<ts::TimeSeries>> Adarts::RepairSet(
   Result<std::vector<ts::TimeSeries>> repaired =
       impute::CreateImputer(algo)->ImputeSetWithDiagnostics(faulty_set,
                                                             &diagnostics);
+  // The imputer's fit health feeds the registry so sweeps can report
+  // per-site metrics instead of only pass/fail (DESIGN.md §8).
+  ctx.metrics().Increment("repair.impute_iterations", diagnostics.iterations);
+  if (!diagnostics.converged && diagnostics.iterations > 0) {
+    ctx.metrics().Increment("repair.impute_not_converged");
+  }
   if (repaired.ok()) {
     if (!diagnostics.converged && diagnostics.iterations > 0) {
       LogWarn("repair with " +
@@ -325,6 +453,7 @@ Result<std::vector<ts::TimeSeries>> Adarts::RepairSet(
   LogWarn("set repair with " + std::string(impute::AlgorithmToString(algo)) +
           " failed (" + repaired.status().message() +
           "); falling back to linear interpolation");
+  ctx.metrics().Increment("repair.fallback_linear_interp");
   return impute::CreateImputer(impute::Algorithm::kLinearInterp)
       ->ImputeSet(faulty_set);
 }

@@ -6,6 +6,7 @@
 #include "automl/model_race.h"
 #include "automl/recommender.h"
 #include "cluster/incremental.h"
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "features/feature_extractor.h"
 #include "impute/imputer.h"
@@ -30,18 +31,42 @@ struct TrainOptions {
   std::uint64_t seed = 17;
   /// Worker threads shared by the training phases (clustering, exhaustive
   /// labeling, corpus feature extraction, ModelRace candidate evaluation,
-  /// committee refits): 0 sizes the pool from
-  /// `std::thread::hardware_concurrency()`, 1 runs serially. Overrides
-  /// `clustering.num_threads`, `labeling.num_threads` and
-  /// `race.num_threads`. The trained engine and its recommendations are
-  /// bit-identical for every value; see the determinism contract in
-  /// common/thread_pool.h.
-  std::size_t num_threads = 0;
+  /// committee refits). Ignored when an explicit `ExecContext` is passed —
+  /// the context's pool is used instead. The trained engine and its
+  /// recommendations are bit-identical for every value; see the determinism
+  /// contract in common/thread_pool.h.
+  [[deprecated("pass an ExecContext to Adarts::Train instead")]] std::size_t
+      num_threads = 0;
   /// Optional cooperative cancellation/deadline token, polled between
   /// training phases and inside the parallel loops. Not owned; must outlive
-  /// Train. nullptr (the default) disables it and preserves
-  /// bit-determinism (DESIGN.md §7).
-  const CancellationToken* cancel = nullptr;
+  /// Train. Ignored when an explicit `ExecContext` is passed — the
+  /// context's token is used instead (DESIGN.md §7).
+  [[deprecated(
+      "pass an ExecContext (carrying the token) to Adarts::Train "
+      "instead")]] const CancellationToken* cancel = nullptr;
+
+  // Spelled-out defaulted special members inside a diagnostic guard:
+  // default-constructing/copying the options must not itself warn about the
+  // deprecated fields — only direct reads and writes of them do.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  TrainOptions() = default;
+  TrainOptions(const TrainOptions&) = default;
+  TrainOptions& operator=(const TrainOptions&) = default;
+  TrainOptions(TrainOptions&&) = default;
+  TrainOptions& operator=(TrainOptions&&) = default;
+#pragma GCC diagnostic pop
+};
+
+/// Where training time went: a `StageMetrics` snapshot of the run's
+/// `ExecContext` taken when `Train`/`TrainFromLabeled` returns —
+/// `train.clustering_seconds`, `train.labeling_seconds`,
+/// `train.features_seconds`, `train.race_seconds`,
+/// `train.committee_seconds` spans plus the race/cluster/label counters
+/// (DESIGN.md §8). Engines restored with `Load` carry an empty report: the
+/// bundle stores the model, not the training run.
+struct TrainReport {
+  StageMetrics stages;
 };
 
 /// Options for the batched inference entry points (`RecommendBatch`,
@@ -50,9 +75,11 @@ struct TrainOptions {
 /// calls for every thread count — the committee is read-only at inference
 /// time and each series owns one result slot.
 struct RecommendBatchOptions {
-  /// 0 sizes the pool from `std::thread::hardware_concurrency()`, 1 runs
-  /// serially.
-  std::size_t num_threads = 0;
+  /// Worker threads for the batch loop. Ignored when an explicit
+  /// `ExecContext` is passed — the context's pool is used instead.
+  [[deprecated(
+      "pass an ExecContext to RecommendBatch/RepairSet instead")]] std::size_t
+      num_threads = 0;
   /// true (the default): any per-series failure fails the whole batch with
   /// an aggregate error naming every failed series index. false: failed
   /// series degrade to the engine's corpus-majority default algorithm and
@@ -60,8 +87,21 @@ struct RecommendBatchOptions {
   /// statuses when the caller needs them).
   bool fail_fast = true;
   /// Optional cooperative cancellation/deadline token polled inside the
-  /// batch loop. Not owned; must outlive the call. nullptr disables it.
-  const CancellationToken* cancel = nullptr;
+  /// batch loop. Not owned; must outlive the call. Ignored when an explicit
+  /// `ExecContext` is passed — the context's token is used instead.
+  [[deprecated(
+      "pass an ExecContext (carrying the token) to RecommendBatch/RepairSet "
+      "instead")]] const CancellationToken* cancel = nullptr;
+
+  // See TrainOptions: copying the options must not warn by itself.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  RecommendBatchOptions() = default;
+  RecommendBatchOptions(const RecommendBatchOptions&) = default;
+  RecommendBatchOptions& operator=(const RecommendBatchOptions&) = default;
+  RecommendBatchOptions(RecommendBatchOptions&&) = default;
+  RecommendBatchOptions& operator=(RecommendBatchOptions&&) = default;
+#pragma GCC diagnostic pop
 };
 
 /// One recommendation with its health report: which algorithm won, and how
@@ -71,6 +111,10 @@ struct Recommendation {
   automl::DegradationLevel degradation =
       automl::DegradationLevel::kFullCommittee;
   automl::VoteDiagnostics vote;
+  /// Per-call stage breakdown: `recommend.extract_seconds` /
+  /// `recommend.vote_seconds` spans plus the `recommend.degradation_rung`
+  /// and `vote.members_failed` counters (DESIGN.md §8).
+  StageMetrics stages;
 };
 
 /// The A-DARTS recommendation engine: train once on a corpus of series,
@@ -85,12 +129,29 @@ class Adarts {
   static Result<Adarts> Train(const std::vector<ts::TimeSeries>& corpus,
                               const TrainOptions& options = {});
 
+  /// Context variant — the preferred entry point: every training phase
+  /// shares `ctx`'s one lazily-built pool, polls its cancellation token,
+  /// and records its stage spans/counters into `ctx`'s metrics; the final
+  /// snapshot lands in the engine's `train_report()`. The legacy overload
+  /// delegates here with a default context built from the deprecated
+  /// `num_threads`/`cancel` fields.
+  static Result<Adarts> Train(const std::vector<ts::TimeSeries>& corpus,
+                              const TrainOptions& options, ExecContext& ctx);
+
   /// Trains the recommendation engine from an already-labeled dataset
   /// (labels index `pool`). Used by the benches that control labeling.
   static Result<Adarts> TrainFromLabeled(
       const ml::Dataset& labeled, const std::vector<impute::Algorithm>& pool,
       const features::FeatureExtractorOptions& feature_options,
       const automl::ModelRaceOptions& race_options, std::uint64_t seed = 17);
+
+  /// Context variant of `TrainFromLabeled`; same contract as the context
+  /// variant of `Train`.
+  static Result<Adarts> TrainFromLabeled(
+      const ml::Dataset& labeled, const std::vector<impute::Algorithm>& pool,
+      const features::FeatureExtractorOptions& feature_options,
+      const automl::ModelRaceOptions& race_options, std::uint64_t seed,
+      ExecContext& ctx);
 
   /// Best imputation algorithm for a faulty series. Degrades gracefully:
   /// committee members that emit malformed probabilities are skipped, and
@@ -99,10 +160,20 @@ class Adarts {
   /// extraction failures surface as errors.
   Result<impute::Algorithm> Recommend(const ts::TimeSeries& faulty) const;
 
+  /// Context variant: additionally accumulates the per-request counters
+  /// (`recommend.requests`, `recommend.degraded`, `vote.members_failed`)
+  /// and stage spans into `ctx`'s metrics.
+  Result<impute::Algorithm> Recommend(const ts::TimeSeries& faulty,
+                                      ExecContext& ctx) const;
+
   /// `Recommend` plus the degradation diagnostics: how many committee
   /// members voted and which rung of the ladder (full committee → partial
   /// committee → single elite → default class) produced the answer.
   Result<Recommendation> RecommendEx(const ts::TimeSeries& faulty) const;
+
+  /// Context variant of `RecommendEx`; see `Recommend(faulty, ctx)`.
+  Result<Recommendation> RecommendEx(const ts::TimeSeries& faulty,
+                                     ExecContext& ctx) const;
 
   /// Best imputation algorithm for every series of `batch`, in input order
   /// (`out[i]` is the recommendation for `batch[i]`; an empty batch yields
@@ -116,6 +187,13 @@ class Adarts {
       const std::vector<ts::TimeSeries>& batch,
       const RecommendBatchOptions& options = {}) const;
 
+  /// Context variant: the batch fans out on `ctx`'s shared pool, honours
+  /// its cancellation token, and the per-request counters accumulate in
+  /// `ctx`'s metrics through pre-registered lock-free handles.
+  Result<std::vector<impute::Algorithm>> RecommendBatch(
+      const std::vector<ts::TimeSeries>& batch,
+      const RecommendBatchOptions& options, ExecContext& ctx) const;
+
   /// Per-series recommendations that never fail the batch: `out[i]` holds
   /// either `batch[i]`'s recommendation or that series' own error status
   /// (cancelled slots report the cancellation status). Input order.
@@ -123,14 +201,29 @@ class Adarts {
       const std::vector<ts::TimeSeries>& batch,
       const RecommendBatchOptions& options = {}) const;
 
+  /// Context variant of `RecommendBatchPartial`; see the context variant of
+  /// `RecommendBatch`.
+  std::vector<Result<impute::Algorithm>> RecommendBatchPartial(
+      const std::vector<ts::TimeSeries>& batch,
+      const RecommendBatchOptions& options, ExecContext& ctx) const;
+
   /// Full ranking, best first (the basis of the MRR metric).
   Result<std::vector<impute::Algorithm>> RecommendRanked(
       const ts::TimeSeries& faulty) const;
+
+  /// Context variant: counts the request in `ctx`'s metrics.
+  Result<std::vector<impute::Algorithm>> RecommendRanked(
+      const ts::TimeSeries& faulty, ExecContext& ctx) const;
 
   /// Recommends and applies the winning algorithm to one series. When the
   /// winner's fit fails on this input, logs a warning and falls back to
   /// linear interpolation (which accepts any series with >= 1 observation).
   Result<ts::TimeSeries> Repair(const ts::TimeSeries& faulty) const;
+
+  /// Context variant: per-request counters plus
+  /// `repair.fallback_linear_interp` accumulate in `ctx`'s metrics.
+  Result<ts::TimeSeries> Repair(const ts::TimeSeries& faulty,
+                                ExecContext& ctx) const;
 
   /// Recommends on the set (majority of per-series recommendations, batched
   /// via `RecommendBatch`) and repairs every series with the winning
@@ -139,6 +232,14 @@ class Adarts {
   Result<std::vector<ts::TimeSeries>> RepairSet(
       const std::vector<ts::TimeSeries>& faulty_set,
       const RecommendBatchOptions& options = {}) const;
+
+  /// Context variant: batched recommendation runs on `ctx`'s shared pool
+  /// and the set-level imputer's `FitDiagnostics` feed `ctx`'s metrics
+  /// (`repair.impute_iterations`, `repair.impute_not_converged`,
+  /// `repair.fallback_linear_interp`).
+  Result<std::vector<ts::TimeSeries>> RepairSet(
+      const std::vector<ts::TimeSeries>& faulty_set,
+      const RecommendBatchOptions& options, ExecContext& ctx) const;
 
   /// Persists the engine as a deterministic model bundle: extractor
   /// options, algorithm pool, committee pipeline specs, and the labeled
@@ -160,6 +261,9 @@ class Adarts {
   }
 
   const automl::ModelRaceReport& race_report() const { return race_report_; }
+  /// Stage breakdown of the training run that produced this engine; empty
+  /// for engines restored with `Load`.
+  const TrainReport& train_report() const { return train_report_; }
   const std::vector<impute::Algorithm>& algorithm_pool() const { return pool_; }
   const features::FeatureExtractor& feature_extractor() const {
     return extractor_;
@@ -186,6 +290,7 @@ class Adarts {
   features::FeatureExtractor extractor_;
   automl::VotingRecommender recommender_;
   automl::ModelRaceReport race_report_;
+  TrainReport train_report_;
   std::vector<impute::Algorithm> pool_;
   ml::Dataset training_data_;
   /// Majority training label; computed in the constructor so Save/Load

@@ -6,6 +6,7 @@
 
 #include "automl/synthesizer.h"
 #include "common/cancellation.h"
+#include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -107,20 +108,29 @@ void Refresh(RacedPipeline* rp) {
 Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
                                      const ml::Dataset& test,
                                      const ModelRaceOptions& options) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecContext ctx(options.num_threads, options.cancel);
+#pragma GCC diagnostic pop
+  return RunModelRace(train, test, options, ctx);
+}
+
+Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
+                                     const ml::Dataset& test,
+                                     const ModelRaceOptions& options,
+                                     ExecContext& ctx) {
   ADARTS_RETURN_NOT_OK(train.Validate());
   ADARTS_RETURN_NOT_OK(test.Validate());
   if (options.num_partial_sets == 0 || options.num_folds < 2) {
     return Status::InvalidArgument("need >= 1 partial set and >= 2 folds");
   }
-  if (options.cancel != nullptr) {
-    ADARTS_RETURN_NOT_OK(options.cancel->Check("ModelRace start"));
-  }
+  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("ModelRace start"));
 
   Stopwatch total_watch;
+  StageTimer race_timer(&ctx.metrics(), "race.total_seconds");
   Rng rng(options.seed);
   Synthesizer synth(rng.NextU64());
   ModelRaceReport report;
-  ThreadPool pool(options.num_threads);
 
   ADARTS_ASSIGN_OR_RETURN(
       std::vector<ml::Dataset> partials,
@@ -131,9 +141,7 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
 
   for (std::size_t iter = 0; iter < partials.size(); ++iter) {
     ADARTS_FAILPOINT("automl.race.iteration");
-    if (options.cancel != nullptr) {
-      ADARTS_RETURN_NOT_OK(options.cancel->Check("ModelRace iteration"));
-    }
+    ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("ModelRace iteration"));
     const ml::Dataset& s_i = partials[iter];
 
     // A partial set below 4 samples cannot support a 2-fold split whose
@@ -180,9 +188,7 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
     std::vector<double> time_acc(candidates.size(), 0.0);
 
     for (std::size_t fold = 0; fold < folds.size(); ++fold) {
-      if (options.cancel != nullptr) {
-        ADARTS_RETURN_NOT_OK(options.cancel->Check("ModelRace fold"));
-      }
+      ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("ModelRace fold"));
       // Standard k-fold usage: train on the complement of the held-out
       // fold, score on the held-out fold. Scoring each fold on its own
       // held-out data keeps the per-fold scores (approximately)
@@ -210,21 +216,16 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
         if (active[c]) to_eval.push_back(c);
       }
       std::vector<FoldEval> evals(candidates.size());
-      ParallelFor(
-          &pool, to_eval.size(),
-          [&](std::size_t t) {
-            const std::size_t c = to_eval[t];
-            evals[c] = EvaluatePipelineOnFold(candidates[c].spec, fold_train,
-                                              fold_eval,
-                                              options.candidate_budget_seconds);
-          },
-          options.cancel);
+      ParallelFor(ctx, to_eval.size(), [&](std::size_t t) {
+        const std::size_t c = to_eval[t];
+        evals[c] = EvaluatePipelineOnFold(candidates[c].spec, fold_train,
+                                          fold_eval,
+                                          options.candidate_budget_seconds);
+      });
       // An expired token makes ParallelFor skip remaining iterations, so
       // `evals` may hold default (unevaluated) slots — bail out before
       // reading them.
-      if (options.cancel != nullptr) {
-        ADARTS_RETURN_NOT_OK(options.cancel->Check("ModelRace evaluation"));
-      }
+      ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("ModelRace evaluation"));
       report.pipelines_evaluated += to_eval.size();
       double total_time = 1e-9;
       std::size_t fold_successes = 0;
@@ -353,6 +354,10 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
   }
   report.elites = std::move(elites);
   report.elapsed_seconds = total_watch.ElapsedSeconds();
+  Metrics& metrics = ctx.metrics();
+  metrics.Increment("race.pipelines_evaluated", report.pipelines_evaluated);
+  metrics.Increment("race.pipelines_eliminated", report.eliminations.size());
+  metrics.Increment("race.pipelines_timed_out", report.pipelines_timed_out);
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 
+#include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
 
@@ -66,6 +67,18 @@ Result<VotingRecommender> VotingRecommender::FromRace(
     return Status::Internal("no elite pipeline could be fitted on full data");
   }
   return rec;
+}
+
+Result<VotingRecommender> VotingRecommender::FromRace(
+    const ModelRaceReport& report, const ml::Dataset& full_train,
+    ExecContext& ctx) {
+  StageTimer timer(&ctx.metrics(), "train.committee_seconds");
+  // Serial contexts never construct the shared pool; parallel ones reuse it.
+  ThreadPool* pool = nullptr;
+  if (ThreadPool::ResolveThreadCount(ctx.num_threads()) > 1) {
+    pool = &ctx.pool();
+  }
+  return FromRace(report, full_train, pool);
 }
 
 Result<VotingRecommender> VotingRecommender::FromPipelines(

@@ -9,8 +9,9 @@
 #include "ml/dataset.h"
 
 namespace adarts {
+class ExecContext;
 class ThreadPool;
-}
+}  // namespace adarts
 
 namespace adarts::automl {
 
@@ -45,6 +46,13 @@ class VotingRecommender {
   static Result<VotingRecommender> FromRace(const ModelRaceReport& report,
                                             const ml::Dataset& full_train,
                                             ThreadPool* pool = nullptr);
+
+  /// Context variant: refits run on `ctx`'s shared pool and the wall-clock
+  /// accumulates into the `train.committee_seconds` span of `ctx`'s metrics.
+  /// Same bit-identity contract as the pool overload.
+  static Result<VotingRecommender> FromRace(const ModelRaceReport& report,
+                                            const ml::Dataset& full_train,
+                                            ExecContext& ctx);
 
   /// Assembles a voter from already-fitted pipelines (deserialization path).
   static Result<VotingRecommender> FromPipelines(

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/exec_context.h"
 #include "common/thread_pool.h"
 #include "ts/correlation.h"
 
@@ -47,6 +48,24 @@ la::Matrix PairwiseCorrelationMatrix(const std::vector<ts::TimeSeries>& series,
   for (std::size_t i = 0; i < n; ++i) corr(i, i) = 1.0;
   const std::size_t num_pairs = n < 2 ? 0 : n * (n - 1) / 2;
   ParallelFor(pool, num_pairs, [&](std::size_t k) {
+    const auto [i, j] = PairFromIndex(k, n);
+    const double c = ts::Pearson(series[i], series[j]);
+    corr(i, j) = c;
+    corr(j, i) = c;
+  });
+  return corr;
+}
+
+la::Matrix PairwiseCorrelationMatrix(const std::vector<ts::TimeSeries>& series,
+                                     ExecContext& ctx) {
+  StageTimer timer(&ctx.metrics(), "cluster.correlation_seconds");
+  const std::size_t n = series.size();
+  la::Matrix corr(n, n);
+  for (std::size_t i = 0; i < n; ++i) corr(i, i) = 1.0;
+  const std::size_t num_pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  // Skipped pairs on cancellation leave zero slots; callers re-check the
+  // token before using the matrix (ParallelFor's barrier contract).
+  ParallelFor(ctx, num_pairs, [&](std::size_t k) {
     const auto [i, j] = PairFromIndex(k, n);
     const double c = ts::Pearson(series[i], series[j]);
     corr(i, j) = c;

@@ -10,8 +10,9 @@
 #include "ts/time_series.h"
 
 namespace adarts {
+class ExecContext;
 class ThreadPool;
-}
+}  // namespace adarts
 
 namespace adarts::cluster {
 
@@ -36,6 +37,13 @@ la::Matrix PairwiseCorrelationMatrix(const std::vector<ts::TimeSeries>& series);
 /// the serial pass for every thread count.
 la::Matrix PairwiseCorrelationMatrix(const std::vector<ts::TimeSeries>& series,
                                      ThreadPool* pool);
+
+/// Context variant: runs on `ctx`'s shared pool (serial contexts never
+/// construct one) and accumulates the wall-clock into the
+/// `cluster.correlation_seconds` span of `ctx`'s metrics. Same bit-identity
+/// contract as the pool overload.
+la::Matrix PairwiseCorrelationMatrix(const std::vector<ts::TimeSeries>& series,
+                                     ExecContext& ctx);
 
 /// Decodes a linear upper-triangle pair index into its (row, col) pair,
 /// row < col, over an n x n matrix: index 0 is (0, 1), index n-2 is

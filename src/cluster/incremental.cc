@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "cluster/kshape.h"
+#include "common/exec_context.h"
 #include "common/thread_pool.h"
 #include "la/vector_ops.h"
 
@@ -23,10 +24,10 @@ std::size_t BestPartner(const std::vector<std::size_t>& source,
                         std::size_t skip,
                         const std::vector<std::vector<std::size_t>>& clusters,
                         const la::Matrix& corr, std::size_t n,
-                        double merge_floor, ThreadPool* pool) {
+                        double merge_floor, ExecContext& ctx) {
   std::vector<double> gains(clusters.size(), 0.0);
   std::vector<char> admissible(clusters.size(), 0);
-  ParallelFor(pool, clusters.size(), [&](std::size_t j) {
+  ParallelFor(ctx, clusters.size(), [&](std::size_t j) {
     if (j == skip || clusters[j].empty()) return;
     gains[j] = CorrelationGain(source, clusters[j], corr, n);
     std::vector<std::size_t> merged = source;
@@ -50,6 +51,16 @@ std::size_t BestPartner(const std::vector<std::size_t>& source,
 Result<Clustering> IncrementalClustering(
     const std::vector<ts::TimeSeries>& series,
     const IncrementalOptions& options) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecContext ctx(options.num_threads);
+#pragma GCC diagnostic pop
+  return IncrementalClustering(series, options, ctx);
+}
+
+Result<Clustering> IncrementalClustering(
+    const std::vector<ts::TimeSeries>& series,
+    const IncrementalOptions& options, ExecContext& ctx) {
   if (series.empty()) return Status::InvalidArgument("no series to cluster");
   // A constant series has zero variance, so its Pearson correlation to any
   // other series is undefined; with *every* series constant the whole
@@ -67,9 +78,8 @@ Result<Clustering> IncrementalClustering(
         "undefined");
   }
   const std::size_t n = series.size();
-  ThreadPool workers(options.num_threads);
-  ThreadPool* pool = workers.size() > 1 ? &workers : nullptr;
-  const la::Matrix corr = PairwiseCorrelationMatrix(series, pool);
+  const la::Matrix corr = PairwiseCorrelationMatrix(series, ctx);
+  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("IncrementalClustering correlation"));
 
   // ---- Phase 1: recursive splitting (Algorithm 2, lines 2-8).
   std::deque<std::vector<std::size_t>> pending;
@@ -106,6 +116,7 @@ Result<Clustering> IncrementalClustering(
       result.clusters.push_back(std::move(cur));
       continue;
     }
+    ctx.metrics().Increment("cluster.splits");
     for (const auto& part : split.clusters) {
       std::vector<std::size_t> mapped;
       mapped.reserve(part.size());
@@ -113,6 +124,7 @@ Result<Clustering> IncrementalClustering(
       pending.push_back(std::move(mapped));
     }
   }
+  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("IncrementalClustering split phase"));
 
   // ---- Phase 2: refinement by merge and move (lines 10-18). A merge or
   // move is applied only when the correlation gain is positive AND the
@@ -132,11 +144,12 @@ Result<Clustering> IncrementalClustering(
       continue;
     }
     const std::size_t best_j =
-        BestPartner(clusters[i], i, clusters, corr, n, merge_floor, pool);
+        BestPartner(clusters[i], i, clusters, corr, n, merge_floor, ctx);
     if (best_j < clusters.size()) {
       clusters[best_j].insert(clusters[best_j].end(), clusters[i].begin(),
                               clusters[i].end());
       clusters[i].clear();
+      ctx.metrics().Increment("cluster.merges");
       continue;
     }
     // No whole-cluster merge: try moving individual series (lines 15-18).
@@ -146,9 +159,10 @@ Result<Clustering> IncrementalClustering(
     for (std::size_t x : clusters[i]) {
       const std::vector<std::size_t> singleton = {x};
       const std::size_t target =
-          BestPartner(singleton, i, clusters, corr, n, merge_floor, pool);
+          BestPartner(singleton, i, clusters, corr, n, merge_floor, ctx);
       if (target < clusters.size()) {
         clusters[target].push_back(x);
+        ctx.metrics().Increment("cluster.moves");
       } else {
         remaining.push_back(x);
       }

@@ -1,0 +1,120 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace adarts {
+
+namespace {
+
+/// Escapes the characters JSON string literals cannot hold verbatim. Metric
+/// names are plain identifiers today, but the writer must not emit broken
+/// JSON if that ever changes.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t StageMetrics::Counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double StageMetrics::SpanSeconds(const std::string& name) const {
+  const auto it = spans_seconds.find(name);
+  return it == spans_seconds.end() ? 0.0 : it->second;
+}
+
+std::string StageMetrics::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"spans_seconds\":{";
+  first = true;
+  for (const auto& [name, seconds] : spans_seconds) {
+    if (!first) out << ',';
+    first = false;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+    out << '"' << JsonEscape(name) << "\":" << buf;
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string StageMetrics::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << name << '=' << value << '\n';
+  }
+  for (const auto& [name, seconds] : spans_seconds) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+    out << name << '=' << buf << '\n';
+  }
+  return out.str();
+}
+
+MetricCounter* Metrics::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  auto [inserted, _] =
+      counters_.emplace(std::string(name), std::make_unique<MetricCounter>());
+  return inserted->second.get();
+}
+
+void Metrics::RecordSpanSeconds(std::string_view name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = spans_.find(name);
+  if (it != spans_.end()) {
+    it->second += seconds;
+  } else {
+    spans_.emplace(std::string(name), seconds);
+  }
+}
+
+StageMetrics Metrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageMetrics out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter->value();
+  }
+  out.spans_seconds.insert(spans_.begin(), spans_.end());
+  return out;
+}
+
+}  // namespace adarts

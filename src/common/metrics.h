@@ -1,0 +1,118 @@
+#ifndef ADARTS_COMMON_METRICS_H_
+#define ADARTS_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/stopwatch.h"
+
+namespace adarts {
+
+/// One monotonic counter of a `Metrics` registry. The pointer returned by
+/// `Metrics::counter()` is stable for the registry's lifetime, so hot loops
+/// look the counter up once and then increment lock-free.
+class MetricCounter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time snapshot of a `Metrics` registry: plain maps, safe to copy,
+/// store in reports (`Adarts::TrainReport`, `Recommendation`) and serialize.
+/// Keys follow the `<stage>.<name>` scheme of DESIGN.md §8 — counters are
+/// bare (`race.pipelines_eliminated`), wall-clock spans end in `_seconds`
+/// (`train.clustering_seconds`).
+struct StageMetrics {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> spans_seconds;
+
+  bool empty() const { return counters.empty() && spans_seconds.empty(); }
+
+  /// Value of one counter; 0 when absent.
+  std::uint64_t Counter(const std::string& name) const;
+
+  /// Accumulated seconds of one span; 0.0 when absent.
+  double SpanSeconds(const std::string& name) const;
+
+  /// `{"counters":{...},"spans_seconds":{...}}` with keys in sorted order
+  /// (the bench `--json` record format).
+  std::string ToJson() const;
+
+  /// One `name=value` line per metric, sorted — the human-readable dump the
+  /// fault_sweep driver prints per run.
+  std::string ToString() const;
+};
+
+/// A lightweight metrics registry: named monotonic counters plus named
+/// wall-clock spans. Registration and span recording take a mutex (cold
+/// paths: once per counter name, once per stage); counter increments through
+/// the returned `MetricCounter*` are relaxed atomics — lock-free on the hot
+/// path. Metric values never feed back into any computation, so recording
+/// them cannot perturb the engine's bit-determinism contract.
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// The counter registered under `name`, created on first use. The pointer
+  /// stays valid for the registry's lifetime.
+  MetricCounter* counter(std::string_view name);
+
+  /// Convenience for cold paths: look up and increment in one call.
+  void Increment(std::string_view name, std::uint64_t delta = 1) {
+    counter(name)->Increment(delta);
+  }
+
+  /// Adds `seconds` to the span registered under `name` (stage spans of one
+  /// registry accumulate across repeated runs of the same stage).
+  void RecordSpanSeconds(std::string_view name, double seconds);
+
+  /// Copies every counter and span into a `StageMetrics` snapshot.
+  StageMetrics Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> spans_;
+};
+
+/// RAII stage span: starts a stopwatch on construction and records the
+/// elapsed seconds under `name` when stopped (or destroyed). A null
+/// `metrics` makes the timer a no-op, so call sites need no branching.
+class StageTimer {
+ public:
+  StageTimer(Metrics* metrics, std::string name)
+      : metrics_(metrics), name_(std::move(name)) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() { Stop(); }
+
+  /// Records the span now; idempotent (the destructor becomes a no-op).
+  void Stop() {
+    if (metrics_ == nullptr) return;
+    metrics_->RecordSpanSeconds(name_, watch_.ElapsedSeconds());
+    metrics_ = nullptr;
+  }
+
+ private:
+  Metrics* metrics_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace adarts
+
+#endif  // ADARTS_COMMON_METRICS_H_

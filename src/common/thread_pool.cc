@@ -8,6 +8,14 @@
 
 namespace adarts {
 
+namespace {
+std::atomic<std::uint64_t> g_pools_created{0};
+}  // namespace
+
+std::uint64_t ThreadPool::TotalCreated() {
+  return g_pools_created.load(std::memory_order_relaxed);
+}
+
 std::size_t ThreadPool::ResolveThreadCount(std::size_t num_threads) {
   if (num_threads != 0) return num_threads;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -15,6 +23,7 @@ std::size_t ThreadPool::ResolveThreadCount(std::size_t num_threads) {
 }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
+  g_pools_created.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n = ResolveThreadCount(num_threads);
   if (n <= 1) return;  // size-1 pool: callers run everything inline
   workers_.reserve(n);

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -43,6 +44,11 @@ class ThreadPool {
   /// Resolves a `num_threads` option value: 0 -> hardware concurrency
   /// (at least 1), anything else passes through.
   static std::size_t ResolveThreadCount(std::size_t num_threads);
+
+  /// Process-wide count of ThreadPool objects ever constructed. Tests use
+  /// before/after deltas to assert the one-pool-per-`ExecContext` contract
+  /// (a whole `Adarts::Train` run must construct exactly one pool).
+  static std::uint64_t TotalCreated();
 
  private:
   void WorkerLoop();

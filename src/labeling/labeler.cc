@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/exec_context.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "ts/metrics.h"
@@ -38,9 +39,9 @@ Status MaskSeries(const LabelingOptions& options,
 Status ScoreAlgorithms(const std::vector<ts::TimeSeries>& masked_set,
                        const std::vector<std::size_t>& targets,
                        const std::vector<impute::Algorithm>& pool,
-                       ThreadPool* workers, la::Matrix* rmse,
+                       ExecContext& ctx, la::Matrix* rmse,
                        std::size_t* runs) {
-  ParallelFor(workers, pool.size(), [&](std::size_t a) {
+  ParallelFor(ctx, pool.size(), [&](std::size_t a) {
     const std::unique_ptr<impute::Imputer> imputer =
         impute::CreateImputer(pool[a]);
     auto repaired = imputer->ImputeSet(masked_set);
@@ -59,7 +60,9 @@ Status ScoreAlgorithms(const std::vector<ts::TimeSeries>& masked_set,
           err.ok() ? *err : std::numeric_limits<double>::infinity();
     }
   });
+  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("Labeling algorithm benchmark"));
   *runs += pool.size();
+  ctx.metrics().Increment("label.imputation_runs", pool.size());
   return Status::OK();
 }
 
@@ -77,6 +80,16 @@ int ArgMinRow(const la::Matrix& m, std::size_t row) {
 
 Result<LabelingResult> LabelSeriesFull(
     const std::vector<ts::TimeSeries>& series, const LabelingOptions& options) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecContext ctx(options.num_threads);
+#pragma GCC diagnostic pop
+  return LabelSeriesFull(series, options, ctx);
+}
+
+Result<LabelingResult> LabelSeriesFull(const std::vector<ts::TimeSeries>& series,
+                                       const LabelingOptions& options,
+                                       ExecContext& ctx) {
   if (series.empty()) return Status::InvalidArgument("no series to label");
   const std::vector<impute::Algorithm> pool = ResolvePool(options);
   Rng rng(options.seed);
@@ -86,11 +99,10 @@ Result<LabelingResult> LabelSeriesFull(
   for (std::size_t i = 0; i < series.size(); ++i) targets[i] = i;
   ADARTS_RETURN_NOT_OK(MaskSeries(options, targets, &rng, &masked));
 
-  ThreadPool workers(options.num_threads);
   LabelingResult result;
   result.algorithms = pool;
   result.rmse = la::Matrix(series.size(), pool.size());
-  ADARTS_RETURN_NOT_OK(ScoreAlgorithms(masked, targets, pool, &workers,
+  ADARTS_RETURN_NOT_OK(ScoreAlgorithms(masked, targets, pool, ctx,
                                        &result.rmse,
                                        &result.imputation_runs));
   result.labels.resize(series.size());
@@ -103,13 +115,24 @@ Result<LabelingResult> LabelSeriesFull(
 Result<LabelingResult> LabelByClusters(
     const std::vector<ts::TimeSeries>& series,
     const cluster::Clustering& clustering, const LabelingOptions& options) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecContext ctx(options.num_threads);
+#pragma GCC diagnostic pop
+  return LabelByClusters(series, clustering, options, ctx);
+}
+
+Result<LabelingResult> LabelByClusters(const std::vector<ts::TimeSeries>& series,
+                                       const cluster::Clustering& clustering,
+                                       const LabelingOptions& options,
+                                       ExecContext& ctx) {
   if (series.empty()) return Status::InvalidArgument("no series to label");
   const std::vector<impute::Algorithm> pool = ResolvePool(options);
   Rng rng(options.seed);
-  ThreadPool workers(options.num_threads);
-  // The representative-selection matrix reuses the labeling pool: pairs fan
+  // The representative-selection matrix reuses the context's pool: pairs fan
   // out before the per-cluster benchmark loop begins.
-  const la::Matrix corr = cluster::PairwiseCorrelationMatrix(series, &workers);
+  const la::Matrix corr = cluster::PairwiseCorrelationMatrix(series, ctx);
+  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("LabelByClusters correlation"));
 
   LabelingResult result;
   result.algorithms = pool;
@@ -136,7 +159,7 @@ Result<LabelingResult> LabelByClusters(
 
     la::Matrix rep_rmse(local_reps.size(), pool.size());
     ADARTS_RETURN_NOT_OK(ScoreAlgorithms(cluster_set, local_reps, pool,
-                                         &workers, &rep_rmse,
+                                         ctx, &rep_rmse,
                                          &result.imputation_runs));
 
     // The cluster label is the algorithm with the lowest mean RMSE across

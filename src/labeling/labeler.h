@@ -25,10 +25,24 @@ struct LabelingOptions {
   std::uint64_t seed = 42;
   /// Worker threads for the per-algorithm imputation benchmark and, in the
   /// cluster path, the pairwise correlation matrix behind representative
-  /// selection: 0 sizes the pool from `std::thread::hardware_concurrency()`,
-  /// 1 runs serially. Labels and RMSE matrices are bit-identical for every
-  /// value.
-  std::size_t num_threads = 0;
+  /// selection. Ignored when an explicit `ExecContext` is passed — the
+  /// context's pool is used instead. Labels and RMSE matrices are
+  /// bit-identical for every value.
+  [[deprecated(
+      "pass an ExecContext to LabelSeriesFull/LabelByClusters "
+      "instead")]] std::size_t num_threads = 0;
+
+  // Spelled-out defaulted special members inside a diagnostic guard:
+  // default-constructing/copying the options must not itself warn about the
+  // deprecated field — only direct reads and writes of it do.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  LabelingOptions() = default;
+  LabelingOptions(const LabelingOptions&) = default;
+  LabelingOptions& operator=(const LabelingOptions&) = default;
+  LabelingOptions(LabelingOptions&&) = default;
+  LabelingOptions& operator=(LabelingOptions&&) = default;
+#pragma GCC diagnostic pop
 };
 
 /// Output of a labeling pass.
@@ -52,6 +66,14 @@ struct LabelingResult {
 Result<LabelingResult> LabelSeriesFull(const std::vector<ts::TimeSeries>& series,
                                        const LabelingOptions& options = {});
 
+/// Context variant: the per-algorithm benchmark runs on `ctx`'s shared pool,
+/// the cancellation token is honoured, and the `label.imputation_runs`
+/// counter accumulates in `ctx`'s metrics. The legacy overload delegates
+/// here with a default context built from the deprecated `num_threads`.
+Result<LabelingResult> LabelSeriesFull(const std::vector<ts::TimeSeries>& series,
+                                       const LabelingOptions& options,
+                                       ExecContext& ctx);
+
 /// Fast labeling (Fig. 2, step 1): benchmarks only cluster representatives
 /// (correlation medoids) and propagates each cluster's winning algorithm to
 /// all members. Costs |clusters| * reps * |algorithms| runs instead of
@@ -59,6 +81,14 @@ Result<LabelingResult> LabelSeriesFull(const std::vector<ts::TimeSeries>& series
 Result<LabelingResult> LabelByClusters(
     const std::vector<ts::TimeSeries>& series,
     const cluster::Clustering& clustering, const LabelingOptions& options = {});
+
+/// Context variant of `LabelByClusters`; same contract as the context
+/// variant of `LabelSeriesFull` (shared pool, cancellation between
+/// clusters, `label.imputation_runs` metrics).
+Result<LabelingResult> LabelByClusters(const std::vector<ts::TimeSeries>& series,
+                                       const cluster::Clustering& clustering,
+                                       const LabelingOptions& options,
+                                       ExecContext& ctx);
 
 /// Correlation medoids of a cluster: the `count` members with the highest
 /// total absolute correlation to the rest of the cluster.

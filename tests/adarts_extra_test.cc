@@ -11,6 +11,7 @@
 #include "adarts/adarts.h"
 #include "automl/model_race.h"
 #include "automl/synthesizer.h"
+#include "common/exec_context.h"
 #include "common/rng.h"
 #include "data/generators.h"
 #include "tests/test_util.h"
@@ -184,9 +185,8 @@ TEST(BatchInferenceTest, RecommendBatchAgreesWithPerSeriesRecommend) {
   auto engine = Adarts::Train(TinyCorpus(), TinyTrainOptions());
   ASSERT_TRUE(engine.ok()) << engine.status();
   const auto probes = FaultyProbes(4);
-  RecommendBatchOptions opts;
-  opts.num_threads = testing::TestThreadCount();
-  auto batch = engine->RecommendBatch(probes, opts);
+  ExecContext ctx(testing::TestThreadCount());
+  auto batch = engine->RecommendBatch(probes, {}, ctx);
   ASSERT_TRUE(batch.ok()) << batch.status();
   ASSERT_EQ(batch->size(), probes.size());
   // Element i of the batch is series i's recommendation: order preserved,
@@ -202,14 +202,12 @@ TEST(BatchInferenceTest, RecommendBatchBitIdenticalAcrossThreadCounts) {
   auto engine = Adarts::Train(TinyCorpus(), TinyTrainOptions());
   ASSERT_TRUE(engine.ok()) << engine.status();
   const auto probes = FaultyProbes(3, 71);
-  RecommendBatchOptions serial;
-  serial.num_threads = 1;
-  auto reference = engine->RecommendBatch(probes, serial);
+  ExecContext serial_ctx(1);
+  auto reference = engine->RecommendBatch(probes, {}, serial_ctx);
   ASSERT_TRUE(reference.ok()) << reference.status();
   for (std::size_t threads : {std::size_t{2}, testing::TestThreadCount()}) {
-    RecommendBatchOptions opts;
-    opts.num_threads = threads;
-    auto batch = engine->RecommendBatch(probes, opts);
+    ExecContext ctx(threads);
+    auto batch = engine->RecommendBatch(probes, {}, ctx);
     ASSERT_TRUE(batch.ok()) << batch.status();
     EXPECT_EQ(*batch, *reference) << "threads=" << threads;
   }
@@ -245,9 +243,8 @@ TEST(BatchInferenceTest, RepairSetMatchesSerialSeedBehavior) {
   ASSERT_TRUE(golden.ok());
 
   for (std::size_t threads : {std::size_t{1}, testing::TestThreadCount()}) {
-    RecommendBatchOptions opts;
-    opts.num_threads = threads;
-    auto repaired = engine->RepairSet(probes, opts);
+    ExecContext ctx(threads);
+    auto repaired = engine->RepairSet(probes, {}, ctx);
     ASSERT_TRUE(repaired.ok()) << repaired.status();
     ASSERT_EQ(repaired->size(), golden->size());
     for (std::size_t i = 0; i < golden->size(); ++i) {

@@ -14,6 +14,7 @@
 #include "adarts/adarts.h"
 #include "automl/model_race.h"
 #include "common/cancellation.h"
+#include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -278,18 +279,16 @@ TEST(CancellationTest, ParallelForSkipsWorkOnExpiredToken) {
 TEST(CancellationTest, PreCancelledTrainReturnsCancelled) {
   CancellationToken token;
   token.Cancel();
-  TrainOptions options = FastOptions();
-  options.cancel = &token;
-  auto engine = Adarts::Train(SmallCorpus(), options);
+  ExecContext ctx(0, &token);
+  auto engine = Adarts::Train(SmallCorpus(), FastOptions(), ctx);
   ASSERT_FALSE(engine.ok());
   EXPECT_EQ(engine.status().code(), StatusCode::kCancelled);
 }
 
 TEST(CancellationTest, ExpiredDeadlineTrainReturnsDeadlineExceeded) {
   CancellationToken token = CancellationToken::WithDeadline(0.0);
-  TrainOptions options = FastOptions();
-  options.cancel = &token;
-  auto engine = Adarts::Train(SmallCorpus(), options);
+  ExecContext ctx(0, &token);
+  auto engine = Adarts::Train(SmallCorpus(), FastOptions(), ctx);
   ASSERT_FALSE(engine.ok());
   EXPECT_EQ(engine.status().code(), StatusCode::kDeadlineExceeded);
 }
@@ -300,9 +299,8 @@ TEST(CancellationTest, PreCancelledBatchFillsEverySlotWithCancelled) {
   const auto set = FaultySet(4, 55);
   CancellationToken token;
   token.Cancel();
-  RecommendBatchOptions options;
-  options.cancel = &token;
-  auto partial = engine->RecommendBatchPartial(set, options);
+  ExecContext ctx(0, &token);
+  auto partial = engine->RecommendBatchPartial(set, {}, ctx);
   ASSERT_EQ(partial.size(), set.size());
   for (const auto& slot : partial) {
     ASSERT_FALSE(slot.ok());
@@ -317,9 +315,9 @@ TEST(ModelRaceBudgetTest, ImpossibleBudgetTimesEveryPipelineOut) {
   options.num_seed_pipelines = 8;
   options.num_partial_sets = 2;
   options.num_folds = 2;
-  options.num_threads = 1;
   options.candidate_budget_seconds = 1e-12;  // nothing can fit this fast
-  auto report = automl::RunModelRace(train, test, options);
+  ExecContext ctx(1);
+  auto report = automl::RunModelRace(train, test, options, ctx);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_NE(report.status().message().find("candidate budget"),
@@ -333,14 +331,15 @@ TEST(ModelRaceBudgetTest, GenerousBudgetMatchesNoBudgetBitForBit) {
   options.num_seed_pipelines = 8;
   options.num_partial_sets = 2;
   options.num_folds = 2;
-  options.num_threads = 1;
   // gamma = 0 removes the wall-clock term from the score (as in
   // threading_test) — with it, no two runs are comparable bit-for-bit.
   options.gamma = 0.0;
-  auto baseline = automl::RunModelRace(train, test, options);
+  ExecContext baseline_ctx(1);
+  auto baseline = automl::RunModelRace(train, test, options, baseline_ctx);
   ASSERT_TRUE(baseline.ok()) << baseline.status();
   options.candidate_budget_seconds = 1e9;  // enabled but unreachable
-  auto budgeted = automl::RunModelRace(train, test, options);
+  ExecContext budgeted_ctx(1);
+  auto budgeted = automl::RunModelRace(train, test, options, budgeted_ctx);
   ASSERT_TRUE(budgeted.ok()) << budgeted.status();
   EXPECT_EQ(budgeted->pipelines_timed_out, 0u);
   ASSERT_EQ(budgeted->elites.size(), baseline->elites.size());
@@ -363,8 +362,8 @@ TEST(ModelRaceBudgetTest, EliminationsRecordReasons) {
   options.num_seed_pipelines = 12;
   options.num_partial_sets = 2;
   options.num_folds = 2;
-  options.num_threads = 1;
-  auto report = automl::RunModelRace(train, test, options);
+  ExecContext ctx(1);
+  auto report = automl::RunModelRace(train, test, options, ctx);
   ASSERT_TRUE(report.ok()) << report.status();
   // Every counted elimination appears in the reason log and vice versa.
   std::size_t early = 0;

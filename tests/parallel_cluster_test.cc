@@ -11,6 +11,7 @@
 
 #include "cluster/clustering.h"
 #include "cluster/incremental.h"
+#include "common/exec_context.h"
 #include "common/thread_pool.h"
 #include "data/generators.h"
 #include "labeling/labeler.h"
@@ -68,14 +69,13 @@ TEST(ParallelClusterDeterminismTest, CorrelationMatrixBitIdentical) {
 
 TEST(ParallelClusterDeterminismTest, ClusterAssignmentsBitIdentical) {
   const auto corpus = MixedCorpus();
-  IncrementalOptions serial_opts;
-  serial_opts.correlation_threshold = 0.75;
-  serial_opts.num_threads = 1;
-  IncrementalOptions parallel_opts = serial_opts;
-  parallel_opts.num_threads = TestThreadCount();
+  IncrementalOptions opts;
+  opts.correlation_threshold = 0.75;
+  ExecContext serial_ctx(1);
+  ExecContext parallel_ctx(TestThreadCount());
 
-  auto a = IncrementalClustering(corpus, serial_opts);
-  auto b = IncrementalClustering(corpus, parallel_opts);
+  auto a = IncrementalClustering(corpus, opts, serial_ctx);
+  auto b = IncrementalClustering(corpus, opts, parallel_ctx);
   ASSERT_TRUE(a.ok()) << a.status();
   ASSERT_TRUE(b.ok()) << b.status();
   EXPECT_EQ(a->clusters, b->clusters);
@@ -84,21 +84,17 @@ TEST(ParallelClusterDeterminismTest, ClusterAssignmentsBitIdentical) {
 
 TEST(ParallelClusterDeterminismTest, ClusterLabelsBitIdentical) {
   const auto corpus = MixedCorpus(3, 96);
-  IncrementalOptions copts;
-  copts.num_threads = 1;
-  auto clustering = IncrementalClustering(corpus, copts);
+  ExecContext serial_ctx(1);
+  ExecContext parallel_ctx(TestThreadCount());
+  auto clustering = IncrementalClustering(corpus, {}, serial_ctx);
   ASSERT_TRUE(clustering.ok()) << clustering.status();
 
   labeling::LabelingOptions opts;
   opts.algorithms = {impute::Algorithm::kCdRec, impute::Algorithm::kSvdImpute,
                      impute::Algorithm::kLinearInterp};
-  labeling::LabelingOptions serial = opts;
-  serial.num_threads = 1;
-  labeling::LabelingOptions parallel = opts;
-  parallel.num_threads = TestThreadCount();
 
-  auto a = labeling::LabelByClusters(corpus, *clustering, serial);
-  auto b = labeling::LabelByClusters(corpus, *clustering, parallel);
+  auto a = labeling::LabelByClusters(corpus, *clustering, opts, serial_ctx);
+  auto b = labeling::LabelByClusters(corpus, *clustering, opts, parallel_ctx);
   ASSERT_TRUE(a.ok()) << a.status();
   ASSERT_TRUE(b.ok()) << b.status();
   EXPECT_EQ(a->labels, b->labels);
@@ -161,9 +157,8 @@ TEST(ParallelClusterEdgeCaseTest, ConstantSeriesAmongVaryingOnesIsHandled) {
     }
   }
 
-  IncrementalOptions opts;
-  opts.num_threads = TestThreadCount();
-  auto clustering = IncrementalClustering(corpus, opts);
+  ExecContext ctx(TestThreadCount());
+  auto clustering = IncrementalClustering(corpus, {}, ctx);
   ASSERT_TRUE(clustering.ok()) << clustering.status();
   std::size_t covered = 0;
   for (const auto& c : clustering->clusters) covered += c.size();
@@ -178,9 +173,8 @@ TEST(ParallelClusterEdgeCaseTest, AllConstantCorpusReturnsInvalidArgument) {
     corpus.push_back(ConstantSeries(64, static_cast<double>(i)));
   }
   for (std::size_t threads : {std::size_t{1}, TestThreadCount()}) {
-    IncrementalOptions opts;
-    opts.num_threads = threads;
-    auto clustering = IncrementalClustering(corpus, opts);
+    ExecContext ctx(threads);
+    auto clustering = IncrementalClustering(corpus, {}, ctx);
     ASSERT_FALSE(clustering.ok());
     EXPECT_EQ(clustering.status().code(), StatusCode::kInvalidArgument);
   }

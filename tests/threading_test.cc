@@ -11,6 +11,7 @@
 
 #include "adarts/adarts.h"
 #include "automl/model_race.h"
+#include "common/exec_context.h"
 #include "common/thread_pool.h"
 #include "data/generators.h"
 #include "labeling/labeler.h"
@@ -111,13 +112,12 @@ TEST(ThreadDeterminismTest, ModelRaceReportsAreIdenticalFor1And4Threads) {
   const ml::Dataset train = MakeBlobs(3, 30, 6);
   const ml::Dataset test = MakeBlobs(3, 8, 6, /*seed=*/4);
 
-  automl::ModelRaceOptions serial = DeterministicRaceOptions();
-  serial.num_threads = 1;
-  automl::ModelRaceOptions parallel = DeterministicRaceOptions();
-  parallel.num_threads = 4;
+  const automl::ModelRaceOptions options = DeterministicRaceOptions();
+  ExecContext serial_ctx(1);
+  ExecContext parallel_ctx(4);
 
-  auto a = automl::RunModelRace(train, test, serial);
-  auto b = automl::RunModelRace(train, test, parallel);
+  auto a = automl::RunModelRace(train, test, options, serial_ctx);
+  auto b = automl::RunModelRace(train, test, options, parallel_ctx);
   ASSERT_TRUE(a.ok()) << a.status();
   ASSERT_TRUE(b.ok()) << b.status();
 
@@ -156,13 +156,11 @@ TEST(ThreadDeterminismTest, TrainRecommendationsAreIdenticalFor1And4Threads) {
   opts.race = DeterministicRaceOptions();
   opts.features.landmarks = 16;
 
-  TrainOptions serial = opts;
-  serial.num_threads = 1;
-  TrainOptions parallel = opts;
-  parallel.num_threads = 4;
+  ExecContext serial_ctx(1);
+  ExecContext parallel_ctx(4);
 
-  auto a = Adarts::Train(corpus, serial);
-  auto b = Adarts::Train(corpus, parallel);
+  auto a = Adarts::Train(corpus, opts, serial_ctx);
+  auto b = Adarts::Train(corpus, opts, parallel_ctx);
   ASSERT_TRUE(a.ok()) << a.status();
   ASSERT_TRUE(b.ok()) << b.status();
 
@@ -212,13 +210,11 @@ TEST(ThreadDeterminismTest, ExhaustiveLabelingIsIdenticalAcrossThreadCounts) {
                      impute::Algorithm::kLinearInterp,
                      impute::Algorithm::kMeanImpute};
 
-  labeling::LabelingOptions serial = opts;
-  serial.num_threads = 1;
-  labeling::LabelingOptions parallel = opts;
-  parallel.num_threads = 4;
+  ExecContext serial_ctx(1);
+  ExecContext parallel_ctx(4);
 
-  auto a = labeling::LabelSeriesFull(series, serial);
-  auto b = labeling::LabelSeriesFull(series, parallel);
+  auto a = labeling::LabelSeriesFull(series, opts, serial_ctx);
+  auto b = labeling::LabelSeriesFull(series, opts, parallel_ctx);
   ASSERT_TRUE(a.ok()) << a.status();
   ASSERT_TRUE(b.ok()) << b.status();
   EXPECT_EQ(a->labels, b->labels);

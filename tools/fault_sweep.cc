@@ -13,12 +13,14 @@
 // Prints one line per operation so a failing CI iteration is diagnosable
 // from the log alone.
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "adarts/adarts.h"
+#include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "data/generators.h"
@@ -92,33 +94,39 @@ int main(int argc, char** argv) {
   options.race.num_folds = 2;
   options.features.landmarks = 16;
 
-  auto engine = adarts::Adarts::Train(corpus, options);
+  // One ExecContext for the whole sweep: every operation records its stage
+  // spans and vote/fit counters here, and the dump at the end shows what the
+  // armed failpoints actually did to the run (degraded votes, fallbacks,
+  // non-converged fits) beyond the per-operation ok/error lines.
+  adarts::ExecContext ctx;
+
+  auto engine = adarts::Adarts::Train(corpus, options, ctx);
   Report("train", engine.status());
 
   if (engine.ok()) {
-    auto rec = engine->Recommend(faulty[0]);
+    auto rec = engine->Recommend(faulty[0], ctx);
     Report("recommend", rec.status());
 
-    auto batch = engine->RecommendBatch(faulty);
+    auto batch = engine->RecommendBatch(faulty, {}, ctx);
     Report("recommend_batch", batch.status());
 
     adarts::RecommendBatchOptions degraded;
     degraded.fail_fast = false;
-    auto soft = engine->RecommendBatch(faulty, degraded);
+    auto soft = engine->RecommendBatch(faulty, degraded, ctx);
     Report("recommend_degraded", soft.status());
     if (soft.ok() && soft->size() != faulty.size()) {
       std::fprintf(stderr, "degraded batch lost series\n");
       return 1;
     }
 
-    auto repaired = engine->Repair(faulty[0]);
+    auto repaired = engine->Repair(faulty[0], ctx);
     Report("repair", repaired.status());
     if (repaired.ok() && repaired->HasMissing()) {
       std::fprintf(stderr, "repair left gaps behind\n");
       return 1;
     }
 
-    auto repaired_set = engine->RepairSet(faulty, degraded);
+    auto repaired_set = engine->RepairSet(faulty, degraded, ctx);
     Report("repair_set", repaired_set.status());
     if (repaired_set.ok() && !FullyRepaired(*repaired_set)) {
       std::fprintf(stderr, "repair_set left gaps behind\n");
@@ -146,6 +154,17 @@ int main(int argc, char** argv) {
     adarts::impute::FitDiagnostics diag;
     auto out = adarts::impute::CreateImputer(a)->ImputeSetWithDiagnostics(
         faulty, &diag);
+    // The direct-fit battery feeds the same registry: per-family iteration
+    // counts and convergence failures show up in the dump below.
+    ctx.metrics().Increment("sweep.impute_runs");
+    if (!out.ok()) ctx.metrics().Increment("sweep.impute_errors");
+    if (diag.iterations > 0) {
+      ctx.metrics().Increment("sweep.impute_iterations",
+                              static_cast<std::uint64_t>(diag.iterations));
+    }
+    if (out.ok() && !diag.converged) {
+      ctx.metrics().Increment("sweep.impute_not_converged");
+    }
     std::printf("impute %-12s %s%s\n",
                 std::string(adarts::impute::AlgorithmToString(a)).c_str(),
                 out.ok() ? "ok" : out.status().ToString().c_str(),
@@ -155,6 +174,12 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  // Everything the context saw, one name=value line per metric: stage spans
+  // (train.*_seconds), vote health (vote.members_failed,
+  // recommend.degraded), repair fallbacks and fit convergence.
+  std::printf("--- metrics ---\n%s",
+              ctx.metrics().Snapshot().ToString().c_str());
 
   std::printf("sweep done\n");
   return 0;
