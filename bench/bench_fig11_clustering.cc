@@ -19,6 +19,7 @@
 #include "common/exec_context.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace adarts::bench {
 namespace {
@@ -194,6 +195,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
     }
   }
+  adarts::TraceOptions trace_options;
+  trace_options.path = adarts::bench::TracePathFromArgs(argc, argv);
+  trace_options.enabled = !trace_options.path.empty();
+  adarts::ScopedTrace trace_session(trace_options);
   return adarts::bench::Run(num_threads,
                             adarts::bench::JsonPathFromArgs(argc, argv));
 }

@@ -13,6 +13,7 @@
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace adarts::bench {
 namespace {
@@ -142,6 +143,7 @@ int main(int argc, char** argv) {
   // --threads N (default 0 = hardware concurrency) sizes the ModelRace
   // evaluation pool for parts (a) and (b); part (c) sweeps 1/2/4 regardless.
   // --json <path> appends machine-readable records per measurement.
+  // --trace <path> exports a Chrome trace-event timeline of the whole run.
   std::size_t num_threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -150,6 +152,10 @@ int main(int argc, char** argv) {
       num_threads = static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
     }
   }
+  adarts::TraceOptions trace_options;
+  trace_options.path = adarts::bench::TracePathFromArgs(argc, argv);
+  trace_options.enabled = !trace_options.path.empty();
+  adarts::ScopedTrace trace_session(trace_options);
   return adarts::bench::Run(num_threads,
                             adarts::bench::JsonPathFromArgs(argc, argv));
 }

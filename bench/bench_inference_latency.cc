@@ -17,6 +17,7 @@
 #include "common/exec_context.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "data/generators.h"
 #include "ts/missing.h"
 
@@ -155,8 +156,12 @@ BENCHMARK(BM_EndToEndRepair);
 }  // namespace adarts
 
 int main(int argc, char** argv) {
-  // Strip our --threads/--json flags before google-benchmark sees them.
+  // Strip our --threads/--json/--trace flags before google-benchmark sees
+  // them.
   const std::string json_path = adarts::bench::JsonPathFromArgs(argc, argv);
+  adarts::TraceOptions trace_options;
+  trace_options.path = adarts::bench::TracePathFromArgs(argc, argv);
+  trace_options.enabled = !trace_options.path.empty();
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -169,11 +174,18 @@ int main(int argc, char** argv) {
       ++i;  // value consumed by JsonPathFromArgs above
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       // consumed by JsonPathFromArgs above
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      ++i;  // value consumed by TracePathFromArgs above
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      // consumed by TracePathFromArgs above
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  // Spans from the shared-engine training and every timed repair/recommend
+  // land in one timeline, exported when `trace_session` dies at return.
+  adarts::ScopedTrace trace_session(trace_options);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

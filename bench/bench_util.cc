@@ -278,4 +278,16 @@ std::string JsonPathFromArgs(int argc, char** argv) {
   return "";
 }
 
+std::string TracePathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      return argv[i] + 8;
+    }
+  }
+  return "";
+}
+
 }  // namespace adarts::bench

@@ -116,6 +116,11 @@ class BenchJsonWriter {
 /// Scans argv for `--json <path>` / `--json=<path>`; empty when absent.
 std::string JsonPathFromArgs(int argc, char** argv);
 
+/// Scans argv for `--trace <path>` / `--trace=<path>`; empty when absent.
+/// Benches wrap their run in a `ScopedTrace` built from this path so the
+/// whole measurement exports one Chrome trace-event timeline.
+std::string TracePathFromArgs(int argc, char** argv);
+
 }  // namespace adarts::bench
 
 #endif  // ADARTS_BENCH_BENCH_UTIL_H_

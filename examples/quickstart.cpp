@@ -2,18 +2,35 @@
 // faulty series with the recommended imputation algorithm.
 //
 //   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart --trace trace.json   # + profiling timeline
+//
+// The optional --trace flag records every engine stage (clustering, labeling,
+// ModelRace fold evaluations, committee refits, per-series recommendations)
+// into a Chrome trace-event JSON you can open in chrome://tracing or
+// ui.perfetto.dev, or summarize with tools/trace_stats.
 
 #include <cstdio>
+#include <cstring>
 
 #include "adarts/adarts.h"
 #include "common/exec_context.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "data/generators.h"
 #include "ts/metrics.h"
 #include "ts/missing.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adarts;
+
+  TraceOptions trace_options;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_options.path = argv[i + 1];
+      trace_options.enabled = true;
+    }
+  }
+  ScopedTrace trace_session(trace_options);
 
   // --- 1. A training corpus: complete series from a few domains. In a real
   // deployment this is your historical, gap-free sensor data.
@@ -95,5 +112,20 @@ int main() {
   auto rmse = ts::ImputationRmse(faulty, *repaired);
   std::printf("Repaired: all gaps filled, RMSE vs hidden truth = %.4f\n",
               rmse.ok() ? *rmse : -1.0);
+
+  // Latency distributions the run accumulated (p50/p99 per span family).
+  const StageMetrics run_metrics = ctx.metrics().Snapshot();
+  for (const auto& [name, h] : run_metrics.histograms) {
+    std::printf("  %-18s count=%llu p50=%.3fms p99=%.3fms max=%.3fms\n",
+                name.c_str(), static_cast<unsigned long long>(h.count),
+                static_cast<double>(h.p50_ns) / 1e6,
+                static_cast<double>(h.p99_ns) / 1e6,
+                static_cast<double>(h.max_ns) / 1e6);
+  }
+  if (trace_session.active()) {
+    std::printf("Trace timeline written to %s (open in ui.perfetto.dev or "
+                "summarize with trace_stats)\n",
+                trace_options.path.c_str());
+  }
   return 0;
 }

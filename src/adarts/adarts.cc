@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "ts/missing.h"
 
 namespace adarts {
@@ -207,10 +208,14 @@ Result<impute::Algorithm> Adarts::Recommend(const ts::TimeSeries& faulty,
 
 Result<Recommendation> Adarts::RecommendEx(const ts::TimeSeries& faulty,
                                            ExecContext& ctx) const {
+  TraceSpan span("recommend.series");
+  Stopwatch latency_watch;
   ADARTS_ASSIGN_OR_RETURN(Recommendation rec, RecommendEx(faulty));
   // Fold the per-call breakdown into the context's long-lived registry, so
   // a serving loop sees request totals alongside the training spans.
   Metrics& metrics = ctx.metrics();
+  metrics.histogram("recommend.latency")
+      ->RecordSeconds(latency_watch.ElapsedSeconds());
   metrics.Increment("recommend.requests");
   if (rec.degradation != automl::DegradationLevel::kFullCommittee) {
     metrics.Increment("recommend.degraded");
@@ -281,9 +286,13 @@ std::vector<Result<impute::Algorithm>> Adarts::RecommendBatchPartial(
   MetricCounter* requests = metrics.counter("recommend.requests");
   MetricCounter* degraded = metrics.counter("recommend.degraded");
   MetricCounter* members_failed = metrics.counter("vote.members_failed");
+  LatencyHistogram* latency = metrics.histogram("recommend.latency");
   std::vector<char> done(batch.size(), 0);
   ParallelFor(ctx, batch.size(), [&](std::size_t i) {
+    TraceSpan span("recommend.series");
+    Stopwatch watch;
     Result<Recommendation> rec = RecommendEx(batch[i]);
+    latency->RecordSeconds(watch.ElapsedSeconds());
     requests->Increment();
     if (rec.ok()) {
       if (rec->degradation != automl::DegradationLevel::kFullCommittee) {
@@ -357,12 +366,18 @@ Result<std::vector<impute::Algorithm>> Adarts::RecommendBatch(
 
 Result<std::vector<impute::Algorithm>> Adarts::RecommendRanked(
     const ts::TimeSeries& faulty, ExecContext& ctx) const {
+  Stopwatch latency_watch;
   ctx.metrics().Increment("recommend.requests");
-  return RecommendRanked(faulty);
+  auto ranked = RecommendRanked(faulty);
+  ctx.metrics()
+      .histogram("recommend.latency")
+      ->RecordSeconds(latency_watch.ElapsedSeconds());
+  return ranked;
 }
 
 Result<std::vector<impute::Algorithm>> Adarts::RecommendRanked(
     const ts::TimeSeries& faulty) const {
+  TraceSpan span("recommend.series");
   ADARTS_ASSIGN_OR_RETURN(la::Vector f, extractor_.Extract(faulty));
   std::vector<impute::Algorithm> out;
   for (int cls : recommender_.Ranking(f)) {

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "ml/metrics.h"
 
 namespace adarts::automl {
@@ -128,6 +129,18 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
 
   Stopwatch total_watch;
   StageTimer race_timer(&ctx.metrics(), "race.total_seconds");
+  // Hoisted once: fold-evaluation latencies stream into this histogram
+  // lock-free from every worker (DESIGN.md §9).
+  LatencyHistogram* const eval_hist = ctx.metrics().histogram("race.eval");
+  // Elimination instants mark *when* a pipeline left the race on the trace
+  // timeline; the detail carries the reason and the spec.
+  const auto trace_elimination = [](const char* reason, const Pipeline& spec) {
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled()) {
+      tracer.RecordInstant("race.eliminate",
+                           std::string(reason) + " " + spec.ToString());
+    }
+  };
   Rng rng(options.seed);
   Synthesizer synth(rng.NextU64());
   ModelRaceReport report;
@@ -216,12 +229,22 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
         if (active[c]) to_eval.push_back(c);
       }
       std::vector<FoldEval> evals(candidates.size());
+      TraceSpan fold_span("race.fold");
+      if (fold_span.enabled()) {
+        fold_span.SetDetail("iter=" + std::to_string(iter) +
+                            " fold=" + std::to_string(fold) +
+                            " candidates=" + std::to_string(to_eval.size()));
+      }
       ParallelFor(ctx, to_eval.size(), [&](std::size_t t) {
         const std::size_t c = to_eval[t];
+        TraceSpan span("race.eval");
+        if (span.enabled()) span.SetDetail(candidates[c].spec.ToString());
         evals[c] = EvaluatePipelineOnFold(candidates[c].spec, fold_train,
                                           fold_eval,
                                           options.candidate_budget_seconds);
+        if (!evals[c].failed) eval_hist->RecordSeconds(evals[c].seconds);
       });
+      fold_span.Stop();
       // An expired token makes ParallelFor skip remaining iterations, so
       // `evals` may hold default (unevaluated) slots — bail out before
       // reading them.
@@ -255,10 +278,12 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
             ++report.pipelines_timed_out;
             report.eliminations.push_back(
                 {candidates[c].spec.ToString(), EliminationReason::kTimedOut});
+            trace_elimination("timed_out", candidates[c].spec);
           } else {
             ++report.pipelines_pruned_early;
             report.eliminations.push_back(
                 {candidates[c].spec.ToString(), EliminationReason::kFailedFit});
+            trace_elimination("failed_fit", candidates[c].spec);
           }
           continue;
         }
@@ -282,7 +307,19 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
           ++report.pipelines_pruned_early;
           report.eliminations.push_back({candidates[c].spec.ToString(),
                                          EliminationReason::kEarlyTermination});
+          trace_elimination("early_termination", candidates[c].spec);
         }
+      }
+
+      // Counter track: how many candidates are still racing after this fold.
+      Tracer& tracer = Tracer::Global();
+      if (tracer.enabled()) {
+        std::size_t still_active = 0;
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+          if (active[c]) ++still_active;
+        }
+        tracer.RecordCounter("race.active",
+                             static_cast<double>(still_active));
       }
     }
 
@@ -322,6 +359,7 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
           ++report.pipelines_pruned_ttest;
           report.eliminations.push_back({survivors[j].spec.ToString(),
                                          EliminationReason::kTTestPruned});
+          trace_elimination("ttest_pruned", survivors[j].spec);
         }
       }
     }

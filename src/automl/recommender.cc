@@ -7,7 +7,9 @@
 
 #include "common/exec_context.h"
 #include "common/failpoint.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace adarts::automl {
 
@@ -20,10 +22,20 @@ namespace {
 std::vector<TrainedPipeline> FitElites(const ModelRaceReport& report,
                                        const std::vector<std::size_t>& selected,
                                        const ml::Dataset& full_train,
-                                       ThreadPool* pool) {
+                                       ThreadPool* pool, Metrics* metrics) {
+  // Nullable registry: the pool-only FromRace overload has no context to
+  // record into, so the histogram handle degrades to nothing.
+  LatencyHistogram* const refit_hist =
+      metrics == nullptr ? nullptr : metrics->histogram("committee.refit");
   std::vector<std::optional<TrainedPipeline>> fits(selected.size());
   ParallelFor(pool, selected.size(), [&](std::size_t s) {
+    TraceSpan span("committee.refit");
+    if (span.enabled()) {
+      span.SetDetail(report.elites[selected[s]].spec.ToString());
+    }
+    Stopwatch watch;
     auto fitted = FitPipeline(report.elites[selected[s]].spec, full_train);
+    if (refit_hist != nullptr) refit_hist->RecordSeconds(watch.ElapsedSeconds());
     if (fitted.ok()) fits[s] = std::move(*fitted);
   });
   std::vector<TrainedPipeline> committee;
@@ -34,17 +46,15 @@ std::vector<TrainedPipeline> FitElites(const ModelRaceReport& report,
   return committee;
 }
 
-}  // namespace
-
-Result<VotingRecommender> VotingRecommender::FromRace(
-    const ModelRaceReport& report, const ml::Dataset& full_train,
-    ThreadPool* pool) {
+/// Shared implementation of the two FromRace overloads: `metrics` is the
+/// optional registry the per-elite refit latencies stream into.
+Result<VotingRecommender> FromRaceImpl(const ModelRaceReport& report,
+                                       const ml::Dataset& full_train,
+                                       ThreadPool* pool, Metrics* metrics) {
   ADARTS_RETURN_NOT_OK(full_train.Validate());
   if (report.elites.empty()) {
     return Status::InvalidArgument("race produced no elites");
   }
-  VotingRecommender rec;
-  rec.num_classes_ = full_train.num_classes;
   // Quality gate: diversity helps the vote only among pipelines of
   // comparable strength; stragglers that survived the t-test's ambiguity
   // band would dilute the committee.
@@ -56,17 +66,27 @@ Result<VotingRecommender> VotingRecommender::FromRace(
   for (std::size_t i = 0; i < report.elites.size(); ++i) {
     if (report.elites[i].mean_score >= best_score - 0.1) gated.push_back(i);
   }
-  rec.committee_ = FitElites(report, gated, full_train, pool);
-  if (rec.committee_.empty()) {
+  std::vector<TrainedPipeline> committee =
+      FitElites(report, gated, full_train, pool, metrics);
+  if (committee.empty()) {
     // Gate removed everything fit-able: fall back to the ungated elites.
     std::vector<std::size_t> all(report.elites.size());
     std::iota(all.begin(), all.end(), 0);
-    rec.committee_ = FitElites(report, all, full_train, pool);
+    committee = FitElites(report, all, full_train, pool, metrics);
   }
-  if (rec.committee_.empty()) {
+  if (committee.empty()) {
     return Status::Internal("no elite pipeline could be fitted on full data");
   }
-  return rec;
+  return VotingRecommender::FromPipelines(std::move(committee),
+                                          full_train.num_classes);
+}
+
+}  // namespace
+
+Result<VotingRecommender> VotingRecommender::FromRace(
+    const ModelRaceReport& report, const ml::Dataset& full_train,
+    ThreadPool* pool) {
+  return FromRaceImpl(report, full_train, pool, nullptr);
 }
 
 Result<VotingRecommender> VotingRecommender::FromRace(
@@ -78,7 +98,7 @@ Result<VotingRecommender> VotingRecommender::FromRace(
   if (ThreadPool::ResolveThreadCount(ctx.num_threads()) > 1) {
     pool = &ctx.pool();
   }
-  return FromRace(report, full_train, pool);
+  return FromRaceImpl(report, full_train, pool, &ctx.metrics());
 }
 
 Result<VotingRecommender> VotingRecommender::FromPipelines(

@@ -7,7 +7,9 @@
 
 #include "cluster/kshape.h"
 #include "common/exec_context.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "la/vector_ops.h"
 
 namespace adarts::cluster {
@@ -27,12 +29,17 @@ std::size_t BestPartner(const std::vector<std::size_t>& source,
                         double merge_floor, ExecContext& ctx) {
   std::vector<double> gains(clusters.size(), 0.0);
   std::vector<char> admissible(clusters.size(), 0);
+  LatencyHistogram* const candidate_hist =
+      ctx.metrics().histogram("cluster.candidate");
   ParallelFor(ctx, clusters.size(), [&](std::size_t j) {
     if (j == skip || clusters[j].empty()) return;
+    TraceSpan span("cluster.candidate");
+    Stopwatch watch;
     gains[j] = CorrelationGain(source, clusters[j], corr, n);
     std::vector<std::size_t> merged = source;
     merged.insert(merged.end(), clusters[j].begin(), clusters[j].end());
     admissible[j] = ClusterAvgCorrelation(merged, corr) >= merge_floor ? 1 : 0;
+    candidate_hist->RecordSeconds(watch.ElapsedSeconds());
   });
   double best_gain = 0.0;
   std::size_t best_j = clusters.size();
@@ -109,7 +116,13 @@ Result<Clustering> IncrementalClustering(
     kopts.k = std::min(num_sub, cur.size());
     kopts.max_iters = 10;
     kopts.seed = ++seed;
+    TraceSpan split_span("cluster.split");
+    if (split_span.enabled()) {
+      split_span.SetDetail("members=" + std::to_string(cur.size()) +
+                           " k=" + std::to_string(kopts.k));
+    }
     ADARTS_ASSIGN_OR_RETURN(Clustering split, KShapeClustering(subset, kopts));
+    split_span.Stop();
     if (split.NumClusters() < 2) {
       // The sub-clusterer could not separate the set; accept it as-is to
       // guarantee termination.

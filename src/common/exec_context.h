@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace adarts {
 
@@ -43,13 +44,23 @@ class ExecContext {
  public:
   /// A context with `num_threads` workers (0 = hardware concurrency, 1 =
   /// serial) and an optional cancellation/deadline token (not owned; must
-  /// outlive the context's users, nullptr disables cancellation).
+  /// outlive the context's users, nullptr disables cancellation). Tracing
+  /// follows `ADARTS_TRACE=<path>` (via `TraceOptions::FromEnv`).
   explicit ExecContext(std::size_t num_threads = 0,
-                       const CancellationToken* cancel = nullptr)
-      : num_threads_(num_threads), cancel_(cancel) {}
+                       const CancellationToken* cancel = nullptr);
+
+  /// Same, with explicit tracing control. When `trace.enabled` and no other
+  /// owner already started the global tracer, this context starts a trace
+  /// session and — on destruction — stops it and exports the JSON to
+  /// `trace.path`. A context that did not win ownership (e.g. running under
+  /// a tool's `ScopedTrace`) still records events, it just doesn't manage
+  /// the session.
+  ExecContext(std::size_t num_threads, const CancellationToken* cancel,
+              const TraceOptions& trace);
 
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
+  ~ExecContext();
 
   /// The configured worker count (unresolved: 0 means hardware concurrency).
   std::size_t num_threads() const { return num_threads_; }
@@ -81,6 +92,12 @@ class ExecContext {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
+  /// The tracing configuration this context was built with.
+  const TraceOptions& trace_options() const { return trace_options_; }
+
+  /// True when this context started (and will export) the trace session.
+  bool owns_trace() const { return owns_trace_; }
+
   /// The deterministic fork policy (PR 1's contract): `count` child
   /// generators forked from `parent` serially on the calling thread, child
   /// `i` coming from the i-th `Fork()` call — so the per-index streams are
@@ -90,6 +107,8 @@ class ExecContext {
  private:
   std::size_t num_threads_ = 0;
   const CancellationToken* cancel_ = nullptr;
+  TraceOptions trace_options_;
+  bool owns_trace_ = false;
   Metrics metrics_;
   mutable std::mutex pool_mu_;
   std::unique_ptr<ThreadPool> pool_;

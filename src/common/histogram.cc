@@ -1,0 +1,122 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace adarts {
+
+namespace {
+
+constexpr std::uint64_t kMaxValue =
+    (std::uint64_t{1} << (LatencyHistogram::kMaxExponent + 1)) - 1;
+
+/// Smallest bucket whose cumulative count reaches `target` (1-based), given
+/// the already-loaded bucket counts. Returns the bucket's upper bound.
+std::uint64_t PercentileFromBuckets(
+    const std::uint64_t (&counts)[LatencyHistogram::kNumBuckets],
+    std::uint64_t target) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    cumulative += counts[b];
+    if (cumulative >= target) return LatencyHistogram::BucketUpperBound(b);
+  }
+  return LatencyHistogram::BucketUpperBound(LatencyHistogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t ns) {
+  if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+  if (ns > kMaxValue) ns = kMaxValue;
+  const int msb = 63 - std::countl_zero(ns);  // >= kSubBucketBits here
+  const int shift = msb - kSubBucketBits;
+  const std::size_t sub =
+      static_cast<std::size_t>(ns >> shift) - kSubBuckets;  // [0, 16)
+  const std::size_t tier = static_cast<std::size_t>(msb - kSubBucketBits);
+  return kSubBuckets + tier * kSubBuckets + sub;
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBound(std::size_t index) {
+  if (index < kSubBuckets) return index;  // exact unit buckets
+  const std::size_t tier = (index - kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (index - kSubBuckets) % kSubBuckets;
+  const std::uint64_t low = (kSubBuckets + sub) << tier;
+  return low + (std::uint64_t{1} << tier) - 1;
+}
+
+void LatencyHistogram::Record(std::uint64_t ns) {
+  buckets_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::RecordSeconds(double seconds) {
+  if (!(seconds > 0.0)) {
+    Record(0);
+    return;
+  }
+  Record(static_cast<std::uint64_t>(std::llround(seconds * 1e9)));
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  const std::uint64_t other_max =
+      other.max_ns_.load(std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_ns_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  // Load the buckets once so every percentile reads the same state; the
+  // count is re-derived from the loaded buckets, keeping target ranks and
+  // cumulative sums consistent even if recorders raced the snapshot.
+  std::uint64_t counts[kNumBuckets];
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  snap.count = total;
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  snap.max_ns = max_ns_.load(std::memory_order_relaxed);
+  if (total == 0) return snap;
+  // Nearest-rank percentiles: rank = ceil(q * count), 1-based.
+  const auto rank = [total](std::uint64_t num, std::uint64_t den) {
+    return (total * num + den - 1) / den;
+  };
+  snap.p50_ns = PercentileFromBuckets(counts, rank(50, 100));
+  snap.p90_ns = PercentileFromBuckets(counts, rank(90, 100));
+  snap.p99_ns = PercentileFromBuckets(counts, rank(99, 100));
+  return snap;
+}
+
+std::string HistogramSnapshotToJson(const HistogramSnapshot& snapshot) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"sum_ns\":%llu,\"max_ns\":%llu,"
+                "\"p50_ns\":%llu,\"p90_ns\":%llu,\"p99_ns\":%llu}",
+                static_cast<unsigned long long>(snapshot.count),
+                static_cast<unsigned long long>(snapshot.sum_ns),
+                static_cast<unsigned long long>(snapshot.max_ns),
+                static_cast<unsigned long long>(snapshot.p50_ns),
+                static_cast<unsigned long long>(snapshot.p90_ns),
+                static_cast<unsigned long long>(snapshot.p99_ns));
+  return buf;
+}
+
+}  // namespace adarts

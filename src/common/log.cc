@@ -1,0 +1,82 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "common/trace.h"
+
+namespace adarts {
+
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& SinkSlot() {
+  static LogSink sink;  // empty → default stderr sink
+  return sink;
+}
+
+void DefaultSink(LogLevel level, const std::string& message) {
+  // Re-read the environment on every call: the old implementation latched
+  // ADARTS_QUIET in a function-local static, so a test that set the
+  // variable after the first log line could never silence (or un-silence)
+  // the library. ERROR is never suppressed.
+  if (level != LogLevel::kError && std::getenv("ADARTS_QUIET") != nullptr) {
+    return;
+  }
+  std::fprintf(stderr, "[adarts] %s: %s\n", LogLevelName(level),
+               message.c_str());
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) {
+    switch (level) {
+      case LogLevel::kWarn:
+        tracer.RecordInstant("log.warn", message);
+        break;
+      case LogLevel::kError:
+        tracer.RecordInstant("log.error", message);
+        break;
+      case LogLevel::kInfo:
+        break;  // progress lines would drown the timeline
+    }
+  }
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    sink = SinkSlot();  // copy: the sink runs outside the lock, so a sink
+                        // that logs (or swaps sinks) cannot deadlock
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    DefaultSink(level, message);
+  }
+}
+
+}  // namespace adarts

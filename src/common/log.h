@@ -1,20 +1,48 @@
 #ifndef ADARTS_COMMON_LOG_H_
 #define ADARTS_COMMON_LOG_H_
 
-#include <cstdio>
+#include <functional>
 #include <string>
 
 namespace adarts {
 
-/// Minimal stderr diagnostics for events the library survives but the
-/// operator should know about (degradation-ladder hops, non-converged
-/// fits, repair fallbacks). Not a logging framework: one line, one
-/// severity, silence available for tests via ADARTS_QUIET.
+/// Severity of one diagnostic line. The library logs sparingly: INFO for
+/// operator-facing progress (tools only), WARN for events it survives but
+/// the operator should know about (degradation-ladder hops, non-converged
+/// fits, repair fallbacks), ERROR for failures that abort the current
+/// operation.
+enum class LogLevel : int { kInfo = 0, kWarn = 1, kError = 2 };
+
+/// "INFO" / "WARN" / "ERROR".
+const char* LogLevelName(LogLevel level);
+
+/// Receives every log line. Called outside the logger's lock, possibly from
+/// multiple threads concurrently — sinks must be thread-safe.
+using LogSink = std::function<void(LogLevel, const std::string& message)>;
+
+/// Replaces the process-wide sink so tests can capture and assert on
+/// warnings instead of scraping stderr. An empty sink restores the default
+/// stderr sink. A custom sink receives every message regardless of
+/// `ADARTS_QUIET` — quieting is a property of the stderr default, not of
+/// the logging call.
+void SetLogSink(LogSink sink);
+
+/// Routes one line to the active sink. The default sink writes
+/// `[adarts] LEVEL: message` to stderr; `ADARTS_QUIET` (re-read on every
+/// call, never latched) suppresses INFO and WARN there, ERROR always
+/// prints. While a trace session is active, WARN and ERROR also record an
+/// instant event (`log.warn` / `log.error`) so fallbacks show up on the
+/// timeline next to the spans that caused them.
+void LogMessage(LogLevel level, const std::string& message);
+
+inline void LogInfo(const std::string& message) {
+  LogMessage(LogLevel::kInfo, message);
+}
 inline void LogWarn(const std::string& message) {
-  static const bool quiet = std::getenv("ADARTS_QUIET") != nullptr;
-  if (!quiet) {
-    std::fprintf(stderr, "[adarts] WARN: %s\n", message.c_str());
-  }
+  LogMessage(LogLevel::kWarn, message);
+}
+inline void LogError(const std::string& message) {
+  LogMessage(LogLevel::kError, message);
 }
 
 }  // namespace adarts

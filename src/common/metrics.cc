@@ -53,6 +53,11 @@ double StageMetrics::SpanSeconds(const std::string& name) const {
   return it == spans_seconds.end() ? 0.0 : it->second;
 }
 
+HistogramSnapshot StageMetrics::Histogram(const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? HistogramSnapshot{} : it->second;
+}
+
 std::string StageMetrics::ToJson() const {
   std::ostringstream out;
   out << "{\"counters\":{";
@@ -71,6 +76,13 @@ std::string StageMetrics::ToJson() const {
     std::snprintf(buf, sizeof(buf), "%.6f", seconds);
     out << '"' << JsonEscape(name) << "\":" << buf;
   }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snapshot] : histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(name) << "\":" << HistogramSnapshotToJson(snapshot);
+  }
   out << "}}";
   return out.str();
 }
@@ -85,6 +97,11 @@ std::string StageMetrics::ToString() const {
     std::snprintf(buf, sizeof(buf), "%.6f", seconds);
     out << name << '=' << buf << '\n';
   }
+  for (const auto& [name, snapshot] : histograms) {
+    out << name << "=count:" << snapshot.count << " p50_ns:" << snapshot.p50_ns
+        << " p90_ns:" << snapshot.p90_ns << " p99_ns:" << snapshot.p99_ns
+        << " max_ns:" << snapshot.max_ns << '\n';
+  }
   return out.str();
 }
 
@@ -94,6 +111,15 @@ MetricCounter* Metrics::counter(std::string_view name) {
   if (it != counters_.end()) return it->second.get();
   auto [inserted, _] =
       counters_.emplace(std::string(name), std::make_unique<MetricCounter>());
+  return inserted->second.get();
+}
+
+LatencyHistogram* Metrics::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  auto [inserted, _] = histograms_.emplace(std::string(name),
+                                           std::make_unique<LatencyHistogram>());
   return inserted->second.get();
 }
 
@@ -112,6 +138,9 @@ StageMetrics Metrics::Snapshot() const {
   StageMetrics out;
   for (const auto& [name, counter] : counters_) {
     out.counters[name] = counter->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms[name] = histogram->Snapshot();
   }
   out.spans_seconds.insert(spans_.begin(), spans_.end());
   return out;

@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/histogram.h"
 #include "common/stopwatch.h"
 
 namespace adarts {
@@ -37,8 +38,11 @@ class MetricCounter {
 struct StageMetrics {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> spans_seconds;
+  std::map<std::string, HistogramSnapshot> histograms;
 
-  bool empty() const { return counters.empty() && spans_seconds.empty(); }
+  bool empty() const {
+    return counters.empty() && spans_seconds.empty() && histograms.empty();
+  }
 
   /// Value of one counter; 0 when absent.
   std::uint64_t Counter(const std::string& name) const;
@@ -46,8 +50,12 @@ struct StageMetrics {
   /// Accumulated seconds of one span; 0.0 when absent.
   double SpanSeconds(const std::string& name) const;
 
-  /// `{"counters":{...},"spans_seconds":{...}}` with keys in sorted order
-  /// (the bench `--json` record format).
+  /// Snapshot of one latency histogram; empty snapshot when absent.
+  HistogramSnapshot Histogram(const std::string& name) const;
+
+  /// `{"counters":{...},"spans_seconds":{...},"histograms":{...}}` with
+  /// keys in sorted order (the bench `--json` record format). Histogram
+  /// entries carry count/sum/max and p50/p90/p99 in nanoseconds.
   std::string ToJson() const;
 
   /// One `name=value` line per metric, sorted — the human-readable dump the
@@ -71,6 +79,13 @@ class Metrics {
   /// stays valid for the registry's lifetime.
   MetricCounter* counter(std::string_view name);
 
+  /// The latency histogram registered under `name`, created on first use.
+  /// Same contract as `counter()`: look it up once outside the hot loop,
+  /// then `Record` lock-free from any thread. Names follow the
+  /// `<stage>.<name>` scheme (`race.eval`, `label.impute`,
+  /// `recommend.latency`).
+  LatencyHistogram* histogram(std::string_view name);
+
   /// Convenience for cold paths: look up and increment in one call.
   void Increment(std::string_view name, std::uint64_t delta = 1) {
     counter(name)->Increment(delta);
@@ -86,6 +101,8 @@ class Metrics {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
   std::map<std::string, double, std::less<>> spans_;
 };
 

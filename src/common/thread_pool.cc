@@ -1,10 +1,13 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "common/cancellation.h"
+#include "common/trace.h"
 
 namespace adarts {
 
@@ -28,7 +31,12 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   if (n <= 1) return;  // size-1 pool: callers run everything inline
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Sticky per-thread track name for the tracer: one string build per
+      // worker lifetime, so untraced runs pay nothing per task.
+      Tracer::SetCurrentThreadName("pool-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -78,17 +86,30 @@ struct LoopState {
   std::condition_variable cv;
 
   void Drain() {
+    // One span per thread per loop — the work-stealing "chunk" this thread
+    // claimed. Cancelled (recording nothing) if the thread arrived after
+    // every index was taken.
+    TraceSpan span("pool.chunk");
+    std::size_t executed = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
       // Cooperative cancellation: an expired token skips the body but still
       // counts the index, so the completion barrier (done == n) holds and
       // the caller can fold the partial state after re-checking the token.
       if (cancel == nullptr || !cancel->expired()) fn(i);
+      ++executed;
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_all();
       }
+    }
+    if (executed == 0) {
+      span.Cancel();
+    } else if (span.enabled()) {
+      char detail[32];
+      std::snprintf(detail, sizeof(detail), "indices=%zu", executed);
+      span.SetDetail(detail);
     }
   }
 };

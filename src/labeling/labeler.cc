@@ -6,7 +6,9 @@
 
 #include "common/exec_context.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "ts/metrics.h"
 
 namespace adarts::labeling {
@@ -41,10 +43,17 @@ Status ScoreAlgorithms(const std::vector<ts::TimeSeries>& masked_set,
                        const std::vector<impute::Algorithm>& pool,
                        ExecContext& ctx, la::Matrix* rmse,
                        std::size_t* runs) {
+  // One histogram handle for the whole pass; each algorithm run records its
+  // wall-clock into it lock-free.
+  LatencyHistogram* const impute_hist =
+      ctx.metrics().histogram("label.impute");
   ParallelFor(ctx, pool.size(), [&](std::size_t a) {
+    TraceSpan span("label.impute", impute::AlgorithmToString(pool[a]));
+    Stopwatch watch;
     const std::unique_ptr<impute::Imputer> imputer =
         impute::CreateImputer(pool[a]);
     auto repaired = imputer->ImputeSet(masked_set);
+    impute_hist->RecordSeconds(watch.ElapsedSeconds());
     if (!repaired.ok()) {
       // An algorithm failing on a scenario is informative: it gets the
       // worst possible score rather than aborting the labeling pass.

@@ -164,6 +164,21 @@ TEST(MetricsTest, SnapshotSerializesToJsonAndText) {
   EXPECT_NE(text.find("a.span_seconds="), std::string::npos) << text;
 }
 
+TEST(MetricsTest, ToJsonEscapesHostileMetricNames) {
+  // Metric names are plain identifiers today, but the JSON writer must not
+  // emit broken output if a name ever carries quotes, backslashes, or
+  // control characters (e.g. a name derived from user-provided series ids).
+  Metrics metrics;
+  metrics.Increment("weird\"name\\with\nstuff");
+  metrics.RecordSpanSeconds("tab\there_seconds", 0.5);
+  const std::string json = metrics.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\nstuff\":1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"tab\\there_seconds\":0.500000"), std::string::npos)
+      << json;
+}
+
 TEST(MetricsTest, StageTimerRecordsOnceAndToleratesNullRegistry) {
   Metrics metrics;
   {

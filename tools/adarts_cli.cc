@@ -21,6 +21,7 @@
 #include "adarts/adarts.h"
 #include "cluster/incremental.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "data/generators.h"
 #include "io/csv.h"
 #include "labeling/labeler.h"
@@ -67,7 +68,9 @@ int Usage() {
                "  label     --corpus FILE\n"
                "  train     --corpus FILE --model FILE\n"
                "  recommend (--corpus FILE | --model FILE) --faulty FILE\n"
-               "  repair    (--corpus FILE | --model FILE) --faulty FILE --out FILE\n");
+               "  repair    (--corpus FILE | --model FILE) --faulty FILE --out FILE\n"
+               "  any subcommand also accepts --trace FILE to export a Chrome\n"
+               "  trace-event JSON timeline of the run (see tools/trace_stats)\n");
   return 2;
 }
 
@@ -227,6 +230,12 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Args args = ParseArgs(argc, argv, 2);
+  // --trace FILE arms the global tracer for the whole command; the JSON is
+  // exported when `session` leaves scope, after the subcommand returns.
+  TraceOptions trace_options;
+  trace_options.path = GetArg(args, "trace", "");
+  trace_options.enabled = !trace_options.path.empty();
+  ScopedTrace session(trace_options);
   if (command == "generate") return CmdGenerate(args);
   if (command == "inject") return CmdInject(args);
   if (command == "label") return CmdLabel(args);

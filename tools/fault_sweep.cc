@@ -23,6 +23,7 @@
 #include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "data/generators.h"
 #include "impute/imputer.h"
 #include "io/csv.h"
@@ -57,6 +58,17 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  // --trace FILE exports a Chrome trace-event timeline of the sweep; the
+  // fault-injection spans land next to the warnings they trigger.
+  adarts::TraceOptions trace_options;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") {
+      trace_options.path = argv[i + 1];
+      trace_options.enabled = true;
+    }
+  }
+  adarts::ScopedTrace trace_session(trace_options);
+
   const auto armed = adarts::FailpointRegistry::Instance().ArmedSites();
   std::printf("armed failpoints: %zu\n", armed.size());
   for (const auto& site : armed) std::printf("  %s\n", site.c_str());

@@ -1,0 +1,413 @@
+// trace_stats — summarizes a Chrome trace-event JSON produced by the
+// engine's tracer (`--trace <path>` on the CLI, benches and fault_sweep, or
+// ADARTS_TRACE=<path>) for CI logs and headless boxes where opening
+// chrome://tracing is not an option.
+//
+//   trace_stats trace.json [--top N]
+//
+// Reports the top span families by total and self time (self = total minus
+// the time covered by spans nested inside, per thread), per-thread busy
+// utilization %, and the dropped-events count. The JSON reader below is a
+// minimal recursive-descent parser for the tracer's output schema — the
+// repo deliberately has no third-party JSON dependency.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser (objects, arrays, strings, numbers, literals).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    const bool ok = ParseValue(out);
+    SkipWhitespace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        return ParseLiteral(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          // The tracer only emits \u00XX escapes for control characters;
+          // decode the low byte and ignore the (always-zero) high byte.
+          if (pos_ + 4 > text_.size()) return false;
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          out->push_back(static_cast<char>(
+              std::strtol(hex.c_str(), nullptr, 16) & 0xff));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::atof(text_.substr(start, pos_ - start).c_str());
+    return true;
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    const auto match = [&](const char* word) {
+      const std::size_t len = std::strlen(word);
+      if (text_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      return true;
+    };
+    if (match("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Trace analysis.
+// ---------------------------------------------------------------------------
+
+struct SpanEvent {
+  int tid = 0;
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+struct FamilyStats {
+  std::size_t count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+};
+
+struct ThreadStats {
+  std::string name;
+  double busy_us = 0.0;  // top-level span time (no double counting)
+  std::size_t spans = 0;
+};
+
+double NumberOr(const JsonValue* v, double fallback) {
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number
+                                                             : fallback;
+}
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "trace_stats: %s\n", message);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top = 12;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (path.empty()) {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_stats <trace.json> [--top N]\n");
+    return 2;
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Fail("cannot open trace file");
+  std::string text;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    text.append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  std::fclose(f);
+
+  JsonValue root;
+  if (!JsonParser(text).Parse(&root) ||
+      root.type != JsonValue::Type::kObject) {
+    return Fail("not valid JSON");
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    return Fail("no traceEvents array — not a Chrome trace-event file");
+  }
+
+  std::vector<SpanEvent> spans;
+  std::map<int, std::string> thread_names;
+  std::size_t instants = 0;
+  std::size_t counters = 0;
+  for (const JsonValue& e : events->array) {
+    if (e.type != JsonValue::Type::kObject) continue;
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString) continue;
+    const int tid = static_cast<int>(NumberOr(e.Find("tid"), 0.0));
+    if (ph->str == "M") {
+      const JsonValue* name = e.Find("name");
+      const JsonValue* args = e.Find("args");
+      if (name != nullptr && name->str == "thread_name" && args != nullptr) {
+        const JsonValue* tname = args->Find("name");
+        if (tname != nullptr) thread_names[tid] = tname->str;
+      }
+    } else if (ph->str == "X") {
+      const JsonValue* name = e.Find("name");
+      if (name == nullptr) continue;
+      spans.push_back({tid, name->str, NumberOr(e.Find("ts"), 0.0),
+                       NumberOr(e.Find("dur"), 0.0)});
+    } else if (ph->str == "i") {
+      ++instants;
+    } else if (ph->str == "C") {
+      ++counters;
+    }
+  }
+
+  // Self time: per thread, sort spans by (start asc, duration desc) so a
+  // parent sorts before the children it encloses, then walk with a stack —
+  // each span's duration is subtracted from its innermost enclosing parent.
+  std::map<std::string, FamilyStats> families;
+  std::map<int, ThreadStats> threads;
+  double trace_begin_us = 1e300;
+  double trace_end_us = 0.0;
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;
+                   });
+  struct Open {
+    const SpanEvent* span;
+    double child_us;
+  };
+  std::vector<Open> stack;
+  int current_tid = -1;
+  const auto close_down_to = [&](double ts) {
+    while (!stack.empty() &&
+           stack.back().span->ts_us + stack.back().span->dur_us <=
+               ts + 1e-9) {
+      const Open& open = stack.back();
+      families[open.span->name].self_us +=
+          std::max(0.0, open.span->dur_us - open.child_us);
+      stack.pop_back();
+    }
+  };
+  for (const SpanEvent& s : spans) {
+    if (s.tid != current_tid) {
+      close_down_to(1e300);
+      current_tid = s.tid;
+    }
+    close_down_to(s.ts_us);
+    FamilyStats& fam = families[s.name];
+    ++fam.count;
+    fam.total_us += s.dur_us;
+    ThreadStats& thread = threads[s.tid];
+    ++thread.spans;
+    if (stack.empty()) {
+      thread.busy_us += s.dur_us;  // top-level: busy time, no double count
+    } else {
+      stack.back().child_us += s.dur_us;
+    }
+    stack.push_back({&s, 0.0});
+    trace_begin_us = std::min(trace_begin_us, s.ts_us);
+    trace_end_us = std::max(trace_end_us, s.ts_us + s.dur_us);
+  }
+  close_down_to(1e300);
+  for (auto& [tid, thread] : threads) {
+    const auto it = thread_names.find(tid);
+    thread.name = it != thread_names.end() ? it->second
+                                           : "tid-" + std::to_string(tid);
+  }
+
+  const double wall_us =
+      spans.empty() ? 0.0 : std::max(0.0, trace_end_us - trace_begin_us);
+  std::printf("trace: %zu spans, %zu instants, %zu counter samples over "
+              "%.3f ms on %zu threads\n",
+              spans.size(), instants, counters, wall_us / 1e3,
+              threads.size());
+  const double dropped = [&] {
+    const JsonValue* other = root.Find("otherData");
+    return other == nullptr ? 0.0
+                            : NumberOr(other->Find("dropped_events"), 0.0);
+  }();
+  if (dropped > 0.0) {
+    std::printf("WARNING: %.0f events dropped by full ring buffers — raise "
+                "TraceOptions::capacity_per_thread\n",
+                dropped);
+  }
+
+  std::vector<std::pair<std::string, FamilyStats>> ranked(families.begin(),
+                                                          families.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  std::printf("\n%-24s %10s %14s %14s %12s\n", "span", "count", "total_ms",
+              "self_ms", "avg_us");
+  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+    const auto& [name, fam] = ranked[i];
+    std::printf("%-24s %10zu %14.3f %14.3f %12.1f\n", name.c_str(), fam.count,
+                fam.total_us / 1e3, fam.self_us / 1e3,
+                fam.total_us / static_cast<double>(fam.count));
+  }
+
+  std::printf("\nper-thread utilization (busy span time / trace wall):\n");
+  for (const auto& [tid, thread] : threads) {
+    std::printf("  %-20s %6.1f%%  (%zu spans, %.3f ms busy)\n",
+                thread.name.c_str(),
+                wall_us > 0.0 ? 100.0 * thread.busy_us / wall_us : 0.0,
+                thread.spans, thread.busy_us / 1e3);
+  }
+  return 0;
+}
