@@ -4,6 +4,11 @@
 // training is fully deterministic given the stored seeds, so a loaded
 // engine's committee is bit-identical to the saved one.
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -15,6 +20,18 @@ namespace adarts {
 namespace {
 
 constexpr char kMagic[] = "ADARTS_MODEL_V1";
+
+// Upper bounds a well-formed bundle can never exceed. Load validates every
+// on-disk size against these BEFORE any reserve/resize, so a truncated or
+// hostile bundle yields InvalidArgument instead of a multi-GB allocation
+// attempt (the sizes are attacker-controlled text; trusting them would let a
+// one-line file OOM the serving daemon at startup).
+constexpr std::size_t kMaxPoolSize = 256;
+constexpr std::size_t kMaxCommitteeSize = 4096;
+constexpr std::size_t kMaxPipelineParams = 1024;
+constexpr std::size_t kMaxFeatureDim = std::size_t{1} << 20;
+// Total feature values (samples * dim) — caps the dataset block at 512 MiB.
+constexpr std::size_t kMaxDatasetValues = std::size_t{1} << 26;
 
 Status Expect(std::istream& in, const std::string& token) {
   std::string got;
@@ -28,7 +45,6 @@ Status Expect(std::istream& in, const std::string& token) {
 }  // namespace
 
 Status Adarts::Save(const std::string& path) const {
-  ADARTS_FAILPOINT("adarts.save.write");
   std::ostringstream out;
   out.precision(17);
   out << kMagic << '\n';
@@ -68,10 +84,43 @@ Status Adarts::Save(const std::string& path) const {
   }
   out << "end\n";
 
-  std::ofstream file(path, std::ios::trunc);
-  if (!file) return Status::NotFound("cannot open for writing: " + path);
-  file << out.str();
-  return file.good() ? Status::OK() : Status::Internal("write failed: " + path);
+  // Atomic publish: the bundle is written to a private temp file and renamed
+  // over the destination, so a crash, ENOSPC, or an armed failpoint at any
+  // point leaves the previously-good snapshot at `path` untouched — the
+  // invariant a restarting adarts_serve depends on. rename(2) on the same
+  // filesystem replaces the target atomically.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  Status written = [&]() -> Status {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) return Status::Internal("cannot open for writing: " + tmp);
+    // Models a crash mid-write: the temp file exists but its contents never
+    // complete. The destination must survive this bit-identically.
+    ADARTS_FAILPOINT("adarts.save.write");
+    file << out.str();
+    file.flush();
+    if (!file.good()) return Status::Internal("write failed: " + tmp);
+    return Status::OK();
+  }();
+  if (!written.ok()) {
+    std::remove(tmp.c_str());
+    return written;
+  }
+  // Models a crash between the completed write and the publish.
+  if (FailpointRegistry::Armed()) {
+    Status fp = FailpointRegistry::Instance().Check("adarts.save.commit");
+    if (!fp.ok()) {
+      std::remove(tmp.c_str());
+      return fp;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + tmp + " -> " + path + ": " +
+                            std::strerror(err));
+  }
+  return Status::OK();
 }
 
 Result<Adarts> Adarts::Load(const std::string& path) {
@@ -94,8 +143,10 @@ Result<Adarts> Adarts::Load(const std::string& path) {
 
   ADARTS_RETURN_NOT_OK(Expect(file, "pool"));
   std::size_t pool_size = 0;
-  if (!(file >> pool_size) || pool_size == 0) {
-    return Status::InvalidArgument("model bundle: bad pool size");
+  if (!(file >> pool_size) || pool_size == 0 || pool_size > kMaxPoolSize) {
+    return Status::InvalidArgument("model bundle: bad pool size " +
+                                   std::to_string(pool_size) + " (max " +
+                                   std::to_string(kMaxPoolSize) + ")");
   }
   std::vector<impute::Algorithm> pool;
   pool.reserve(pool_size);
@@ -111,8 +162,11 @@ Result<Adarts> Adarts::Load(const std::string& path) {
 
   ADARTS_RETURN_NOT_OK(Expect(file, "committee"));
   std::size_t committee_size = 0;
-  if (!(file >> committee_size) || committee_size == 0) {
-    return Status::InvalidArgument("model bundle: bad committee size");
+  if (!(file >> committee_size) || committee_size == 0 ||
+      committee_size > kMaxCommitteeSize) {
+    return Status::InvalidArgument("model bundle: bad committee size " +
+                                   std::to_string(committee_size) + " (max " +
+                                   std::to_string(kMaxCommitteeSize) + ")");
   }
   std::vector<automl::Pipeline> specs;
   specs.reserve(committee_size);
@@ -123,7 +177,8 @@ Result<Adarts> Adarts::Load(const std::string& path) {
     std::string scaler_name;
     std::size_t num_params = 0;
     if (!(file >> classifier_name >> scaler_name >> spec.scaler_param >>
-          spec.id >> num_params)) {
+          spec.id >> num_params) ||
+        num_params > kMaxPipelineParams) {
       return Status::InvalidArgument("model bundle: bad pipeline header");
     }
     ADARTS_ASSIGN_OR_RETURN(spec.classifier,
@@ -154,8 +209,14 @@ Result<Adarts> Adarts::Load(const std::string& path) {
   std::size_t dim = 0;
   ml::Dataset labeled;
   if (!(file >> samples >> dim >> labeled.num_classes) || samples == 0 ||
-      dim == 0) {
-    return Status::InvalidArgument("model bundle: bad dataset header");
+      dim == 0 || dim > kMaxFeatureDim || samples > kMaxDatasetValues / dim ||
+      labeled.num_classes <= 0 ||
+      static_cast<std::size_t>(labeled.num_classes) > kMaxPoolSize) {
+    return Status::InvalidArgument("model bundle: bad dataset header (" +
+                                   std::to_string(samples) + " x " +
+                                   std::to_string(dim) + ", " +
+                                   std::to_string(labeled.num_classes) +
+                                   " classes)");
   }
   labeled.features.reserve(samples);
   labeled.labels.reserve(samples);

@@ -1,0 +1,83 @@
+#ifndef ADARTS_COMMON_BOUNDED_QUEUE_H_
+#define ADARTS_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace adarts {
+
+/// A fixed-capacity MPMC FIFO — the admission queue behind the serving
+/// daemon (DESIGN.md §10). Producers never block: `TryPush` returns false
+/// when the queue is full (the caller sheds the work with an explicit
+/// `kUnavailable` response) or closed. Consumers block in `Pop` until an
+/// item arrives or the queue is closed AND drained — so closing during
+/// shutdown lets workers finish every already-admitted item before exiting,
+/// which is what "no lost in-flight requests" rests on.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity 0 degenerates to "shed everything" (every TryPush fails).
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues without blocking. False when full or closed — the item is
+  /// untouched (still valid at the caller) in that case.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (true, item moved into *out) or the
+  /// queue is closed and empty (false).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Rejects future pushes and wakes every blocked consumer; items already
+  /// queued remain poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace adarts
+
+#endif  // ADARTS_COMMON_BOUNDED_QUEUE_H_

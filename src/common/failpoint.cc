@@ -175,6 +175,7 @@ const std::vector<std::string_view>& AllFailpointSites() {
   static const std::vector<std::string_view>* sites =
       new std::vector<std::string_view>{
           "adarts.load.read",
+          "adarts.save.commit",
           "adarts.save.write",
           "adarts.train.start",
           "automl.pipeline.fit",

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace adarts {
 
@@ -130,6 +132,37 @@ void Metrics::RecordSpanSeconds(std::string_view name, double seconds) {
     it->second += seconds;
   } else {
     spans_.emplace(std::string(name), seconds);
+  }
+}
+
+void Metrics::MergeInto(Metrics* dst) const {
+  // Take no lock on dst while holding ours: gather under our lock, then
+  // apply through dst's public (self-locking) API.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> spans;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      counters[name] = counter->value();
+    }
+    spans.insert(spans_.begin(), spans_.end());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      // Histogram pointers are stable for this registry's lifetime and
+      // MergeFrom reads them with atomics, so sampling outside the lock
+      // below is safe.
+      histograms.emplace_back(name, histogram.get());
+    }
+  }
+  for (const auto& [name, value] : counters) {
+    if (value > 0) dst->counter(name)->Increment(value);
+  }
+  for (const auto& [name, seconds] : spans) {
+    dst->RecordSpanSeconds(name, seconds);
+  }
+  for (const auto& [name, histogram] : histograms) {
+    dst->histogram(name)->MergeFrom(*histogram);
   }
 }
 

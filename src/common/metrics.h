@@ -98,6 +98,14 @@ class Metrics {
   /// Copies every counter and span into a `StageMetrics` snapshot.
   StageMetrics Snapshot() const;
 
+  /// Accumulates this registry into `dst`: counter values and span seconds
+  /// add, histograms merge bucket-wise (`LatencyHistogram::MergeFrom`, so
+  /// percentiles of the union are exact, not an average of percentiles).
+  /// The serving daemon uses this to fold per-worker `ExecContext` metrics
+  /// into the one exported registry. Quiesce recorders first for an exact
+  /// fold; `dst` must not be `this`.
+  void MergeInto(Metrics* dst) const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>> counters_;

@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("OK", "Invalid argument"...).
@@ -69,6 +70,11 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The resource cannot take the work right now but may later: a full
+  /// admission queue shedding load, a draining server, a closed connection.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

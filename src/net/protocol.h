@@ -1,0 +1,106 @@
+#ifndef ADARTS_NET_PROTOCOL_H_
+#define ADARTS_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "ts/time_series.h"
+
+namespace adarts::net {
+
+/// The dependency-free wire protocol of `adarts_serve` (DESIGN.md §10).
+///
+/// Every message travels as one length-prefixed frame:
+///
+///   u32  body_len   (little-endian; capped by kMaxFrameBytes)
+///   byte body[body_len]
+///
+/// Request body:
+///
+///   u8   type          (kPing | kRecommend | kRecommendBatch | kRepair)
+///   u64  id            (echoed verbatim in the response)
+///   f64  deadline_ms   (<= 0: use the server's default deadline)
+///   u32  series_count  (0 for ping, 1 for recommend/repair, N for batch)
+///   series...
+///
+/// Response body:
+///
+///   u8   type          (echo)
+///   u64  id            (echo)
+///   u8   status_code   (StatusCode; kOk on success)
+///   u32  message_len + bytes          (empty on success)
+///   u32  algorithm_count + (u32 len + bytes) each
+///   u32  series_count + series each   (repair results)
+///
+/// A series is `u32 name_len + bytes, u64 length, length f64 values`
+/// (IEEE-754 bit patterns, little-endian); NaN marks a missing position in
+/// both directions. Every variable-length size is validated against the
+/// bytes actually remaining in the frame BEFORE any allocation — a hostile
+/// frame yields `kInvalidArgument`, never an unbounded reserve (the same
+/// contract `Adarts::Load` applies to on-disk bundles).
+///
+/// Admission control rides on the status channel: a server at capacity
+/// answers with `kUnavailable` ("shed") instead of queueing unboundedly.
+
+enum class MessageType : std::uint8_t {
+  kPing = 1,
+  kRecommend = 2,
+  kRecommendBatch = 3,
+  kRepair = 4,
+};
+
+/// True for the four known message types.
+bool IsValidMessageType(std::uint8_t value);
+
+/// Hard caps a well-formed frame can never exceed; decode rejects anything
+/// beyond them before allocating.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 24;  // 16 MiB
+inline constexpr std::size_t kMaxSeriesPerRequest = 4096;
+inline constexpr std::size_t kMaxSeriesLength = std::size_t{1} << 21;
+inline constexpr std::size_t kMaxNameBytes = 4096;
+inline constexpr std::size_t kMaxMessageBytes = std::size_t{1} << 16;
+
+struct Request {
+  MessageType type = MessageType::kPing;
+  std::uint64_t id = 0;
+  /// Per-request deadline budget, measured from admission; <= 0 uses the
+  /// server default (which may be "none").
+  double deadline_ms = 0.0;
+  std::vector<ts::TimeSeries> series;
+};
+
+struct Response {
+  MessageType type = MessageType::kPing;
+  std::uint64_t id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// Recommended algorithm names (1 for kRecommend, N for kRecommendBatch).
+  std::vector<std::string> algorithms;
+  /// Repaired series (kRepair).
+  std::vector<ts::TimeSeries> series;
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(std::string_view body);
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(std::string_view body);
+
+/// Writes one frame (length prefix + body).
+Status WriteFrame(Socket& socket, std::string_view body);
+
+/// Reads one frame body. Propagates the socket's `kUnavailable` on clean
+/// connection close; rejects prefixes above `max_body_bytes` without
+/// allocating.
+Result<std::string> ReadFrame(Socket& socket,
+                              std::size_t max_body_bytes = kMaxFrameBytes);
+
+}  // namespace adarts::net
+
+#endif  // ADARTS_NET_PROTOCOL_H_

@@ -1,0 +1,360 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/log.h"
+#include "common/trace.h"
+#include "impute/imputer.h"
+
+namespace adarts::net {
+
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Server::Server(const Adarts& engine, ServeOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {}
+
+Server::~Server() {
+  if (started_.load(std::memory_order_acquire)) {
+    RequestShutdown();
+    (void)Wait();
+  }
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+Status Server::Start() {
+  ADARTS_ASSIGN_OR_RETURN(listener_,
+                          ListenTcp(options_.port, options_.backlog, &port_));
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::Internal(std::string("server wake pipe: ") +
+                            std::strerror(errno));
+  }
+  wake_read_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+  for (int fd : fds) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+  }
+
+  const std::size_t workers = options_.num_workers == 0 ? 1
+                                                        : options_.num_workers;
+  worker_contexts_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    // Explicit TraceOptions: a worker context never owns a trace session
+    // (the daemon's ScopedTrace does); spans it records still land in an
+    // active global session.
+    worker_contexts_.push_back(std::make_unique<ExecContext>(
+        options_.threads_per_worker, nullptr, TraceOptions{}));
+  }
+  started_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::RequestShutdown() {
+  // Async-signal-safe: one atomic store, one write(2) to a non-blocking
+  // pipe. Everything heavier happens in Wait().
+  shutdown_requested_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+Status Server::Wait() {
+  if (!started_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server not started");
+  }
+  // Phase 1: the accept loop exits on the shutdown wake (or on a terminal
+  // accept error). Joining it blocks Wait until one of the two.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  // Phase 2: stop reading new requests. SHUT_RD wakes every reader with a
+  // clean EOF while keeping the write side open for in-flight replies.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) conn->sock.ShutdownRead();
+  }
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    readers_done_.wait(lock, [this] { return active_readers_ == 0; });
+  }
+
+  // Phase 3: everything admitted before this line is still answered — the
+  // queue rejects new work but drains existing items to the workers.
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+
+  // Phase 4: all replies are written; now the write sides may go.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) conn->sock.ShutdownBoth();
+    conns_.clear();
+  }
+  started_.store(false, std::memory_order_release);
+  return accept_status_;
+}
+
+void Server::AcceptLoop() {
+  Tracer::SetCurrentThreadName("serve-accept");
+  while (!shutdown_requested_.load(std::memory_order_acquire)) {
+    auto accepted = AcceptConnection(listener_, wake_read_fd_);
+    if (!accepted.ok()) {
+      if (accepted.status().code() != StatusCode::kCancelled) {
+        accept_status_ = accepted.status();
+        LogError("serve: accept failed: " + accepted.status().ToString());
+      }
+      break;
+    }
+    auto conn = std::make_shared<ConnState>();
+    conn->sock = std::move(accepted).value();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (conns_.size() >= options_.max_connections ||
+        shutdown_requested_.load(std::memory_order_acquire)) {
+      // Over the connection cap (or racing a shutdown): refuse by closing.
+      continue;
+    }
+    conn->index = next_conn_index_++;
+    conns_.push_back(conn);
+    ++active_readers_;
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    std::thread([this, conn] { ReaderLoop(conn); }).detach();
+  }
+}
+
+void Server::ReaderLoop(std::shared_ptr<ConnState> conn) {
+  Tracer::SetCurrentThreadName("serve-conn-" + std::to_string(conn->index));
+  MetricCounter* received = metrics_.counter("serve.requests");
+  MetricCounter* shed = metrics_.counter("serve.shed");
+  while (true) {
+    auto frame = ReadFrame(conn->sock, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // kUnavailable = clean client disconnect; anything else is logged.
+      if (frame.status().code() != StatusCode::kUnavailable) {
+        LogWarn("serve: connection " + std::to_string(conn->index) +
+                " read failed: " + frame.status().ToString());
+      }
+      break;
+    }
+    stats_.requests_received.fetch_add(1, std::memory_order_relaxed);
+    received->Increment();
+    conn->requests.fetch_add(1, std::memory_order_relaxed);
+
+    auto request = DecodeRequest(*frame);
+    if (!request.ok()) {
+      // The frame boundary is intact, but the body is hostile or corrupt:
+      // answer with the decode error and drop the connection.
+      Response response;
+      response.code = request.status().code();
+      response.message = request.status().message();
+      SendResponse(conn, response);
+      metrics_.Increment("serve.bad_frames");
+      break;
+    }
+
+    WorkItem item;
+    item.conn = conn;
+    item.request = std::move(request).value();
+    const double deadline_ms = item.request.deadline_ms > 0.0
+                                   ? item.request.deadline_ms
+                                   : options_.default_deadline_ms;
+    if (deadline_ms > 0.0) {
+      item.token = CancellationToken::WithDeadline(deadline_ms / 1e3);
+      item.has_token = true;
+    }
+    item.enqueue_steady_ns = SteadyNowNs();
+    item.enqueue_trace_ns = Tracer::Global().NowNs();
+
+    const MessageType type = item.request.type;
+    const std::uint64_t id = item.request.id;
+    if (!queue_.TryPush(std::move(item))) {
+      // Admission control: full (or draining) queue sheds with an explicit
+      // kUnavailable instead of queueing unboundedly.
+      stats_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+      shed->Increment();
+      Response response;
+      response.type = type;
+      response.id = id;
+      response.code = StatusCode::kUnavailable;
+      response.message = "admission queue full, request shed";
+      SendResponse(conn, response);
+    }
+  }
+  LogInfo("serve: connection " + std::to_string(conn->index) + " closed (" +
+          std::to_string(conn->requests.load(std::memory_order_relaxed)) +
+          " requests)");
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].get() == conn.get()) {
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  --active_readers_;
+  readers_done_.notify_all();
+}
+
+void Server::WorkerLoop(std::size_t worker_index) {
+  Tracer::SetCurrentThreadName("serve-worker-" + std::to_string(worker_index));
+  ExecContext& ctx = *worker_contexts_[worker_index];
+  LatencyHistogram* queue_wait = metrics_.histogram("serve.queue_wait");
+  MetricCounter* ok = metrics_.counter("serve.ok");
+  MetricCounter* errors = metrics_.counter("serve.errors");
+  WorkItem item;
+  while (queue_.Pop(&item)) {
+    if (shutdown_requested_.load(std::memory_order_acquire)) {
+      stats_.drained_in_flight.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::uint64_t wait_ns = SteadyNowNs() - item.enqueue_steady_ns;
+    queue_wait->Record(wait_ns);
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled()) {
+      tracer.RecordComplete("serve.queue_wait", item.enqueue_trace_ns,
+                            wait_ns);
+    }
+    TraceSpan span("serve.request");
+
+    Response response;
+    response.type = item.request.type;
+    response.id = item.request.id;
+    if (item.has_token && item.token.expired()) {
+      // The deadline budget covers queue wait: a request that expired while
+      // queued is answered without touching the engine.
+      response.code = StatusCode::kDeadlineExceeded;
+      response.message = "deadline expired in admission queue";
+    } else {
+      if (options_.worker_hook_for_test) {
+        options_.worker_hook_for_test(item.request);
+      }
+      ctx.set_cancel(item.has_token ? &item.token : nullptr);
+      Execute(ctx, item, &response);
+      ctx.set_cancel(nullptr);
+    }
+    if (response.ok()) {
+      stats_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+      ok->Increment();
+    } else {
+      if (response.code == StatusCode::kDeadlineExceeded) {
+        stats_.requests_deadline_exceeded.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      }
+      stats_.requests_error.fetch_add(1, std::memory_order_relaxed);
+      errors->Increment();
+    }
+    SendResponse(item.conn, response);
+    item = WorkItem{};  // release the connection reference promptly
+  }
+}
+
+void Server::Execute(ExecContext& ctx, const WorkItem& item,
+                     Response* response) {
+  const Request& request = item.request;
+  switch (request.type) {
+    case MessageType::kPing:
+      return;
+    case MessageType::kRecommend: {
+      auto rec = engine_.Recommend(request.series[0], ctx);
+      if (!rec.ok()) {
+        response->code = rec.status().code();
+        response->message = rec.status().message();
+        return;
+      }
+      response->algorithms.emplace_back(impute::AlgorithmToString(*rec));
+      return;
+    }
+    case MessageType::kRecommendBatch: {
+      RecommendBatchOptions batch_options;
+      auto recs = engine_.RecommendBatch(request.series, batch_options, ctx);
+      if (!recs.ok()) {
+        response->code = recs.status().code();
+        response->message = recs.status().message();
+        return;
+      }
+      response->algorithms.reserve(recs->size());
+      for (impute::Algorithm algorithm : *recs) {
+        response->algorithms.emplace_back(
+            impute::AlgorithmToString(algorithm));
+      }
+      return;
+    }
+    case MessageType::kRepair: {
+      auto repaired = engine_.Repair(request.series[0], ctx);
+      if (!repaired.ok()) {
+        response->code = repaired.status().code();
+        response->message = repaired.status().message();
+        return;
+      }
+      response->series.push_back(std::move(repaired).value());
+      return;
+    }
+  }
+  response->code = StatusCode::kInternal;
+  response->message = "unhandled request type";
+}
+
+void Server::SendResponse(const std::shared_ptr<ConnState>& conn,
+                          const Response& response) {
+  const std::string body = EncodeResponse(response);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  Status written = WriteFrame(conn->sock, body);
+  if (written.ok()) {
+    stats_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.Increment("serve.write_errors");
+    LogWarn("serve: connection " + std::to_string(conn->index) +
+            " write failed: " + written.ToString());
+  }
+}
+
+ServeStats Server::stats() const {
+  ServeStats out;
+  out.connections_accepted =
+      stats_.connections_accepted.load(std::memory_order_relaxed);
+  out.requests_received =
+      stats_.requests_received.load(std::memory_order_relaxed);
+  out.requests_ok = stats_.requests_ok.load(std::memory_order_relaxed);
+  out.requests_error = stats_.requests_error.load(std::memory_order_relaxed);
+  out.requests_shed = stats_.requests_shed.load(std::memory_order_relaxed);
+  out.requests_deadline_exceeded =
+      stats_.requests_deadline_exceeded.load(std::memory_order_relaxed);
+  out.responses_sent = stats_.responses_sent.load(std::memory_order_relaxed);
+  out.drained_in_flight =
+      stats_.drained_in_flight.load(std::memory_order_relaxed);
+  return out;
+}
+
+StageMetrics Server::MetricsSnapshot() const {
+  Metrics merged;
+  metrics_.MergeInto(&merged);
+  for (const auto& ctx : worker_contexts_) {
+    ctx->metrics().MergeInto(&merged);
+  }
+  return merged.Snapshot();
+}
+
+}  // namespace adarts::net

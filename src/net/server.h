@@ -1,0 +1,169 @@
+#ifndef ADARTS_NET_SERVER_H_
+#define ADARTS_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "adarts/adarts.h"
+#include "common/bounded_queue.h"
+#include "common/cancellation.h"
+#include "common/exec_context.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace adarts::net {
+
+/// Operator knobs for the serving daemon (DESIGN.md §10).
+struct ServeOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back via
+  /// `Server::port()`).
+  std::uint16_t port = 0;
+  int backlog = 64;
+  /// Request executor threads. Each owns one long-lived `ExecContext`, so
+  /// with the default single worker every request drives through one shared
+  /// context; more workers trade strict sharing for parallel requests and
+  /// their metrics are folded back into one registry at export.
+  std::size_t num_workers = 1;
+  /// Pool width of each worker's ExecContext (batch requests fan out on
+  /// it). 1 = serial.
+  std::size_t threads_per_worker = 1;
+  /// Admission-queue bound: requests beyond it are shed with kUnavailable
+  /// instead of queueing unboundedly.
+  std::size_t queue_capacity = 64;
+  /// Concurrent connections; excess accepts are closed immediately.
+  std::size_t max_connections = 256;
+  /// Default per-request deadline (measured from admission) applied when a
+  /// request carries none; <= 0 disables.
+  double default_deadline_ms = 0.0;
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Test-only: run by the executing worker right before each admitted
+  /// request (never for shed or expired-deadline short-circuits). Lets
+  /// tests hold a worker mid-request to fill the queue deterministically.
+  std::function<void(const Request&)> worker_hook_for_test;
+};
+
+/// Monotonic totals since Start; readable at any time.
+struct ServeStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_received = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_error = 0;
+  std::uint64_t requests_shed = 0;
+  std::uint64_t requests_deadline_exceeded = 0;
+  std::uint64_t responses_sent = 0;
+  /// Requests a worker popped from the queue after shutdown was requested —
+  /// in-flight work the drain finished and answered rather than dropped.
+  std::uint64_t drained_in_flight = 0;
+};
+
+/// The long-lived serving front end: accepts length-prefixed request frames
+/// on loopback TCP, pushes them through a bounded admission queue, and
+/// executes them against a loaded `Adarts` engine on worker-owned
+/// `ExecContext`s with per-request cooperative deadlines.
+///
+/// Lifecycle: `Start()` binds and spawns threads; `RequestShutdown()`
+/// (async-signal-safe — an atomic store plus a self-pipe write) begins
+/// graceful drain; `Wait()` blocks until the drain completes: accepting
+/// stops, connection read sides shut down, every request already admitted
+/// to the queue is executed and answered, metrics are folded, sockets
+/// close. No in-flight reply is ever dropped.
+class Server {
+ public:
+  /// `engine` must outlive the server.
+  Server(const Adarts& engine, ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the accept loop + workers.
+  Status Start();
+
+  /// The bound port (valid after Start).
+  std::uint16_t port() const { return port_; }
+
+  /// Begins graceful shutdown; safe from any thread and from signal
+  /// handlers, idempotent.
+  void RequestShutdown();
+
+  /// Blocks until shutdown is requested and the drain completes. Returns
+  /// the accept loop's terminal status (OK for a clean drain).
+  Status Wait();
+
+  ServeStats stats() const;
+
+  /// Serve-level metrics plus every worker context's engine metrics
+  /// (`recommend.latency`, per-stage spans) folded into one snapshot.
+  StageMetrics MetricsSnapshot() const;
+
+ private:
+  struct ConnState {
+    Socket sock;
+    std::mutex write_mu;
+    std::uint64_t index = 0;
+    std::atomic<std::uint64_t> requests{0};
+  };
+
+  struct WorkItem {
+    std::shared_ptr<ConnState> conn;
+    Request request;
+    CancellationToken token;
+    bool has_token = false;
+    std::uint64_t enqueue_steady_ns = 0;
+    std::uint64_t enqueue_trace_ns = 0;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<ConnState> conn);
+  void WorkerLoop(std::size_t worker_index);
+  void Execute(ExecContext& ctx, const WorkItem& item, Response* response);
+  void SendResponse(const std::shared_ptr<ConnState>& conn,
+                    const Response& response);
+
+  const Adarts& engine_;
+  const ServeOptions options_;
+  std::uint16_t port_ = 0;
+  Socket listener_;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> started_{false};
+
+  BoundedQueue<WorkItem> queue_;
+  std::vector<std::unique_ptr<ExecContext>> worker_contexts_;
+  std::vector<std::thread> workers_;
+  std::thread accept_thread_;
+  Status accept_status_;
+
+  mutable std::mutex conns_mu_;
+  std::condition_variable readers_done_;
+  std::vector<std::shared_ptr<ConnState>> conns_;
+  std::size_t active_readers_ = 0;
+  std::uint64_t next_conn_index_ = 0;
+
+  mutable Metrics metrics_;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> requests_received{0};
+    std::atomic<std::uint64_t> requests_ok{0};
+    std::atomic<std::uint64_t> requests_error{0};
+    std::atomic<std::uint64_t> requests_shed{0};
+    std::atomic<std::uint64_t> requests_deadline_exceeded{0};
+    std::atomic<std::uint64_t> responses_sent{0};
+    std::atomic<std::uint64_t> drained_in_flight{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace adarts::net
+
+#endif  // ADARTS_NET_SERVER_H_

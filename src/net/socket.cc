@@ -1,0 +1,180 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace adarts::net {
+
+namespace {
+
+Status ErrnoStatus(const char* what, int err) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status Socket::ReadExact(void* buf, std::size_t n) {
+  char* out = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::recv(fd_, out + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      return done == 0
+                 ? Status::Unavailable("connection closed")
+                 : Status::Internal("connection closed mid-message (" +
+                                    std::to_string(done) + " of " +
+                                    std::to_string(n) + " bytes)");
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv", errno);
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteAll(const void* buf, std::size_t n) {
+  const char* in = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t sent = ::send(fd_, in + done, n - done, MSG_NOSIGNAL);
+    if (sent >= 0) {
+      done += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("send", errno);
+  }
+  return Status::OK();
+}
+
+Status Socket::SetReceiveTimeout(double seconds) {
+  struct timeval tv = {};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) *
+                               1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)", errno);
+  }
+  return Status::OK();
+}
+
+Result<Socket> ListenTcp(std::uint16_t port, int backlog,
+                         std::uint16_t* bound_port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (::listen(sock.fd(), backlog) != 0) return ErrnoStatus("listen", errno);
+  if (bound_port != nullptr) {
+    sockaddr_in actual = {};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual),
+                      &len) != 0) {
+      return ErrnoStatus("getsockname", errno);
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return sock;
+}
+
+Result<Socket> ConnectTcp(const std::string& host, std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<Socket> AcceptConnection(Socket& listener, int wake_fd) {
+  while (true) {
+    pollfd fds[2];
+    fds[0].fd = listener.fd();
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_fd;  // poll ignores negative fds
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll", errno);
+    }
+    if (fds[1].revents != 0) {
+      return Status::Cancelled("accept woken for shutdown");
+    }
+    if (fds[0].revents == 0) continue;
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return ErrnoStatus("accept", errno);
+    }
+    Socket conn(fd);
+    const int one = 1;
+    ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return conn;
+  }
+}
+
+}  // namespace adarts::net

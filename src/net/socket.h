@@ -1,0 +1,81 @@
+#ifndef ADARTS_NET_SOCKET_H_
+#define ADARTS_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace adarts::net {
+
+/// A move-only owner of one POSIX socket (or pipe) file descriptor with
+/// EINTR-safe exact-length I/O — the only syscall surface the serving stack
+/// touches (DESIGN.md §10). No library dependencies beyond libc.
+///
+/// Status vocabulary (the server and clients branch on codes, not
+/// messages):
+///   * `kUnavailable`  — the peer closed the connection cleanly before the
+///     first byte of the requested read (normal end of a session);
+///   * `kInternal`     — a mid-message EOF or an errno failure;
+///   * `kCancelled`    — a poll-multiplexed call was woken by its wake fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the descriptor; idempotent.
+  void Close();
+
+  /// shutdown(2) the read side: a peer or reader thread blocked in recv
+  /// wakes with EOF, but responses already in flight can still be written.
+  /// The drain sequence relies on exactly this split.
+  void ShutdownRead();
+
+  /// shutdown(2) both directions.
+  void ShutdownBoth();
+
+  /// Reads exactly `n` bytes, retrying on EINTR and short reads.
+  /// `kUnavailable` on clean EOF before the first byte; `kInternal` on EOF
+  /// mid-read or errno failures.
+  Status ReadExact(void* buf, std::size_t n);
+
+  /// Writes exactly `n` bytes, retrying on EINTR and short writes. SIGPIPE
+  /// is suppressed (MSG_NOSIGNAL); a closed peer surfaces as `kInternal`.
+  Status WriteAll(const void* buf, std::size_t n);
+
+  /// Sets SO_RCVTIMEO so a lost reply turns into a clean error instead of a
+  /// hang (the load generator's loss detector).
+  Status SetReceiveTimeout(double seconds);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1:`port` (0 = ephemeral;
+/// `*bound_port` receives the actual choice). SO_REUSEADDR is set so a
+/// restarting daemon rebinds without waiting out TIME_WAIT.
+Result<Socket> ListenTcp(std::uint16_t port, int backlog,
+                         std::uint16_t* bound_port);
+
+/// Blocking connect to `host`:`port` (numeric IPv4 text, e.g. "127.0.0.1").
+Result<Socket> ConnectTcp(const std::string& host, std::uint16_t port);
+
+/// Accepts one connection, multiplexed against a wake descriptor: blocks in
+/// poll(2) on {listener, wake_fd} and returns `kCancelled` once `wake_fd`
+/// becomes readable (the shutdown path; pass -1 for no wake fd). EINTR
+/// restarts the wait.
+Result<Socket> AcceptConnection(Socket& listener, int wake_fd);
+
+}  // namespace adarts::net
+
+#endif  // ADARTS_NET_SOCKET_H_

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "adarts/adarts.h"
+#include "common/failpoint.h"
 #include "tests/test_util.h"
 
 namespace adarts {
@@ -118,6 +119,197 @@ TEST(SerializationTest, SaveIsDeterministic) {
   EXPECT_FALSE(ca.empty());
   std::remove(a.c_str());
   std::remove(b.c_str());
+}
+
+// --- crash-safe snapshot publishing --------------------------------------
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream file(path);
+  return std::string((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// True when any `<basename>.tmp.*` sibling of `path` exists — a leaked
+/// private temp file from an interrupted Save.
+bool HasTempSibling(const std::string& path) {
+  const std::filesystem::path target(path);
+  const std::string prefix = target.filename().string() + ".tmp.";
+  for (const auto& entry :
+       std::filesystem::directory_iterator(target.parent_path())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(SerializationTest, SaveLeavesNoTempFileBehind) {
+  auto engine = TrainSmallEngine(51);
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempBundlePath("adarts_bundle_atomic.model");
+  ASSERT_TRUE(engine->Save(path).ok());
+  EXPECT_FALSE(HasTempSibling(path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, SaveToUnwritableDirectoryReturnsInternal) {
+  auto engine = TrainSmallEngine(52);
+  ASSERT_TRUE(engine.ok());
+  // Was miscoded as NotFound — "not found" describes a read of something
+  // absent, not a failed write.
+  Status status = engine->Save("/nonexistent_dir_zz/bundle.model");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(SerializationTest, FailedWriteLeavesExistingBundleIntact) {
+  auto first = TrainSmallEngine(61);
+  auto second = TrainSmallEngine(62);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  const std::string path = TempBundlePath("adarts_bundle_failwrite.model");
+  ASSERT_TRUE(first->Save(path).ok());
+  const std::string before = ReadAll(path);
+  ASSERT_FALSE(before.empty());
+
+  {
+    // The injected write failure (ENOSPC, a crash mid-write…) hits the
+    // private temp file; the published snapshot must not change by a byte.
+    ScopedFailpoint fp("adarts.save.write");
+    Status status = second->Save(path);
+    ASSERT_FALSE(status.ok());
+  }
+  EXPECT_EQ(ReadAll(path), before);
+  EXPECT_FALSE(HasTempSibling(path));
+
+  auto loaded = Adarts::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (const auto& f : first->training_data().features) {
+    EXPECT_EQ(loaded->PredictProba(f), first->PredictProba(f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, KillMidSavePreservesPriorSnapshotBitIdentically) {
+  auto first = TrainSmallEngine(63);
+  auto second = TrainSmallEngine(64);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  const std::string path = TempBundlePath("adarts_bundle_killcommit.model");
+  ASSERT_TRUE(first->Save(path).ok());
+  const std::string before = ReadAll(path);
+
+  {
+    // Models `kill -9` between the completed temp write and the rename: the
+    // new bytes exist but are never published.
+    ScopedFailpoint fp("adarts.save.commit");
+    Status status = second->Save(path);
+    ASSERT_FALSE(status.ok());
+  }
+  EXPECT_EQ(ReadAll(path), before);
+
+  auto loaded = Adarts::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (const auto& f : first->training_data().features) {
+    EXPECT_EQ(loaded->PredictProba(f), first->PredictProba(f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, StaleTempFromCrashedProcessDoesNotBlockSave) {
+  auto engine = TrainSmallEngine(65);
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempBundlePath("adarts_bundle_stale.model");
+  // A temp file abandoned by a crashed writer (different pid) must neither
+  // fail nor corrupt a fresh Save.
+  const std::string stale = path + ".tmp.99999";
+  {
+    std::ofstream file(stale);
+    file << "half-written junk";
+  }
+  ASSERT_TRUE(engine->Save(path).ok());
+  auto loaded = Adarts::Load(path);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  std::remove(stale.c_str());
+  std::remove(path.c_str());
+}
+
+// --- hostile and truncated bundles ---------------------------------------
+
+Status LoadContent(const std::string& content, const char* name) {
+  const std::string path = TempBundlePath(name);
+  {
+    std::ofstream file(path, std::ios::trunc);
+    file << content;
+  }
+  auto loaded = Adarts::Load(path);
+  std::remove(path.c_str());
+  return loaded.ok() ? Status::OK() : loaded.status();
+}
+
+std::string ReplaceFirst(std::string content, const std::string& from,
+                         const std::string& to) {
+  const std::size_t pos = content.find(from);
+  EXPECT_NE(pos, std::string::npos) << "pattern '" << from << "' not found";
+  if (pos != std::string::npos) content.replace(pos, from.size(), to);
+  return content;
+}
+
+TEST(SerializationTest, LoadRejectsHostileSizesWithoutAllocating) {
+  auto engine = TrainSmallEngine(71);
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempBundlePath("adarts_bundle_hostile.model");
+  ASSERT_TRUE(engine->Save(path).ok());
+  const std::string good = ReadAll(path);
+  std::remove(path.c_str());
+
+  // Each corruption patches one size field to an absurd value. Load must
+  // reject from the declared bound — InvalidArgument, not a multi-GB
+  // reserve on attacker-controlled text.
+  const std::string pool_line =
+      "pool " + std::to_string(engine->algorithm_pool().size());
+  const std::string committee_line =
+      "committee " + std::to_string(engine->committee_size());
+  const std::string dataset_line =
+      "dataset " + std::to_string(engine->training_data().size()) + " " +
+      std::to_string(engine->training_data().dim());
+  const std::string hostile[] = {
+      ReplaceFirst(good, pool_line, "pool 184467440737095516"),
+      ReplaceFirst(good, committee_line, "committee 99999999999"),
+      ReplaceFirst(good, dataset_line, "dataset 99999999 99999999"),
+      ReplaceFirst(good, dataset_line, "dataset 0 0"),
+  };
+  for (std::size_t i = 0; i < std::size(hostile); ++i) {
+    Status status = LoadContent(hostile[i], "adarts_bundle_hostile.model");
+    ASSERT_FALSE(status.ok()) << "variant " << i;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << "variant " << i;
+  }
+}
+
+TEST(SerializationTest, TruncationSweepAtEveryTokenBoundary) {
+  auto engine = TrainSmallEngine(72);
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempBundlePath("adarts_bundle_truncate.model");
+  ASSERT_TRUE(engine->Save(path).ok());
+  const std::string good = ReadAll(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(good.empty());
+
+  // Truncate the bundle at every whitespace (token) boundary: each prefix
+  // is what a crash mid-write could have left behind in a world without the
+  // atomic publish. Load must fail cleanly on all of them — except the
+  // final boundary, which only strips the trailing newline after "end".
+  std::size_t boundaries = 0;
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    if (good[i] != ' ' && good[i] != '\n') continue;
+    ++boundaries;
+    Status status =
+        LoadContent(good.substr(0, i), "adarts_bundle_truncate.model");
+    if (i + 1 == good.size()) {
+      EXPECT_TRUE(status.ok()) << status;
+    } else {
+      EXPECT_FALSE(status.ok()) << "prefix of " << i << " bytes loaded";
+    }
+  }
+  EXPECT_GT(boundaries, 100u);  // the sweep really covered the bundle
 }
 
 }  // namespace

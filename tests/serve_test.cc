@@ -1,0 +1,350 @@
+// End-to-end tests of the serving daemon's front end (DESIGN.md §10): the
+// request loop against a live engine, deterministic load shedding, queued
+// deadline expiry, graceful drain with zero lost in-flight replies, and
+// the folded metrics export.
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adarts/adarts.h"
+#include "data/generators.h"
+#include "net/server.h"
+#include "tests/test_util.h"
+
+namespace adarts {
+namespace {
+
+TrainOptions FastOptions() {
+  TrainOptions opts;
+  opts.labeling.algorithms = {
+      impute::Algorithm::kCdRec, impute::Algorithm::kSvdImpute,
+      impute::Algorithm::kTkcm, impute::Algorithm::kLinearInterp,
+      impute::Algorithm::kMeanImpute};
+  opts.race.num_seed_pipelines = 12;
+  opts.race.num_partial_sets = 2;
+  opts.race.num_folds = 2;
+  opts.features.landmarks = 16;
+  return opts;
+}
+
+std::vector<ts::TimeSeries> SmallCorpus() {
+  data::GeneratorOptions gopts;
+  gopts.num_series = 12;
+  gopts.length = 160;
+  std::vector<ts::TimeSeries> corpus;
+  for (data::Category c : {data::Category::kClimate, data::Category::kMotion}) {
+    for (auto& s : data::GenerateCategory(c, gopts)) {
+      corpus.push_back(std::move(s));
+    }
+  }
+  return corpus;
+}
+
+/// One engine for the whole binary — training dominates the suite's runtime
+/// and every test only needs a read-only engine (which is the serving
+/// contract anyway: the daemon never mutates it).
+const Adarts& Engine() {
+  static const Adarts* engine = [] {
+    auto trained = Adarts::Train(SmallCorpus(), FastOptions());
+    EXPECT_TRUE(trained.ok()) << trained.status();
+    return new Adarts(std::move(trained).value());
+  }();
+  return *engine;
+}
+
+ts::TimeSeries MakeFaulty(std::uint64_t seed = 9) {
+  ts::TimeSeries series = testing::MakeSine(160, 24.0, 0.05, seed);
+  for (std::size_t i = 40; i < 52; ++i) {
+    series.SetMissing(i, true);
+  }
+  return series;
+}
+
+net::Request MakeRequest(net::MessageType type, std::uint64_t id,
+                         double deadline_ms = 0.0) {
+  net::Request request;
+  request.type = type;
+  request.id = id;
+  request.deadline_ms = deadline_ms;
+  if (type == net::MessageType::kRecommendBatch) {
+    request.series.push_back(MakeFaulty(1));
+    request.series.push_back(MakeFaulty(2));
+    request.series.push_back(MakeFaulty(3));
+  } else if (type != net::MessageType::kPing) {
+    request.series.push_back(MakeFaulty());
+  }
+  return request;
+}
+
+/// Connects, sends one request, reads one response.
+Result<net::Response> Call(std::uint16_t port, const net::Request& request) {
+  ADARTS_ASSIGN_OR_RETURN(net::Socket sock,
+                          net::ConnectTcp("127.0.0.1", port));
+  ADARTS_RETURN_NOT_OK(net::WriteFrame(sock, net::EncodeRequest(request)));
+  ADARTS_ASSIGN_OR_RETURN(std::string frame, net::ReadFrame(sock));
+  return net::DecodeResponse(frame);
+}
+
+void Shutdown(net::Server* server) {
+  server->RequestShutdown();
+  Status drained = server->Wait();
+  EXPECT_TRUE(drained.ok()) << drained;
+}
+
+TEST(ServeTest, PingRoundTrips) {
+  net::Server server(Engine(), {});
+  ASSERT_TRUE(server.Start().ok());
+  auto response = Call(server.port(), MakeRequest(net::MessageType::kPing, 7));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->ok()) << response->message;
+  EXPECT_EQ(response->id, 7u);
+  EXPECT_EQ(response->type, net::MessageType::kPing);
+  Shutdown(&server);
+}
+
+TEST(ServeTest, RecommendReturnsAlgorithmFromPool) {
+  net::Server server(Engine(), {});
+  ASSERT_TRUE(server.Start().ok());
+  auto response =
+      Call(server.port(), MakeRequest(net::MessageType::kRecommend, 1));
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->ok()) << response->message;
+  ASSERT_EQ(response->algorithms.size(), 1u);
+  auto algorithm = impute::AlgorithmFromString(response->algorithms[0]);
+  ASSERT_TRUE(algorithm.ok());
+  bool in_pool = false;
+  for (impute::Algorithm a : Engine().algorithm_pool()) {
+    in_pool = in_pool || a == *algorithm;
+  }
+  EXPECT_TRUE(in_pool);
+  // The served answer equals a direct engine call — the wire adds nothing.
+  auto direct = Engine().Recommend(MakeFaulty());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*algorithm, *direct);
+  Shutdown(&server);
+}
+
+TEST(ServeTest, BatchMatchesSingleRecommends) {
+  net::Server server(Engine(), {});
+  ASSERT_TRUE(server.Start().ok());
+  const net::Request request =
+      MakeRequest(net::MessageType::kRecommendBatch, 2);
+  auto response = Call(server.port(), request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->ok()) << response->message;
+  ASSERT_EQ(response->algorithms.size(), request.series.size());
+  for (std::size_t i = 0; i < request.series.size(); ++i) {
+    auto direct = Engine().Recommend(request.series[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(response->algorithms[i],
+              std::string(impute::AlgorithmToString(*direct)));
+  }
+  Shutdown(&server);
+}
+
+TEST(ServeTest, RepairFillsEveryMissingPosition) {
+  net::Server server(Engine(), {});
+  ASSERT_TRUE(server.Start().ok());
+  auto response =
+      Call(server.port(), MakeRequest(net::MessageType::kRepair, 3));
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->ok()) << response->message;
+  ASSERT_EQ(response->series.size(), 1u);
+  const ts::TimeSeries& repaired = response->series[0];
+  ASSERT_EQ(repaired.length(), MakeFaulty().length());
+  for (std::size_t i = 0; i < repaired.length(); ++i) {
+    EXPECT_FALSE(repaired.IsMissing(i)) << "position " << i << " still missing";
+  }
+  Shutdown(&server);
+}
+
+TEST(ServeTest, MalformedBodyGetsErrorResponse) {
+  net::Server server(Engine(), {});
+  ASSERT_TRUE(server.Start().ok());
+  auto sock = net::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(net::WriteFrame(*sock, "garbage-bytes").ok());
+  auto frame = net::ReadFrame(*sock);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  auto response = net::DecodeResponse(*frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+  // The server drops the connection after a malformed body.
+  EXPECT_FALSE(net::ReadFrame(*sock).ok());
+  Shutdown(&server);
+}
+
+TEST(ServeTest, ShedsWithUnavailableWhenQueueIsFull) {
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  std::atomic<int> hooked{0};
+  net::ServeOptions options;
+  options.queue_capacity = 1;
+  options.num_workers = 1;
+  options.worker_hook_for_test = [&](const net::Request&) {
+    // Block only the FIRST executed request, so the drain after the
+    // assertions cannot wedge on a second hook hit.
+    if (hooked.fetch_add(1) == 0) {
+      started.set_value();
+      release_future.wait();
+    }
+  };
+  net::Server server(Engine(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sock = net::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  // Request 1 occupies the single worker (the hook holds it mid-request)…
+  ASSERT_TRUE(
+      net::WriteFrame(*sock, net::EncodeRequest(
+                                 MakeRequest(net::MessageType::kPing, 1)))
+          .ok());
+  started.get_future().wait();
+  // …request 2 fills the queue, request 3 must shed deterministically.
+  ASSERT_TRUE(
+      net::WriteFrame(*sock, net::EncodeRequest(
+                                 MakeRequest(net::MessageType::kPing, 2)))
+          .ok());
+  ASSERT_TRUE(
+      net::WriteFrame(*sock, net::EncodeRequest(
+                                 MakeRequest(net::MessageType::kPing, 3)))
+          .ok());
+
+  // The shed reply for 3 arrives first (written by the reader thread while
+  // the worker is still held).
+  auto shed_frame = net::ReadFrame(*sock);
+  ASSERT_TRUE(shed_frame.ok()) << shed_frame.status();
+  auto shed = net::DecodeResponse(*shed_frame);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->id, 3u);
+  EXPECT_EQ(shed->code, StatusCode::kUnavailable);
+
+  release.set_value();
+  for (std::uint64_t expected : {1u, 2u}) {
+    auto frame = net::ReadFrame(*sock);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    auto response = net::DecodeResponse(*frame);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->id, expected);
+    EXPECT_TRUE(response->ok());
+  }
+  Shutdown(&server);
+  EXPECT_EQ(server.stats().requests_shed, 1u);
+  EXPECT_EQ(server.stats().requests_ok, 2u);
+}
+
+TEST(ServeTest, DeadlineExpiredInQueueAnswersDeadlineExceeded) {
+  net::Server server(Engine(), {});
+  ASSERT_TRUE(server.Start().ok());
+  // A 1-nanosecond budget is always expired by the time a worker pops the
+  // request; the engine must never run.
+  auto response = Call(
+      server.port(),
+      MakeRequest(net::MessageType::kRecommend, 4, /*deadline_ms=*/1e-6));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
+  Shutdown(&server);
+  EXPECT_EQ(server.stats().requests_deadline_exceeded, 1u);
+}
+
+TEST(ServeTest, DrainAnswersEveryAdmittedRequest) {
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  std::atomic<int> hooked{0};
+  net::ServeOptions options;
+  options.queue_capacity = 8;
+  options.num_workers = 1;
+  options.worker_hook_for_test = [&](const net::Request&) {
+    if (hooked.fetch_add(1) == 0) {
+      started.set_value();
+      release_future.wait();
+    }
+  };
+  net::Server server(Engine(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sock = net::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  constexpr std::uint64_t kRequests = 4;
+  ASSERT_TRUE(
+      net::WriteFrame(*sock, net::EncodeRequest(
+                                 MakeRequest(net::MessageType::kPing, 0)))
+          .ok());
+  started.get_future().wait();
+  for (std::uint64_t id = 1; id < kRequests; ++id) {
+    ASSERT_TRUE(
+        net::WriteFrame(*sock, net::EncodeRequest(
+                                   MakeRequest(net::MessageType::kPing, id)))
+            .ok());
+  }
+
+  // Begin the drain while one request executes and three sit in the queue;
+  // then let the worker go. Every admitted request must still be answered.
+  server.RequestShutdown();
+  std::thread waiter([&server] { EXPECT_TRUE(server.Wait().ok()); });
+  release.set_value();
+  std::vector<bool> answered(kRequests, false);
+  for (std::uint64_t n = 0; n < kRequests; ++n) {
+    auto frame = net::ReadFrame(*sock);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    auto response = net::DecodeResponse(*frame);
+    ASSERT_TRUE(response.ok());
+    ASSERT_LT(response->id, kRequests);
+    EXPECT_TRUE(response->ok());
+    answered[response->id] = true;
+  }
+  waiter.join();
+  for (std::uint64_t id = 0; id < kRequests; ++id) {
+    EXPECT_TRUE(answered[id]) << "request " << id << " lost in drain";
+  }
+  const net::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests_ok, kRequests);
+  EXPECT_EQ(stats.responses_sent, kRequests);
+  EXPECT_GE(stats.drained_in_flight, 1u);
+}
+
+TEST(ServeTest, MetricsSnapshotFoldsServeAndEngineMetrics) {
+  net::Server server(Engine(), {});
+  ASSERT_TRUE(server.Start().ok());
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    auto response =
+        Call(server.port(), MakeRequest(net::MessageType::kRecommend, id));
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->ok()) << response->message;
+  }
+  Shutdown(&server);
+  const StageMetrics snapshot = server.MetricsSnapshot();
+  // Serve-level instrumentation…
+  EXPECT_EQ(snapshot.Counter("serve.requests"), 3u);
+  EXPECT_EQ(snapshot.Counter("serve.ok"), 3u);
+  EXPECT_EQ(snapshot.Histogram("serve.queue_wait").count, 3u);
+  // …folded with the worker ExecContext's engine metrics.
+  EXPECT_EQ(snapshot.Counter("recommend.requests"), 3u);
+  EXPECT_EQ(snapshot.Histogram("recommend.latency").count, 3u);
+}
+
+TEST(ServeTest, StatsCountConnectionsAndRequests) {
+  net::Server server(Engine(), {});
+  ASSERT_TRUE(server.Start().ok());
+  for (std::uint64_t id = 0; id < 2; ++id) {
+    auto response =
+        Call(server.port(), MakeRequest(net::MessageType::kPing, id));
+    ASSERT_TRUE(response.ok());
+  }
+  Shutdown(&server);
+  const net::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, 2u);
+  EXPECT_EQ(stats.requests_received, 2u);
+  EXPECT_EQ(stats.requests_ok, 2u);
+  EXPECT_EQ(stats.responses_sent, 2u);
+}
+
+}  // namespace
+}  // namespace adarts

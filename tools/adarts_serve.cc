@@ -1,0 +1,169 @@
+// adarts_serve — the long-lived serving daemon (DESIGN.md §10).
+//
+//   adarts_serve --model bundle.adarts [--port N] [--port-file FILE]
+//                [--workers N] [--threads-per-worker N] [--queue N]
+//                [--max-connections N] [--deadline-ms F]
+//                [--metrics-json FILE] [--trace FILE]
+//
+// Loads an engine snapshot and serves recommend / recommend-batch / repair
+// requests over the length-prefixed loopback protocol of src/net/protocol.h.
+// Prints `listening on 127.0.0.1:<port>` once ready (and writes the bound
+// port to --port-file, so scripts using an ephemeral --port 0 can find it).
+//
+// SIGTERM/SIGINT begin a graceful drain: accepting stops, every request
+// already admitted to the queue is executed and answered, metrics are
+// flushed, and the process exits 0. No in-flight reply is dropped.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "adarts/adarts.h"
+#include "common/log.h"
+#include "common/shutdown.h"
+#include "common/trace.h"
+#include "net/server.h"
+
+namespace adarts::serve {
+namespace {
+
+using Args = std::map<std::string, std::string>;
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args[key] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string GetArg(const Args& args, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = args.find(key);
+  return it != args.end() ? it->second : fallback;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: adarts_serve --model FILE [--port N] [--port-file FILE]\n"
+      "                    [--workers N] [--threads-per-worker N]\n"
+      "                    [--queue N] [--max-connections N]\n"
+      "                    [--deadline-ms F] [--metrics-json FILE]\n"
+      "                    [--trace FILE]\n"
+      "  --model          engine snapshot written by `adarts_cli train`\n"
+      "  --port           TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
+      "  --port-file      write the bound port to FILE once listening\n"
+      "  --workers        request executor threads (default 1)\n"
+      "  --queue          admission queue bound; excess requests are shed\n"
+      "                   with an Unavailable response (default 64)\n"
+      "  --deadline-ms    default per-request deadline (0 = none)\n"
+      "  --metrics-json   write the folded StageMetrics JSON here on exit\n"
+      "  --trace          export a Chrome trace-event timeline on exit\n"
+      "SIGTERM/SIGINT drain gracefully: in-flight requests are answered,\n"
+      "metrics flushed, exit code 0.\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  const std::string model = GetArg(args, "model", "");
+  if (model.empty()) return Usage();
+
+  TraceOptions trace = TraceOptions::FromEnv();
+  const std::string trace_path = GetArg(args, "trace", "");
+  if (!trace_path.empty()) {
+    trace.enabled = true;
+    trace.path = trace_path;
+  }
+  ScopedTrace trace_session(trace);
+
+  auto engine = Adarts::Load(model);
+  if (!engine.ok()) return Fail(engine.status());
+
+  net::ServeOptions options;
+  options.port = static_cast<std::uint16_t>(
+      std::atoi(GetArg(args, "port", "0").c_str()));
+  options.num_workers = static_cast<std::size_t>(
+      std::atol(GetArg(args, "workers", "1").c_str()));
+  options.threads_per_worker = static_cast<std::size_t>(
+      std::atol(GetArg(args, "threads-per-worker", "1").c_str()));
+  options.queue_capacity = static_cast<std::size_t>(
+      std::atol(GetArg(args, "queue", "64").c_str()));
+  options.max_connections = static_cast<std::size_t>(
+      std::atol(GetArg(args, "max-connections", "256").c_str()));
+  options.default_deadline_ms =
+      std::atof(GetArg(args, "deadline-ms", "0").c_str());
+
+  Status installed = InstallShutdownHandler();
+  if (!installed.ok()) return Fail(installed);
+
+  net::Server server(*engine, options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  const std::string port_file = GetArg(args, "port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out.good()) {
+      return Fail(Status::Internal("cannot write port file: " + port_file));
+    }
+  }
+  std::printf("listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  // Block until SIGTERM/SIGINT trips the process latch, then hand the
+  // drain to the server. The handler itself only stores a flag and writes
+  // the self-pipe; everything below runs in normal code.
+  while (!ShutdownRequested()) {
+    pollfd pfd;
+    pfd.fd = ShutdownWakeFd();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+      return Fail(Status::Internal("poll on shutdown pipe failed"));
+    }
+  }
+  LogInfo("serve: shutdown requested, draining");
+  server.RequestShutdown();
+  Status drained = server.Wait();
+
+  const net::ServeStats stats = server.stats();
+  LogInfo("serve: drained (" + std::to_string(stats.requests_received) +
+          " requests, " + std::to_string(stats.requests_ok) + " ok, " +
+          std::to_string(stats.requests_shed) + " shed, " +
+          std::to_string(stats.drained_in_flight) +
+          " answered from the queue during drain)");
+
+  const std::string metrics_path = GetArg(args, "metrics-json", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    out << server.MetricsSnapshot().ToJson() << "\n";
+    if (!out.good()) {
+      return Fail(
+          Status::Internal("cannot write metrics json: " + metrics_path));
+    }
+  }
+  if (!drained.ok()) return Fail(drained);
+  return 0;
+}
+
+}  // namespace
+}  // namespace adarts::serve
+
+int main(int argc, char** argv) { return adarts::serve::Main(argc, argv); }

@@ -1,0 +1,340 @@
+// serve_loadgen — open-loop load generator for adarts_serve.
+//
+//   serve_loadgen (--port N | --port-file FILE) [--qps F] [--requests N]
+//                 [--connections N] [--type ping|recommend|batch|repair]
+//                 [--batch-size N] [--length N] [--missing F] [--seed N]
+//                 [--deadline-ms F] [--timeout-s F] [--json FILE]
+//
+// Open loop: every request has a scheduled send time on a fixed-QPS grid
+// (request i fires at start + i/qps), independent of when responses come
+// back — so a slow server accumulates queueing delay instead of silently
+// throttling the generator, which is the point of measuring an admission
+// queue. Requests round-robin over N connections; each connection runs an
+// independent writer (paced sends) and reader (response matching by echoed
+// id) thread.
+//
+// Emits one JSON line per run (the BENCH_serve.json record):
+//
+//   {"bench":"serve.loadgen","params":{...},"seconds":...,
+//    "p50_ms":...,"p90_ms":...,"p99_ms":...,"throughput_rps":...,
+//    "requests":N,"ok":N,"shed":N,"errors":N,"lost":N}
+//
+// Exit status: 0 when every request was answered (ok, shed and error
+// responses all count as answered — shedding is correct behaviour under
+// overload); nonzero when replies were lost or a connection failed.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "ts/time_series.h"
+
+namespace adarts::loadgen {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+using Args = std::map<std::string, std::string>;
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args[key] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string GetArg(const Args& args, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = args.find(key);
+  return it != args.end() ? it->second : fallback;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: serve_loadgen (--port N | --port-file FILE) [--qps F]\n"
+      "                     [--requests N] [--connections N]\n"
+      "                     [--type ping|recommend|batch|repair]\n"
+      "                     [--batch-size N] [--length N] [--missing F]\n"
+      "                     [--seed N] [--deadline-ms F] [--timeout-s F]\n"
+      "                     [--json FILE]\n");
+  return 2;
+}
+
+/// One synthetic faulty series: a deterministic seasonal signal with a
+/// missing block plus scattered missing points (endpoints kept observed).
+ts::TimeSeries MakeFaultySeries(std::size_t length, double missing_fraction,
+                                Rng* rng) {
+  la::Vector values(length);
+  std::vector<bool> missing(length, false);
+  const double phase = rng->Uniform(0.0, 6.28318530717958648);
+  for (std::size_t i = 0; i < length; ++i) {
+    values[i] = std::sin(phase + 0.31 * static_cast<double>(i)) +
+                0.1 * rng->Normal();
+  }
+  for (std::size_t i = 1; i + 1 < length; ++i) {
+    if (rng->Bernoulli(missing_fraction)) {
+      missing[i] = true;
+      values[i] = 0.0;
+    }
+  }
+  missing[length / 2] = true;  // at least one missing position
+  values[length / 2] = 0.0;
+  return ts::TimeSeries(std::move(values), std::move(missing));
+}
+
+struct Totals {
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> answered{0};
+};
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+
+  int port = std::atoi(GetArg(args, "port", "0").c_str());
+  const std::string port_file = GetArg(args, "port-file", "");
+  if (port == 0 && !port_file.empty()) {
+    std::ifstream in(port_file);
+    in >> port;
+  }
+  if (port <= 0 || port > 65535) return Usage();
+
+  const double qps = std::atof(GetArg(args, "qps", "200").c_str());
+  const std::size_t requests = static_cast<std::size_t>(
+      std::atol(GetArg(args, "requests", "200").c_str()));
+  const std::size_t connections = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::atol(GetArg(args, "connections", "4").c_str())));
+  const std::string type_name = GetArg(args, "type", "recommend");
+  const std::size_t batch_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::atol(GetArg(args, "batch-size", "4").c_str())));
+  const std::size_t length = static_cast<std::size_t>(
+      std::atol(GetArg(args, "length", "64").c_str()));
+  const double missing = std::atof(GetArg(args, "missing", "0.2").c_str());
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::atoll(GetArg(args, "seed", "1").c_str()));
+  const double deadline_ms =
+      std::atof(GetArg(args, "deadline-ms", "0").c_str());
+  const double timeout_s =
+      std::atof(GetArg(args, "timeout-s", "15").c_str());
+
+  net::MessageType type;
+  if (type_name == "ping") {
+    type = net::MessageType::kPing;
+  } else if (type_name == "recommend") {
+    type = net::MessageType::kRecommend;
+  } else if (type_name == "batch") {
+    type = net::MessageType::kRecommendBatch;
+  } else if (type_name == "repair") {
+    type = net::MessageType::kRepair;
+  } else {
+    return Usage();
+  }
+  if (requests == 0 || qps <= 0.0) return Usage();
+
+  // Pre-encode a small rotation of request bodies (the id field is patched
+  // per send) so encoding cost stays off the paced send path.
+  Rng rng(seed);
+  std::vector<ts::TimeSeries> series_pool;
+  for (std::size_t i = 0; i < 8; ++i) {
+    series_pool.push_back(MakeFaultySeries(length, missing, &rng));
+  }
+  std::vector<std::string> bodies;
+  for (std::size_t i = 0; i < series_pool.size(); ++i) {
+    net::Request request;
+    request.type = type;
+    request.deadline_ms = deadline_ms;
+    if (type == net::MessageType::kRecommendBatch) {
+      for (std::size_t b = 0; b < batch_size; ++b) {
+        request.series.push_back(series_pool[(i + b) % series_pool.size()]);
+      }
+    } else if (type != net::MessageType::kPing) {
+      request.series.push_back(series_pool[i]);
+    }
+    bodies.push_back(EncodeRequest(request));
+  }
+
+  std::vector<net::Socket> socks(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    auto sock =
+        net::ConnectTcp("127.0.0.1", static_cast<std::uint16_t>(port));
+    if (!sock.ok()) return Fail(sock.status());
+    socks[c] = std::move(sock).value();
+    Status timeout_set = socks[c].SetReceiveTimeout(timeout_s);
+    if (!timeout_set.ok()) return Fail(timeout_set);
+  }
+
+  // send_ns[id] is written by the sender before the frame hits the wire and
+  // read by the receiver after the echoed id comes back on the same
+  // connection, so each slot has one writer and a happens-after reader.
+  std::vector<std::atomic<std::uint64_t>> send_ns(requests);
+  std::vector<std::atomic<std::uint64_t>> latency_ns(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    send_ns[i].store(0, std::memory_order_relaxed);
+    latency_ns[i].store(0, std::memory_order_relaxed);
+  }
+  Totals totals;
+  std::atomic<bool> failed{false};
+
+  const Clock::time_point start = Clock::now();
+  const auto NowNs = [&start]() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+  };
+
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < connections; ++c) {
+    // Writer: open-loop paced sends for this connection's share.
+    threads.emplace_back([&, c] {
+      for (std::size_t i = c; i < requests; i += connections) {
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) / qps));
+        std::this_thread::sleep_until(due);
+        // Patch the id (bytes 1..8 of the body, little-endian).
+        std::string body = bodies[i % bodies.size()];
+        for (int b = 0; b < 8; ++b) {
+          body[1 + b] =
+              static_cast<char>((static_cast<std::uint64_t>(i) >> (8 * b)) &
+                                0xff);
+        }
+        send_ns[i].store(NowNs(), std::memory_order_release);
+        Status written = WriteFrame(socks[c], body);
+        if (!written.ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+    // Reader: match responses by echoed id, classify, record latency.
+    threads.emplace_back([&, c] {
+      const std::size_t share =
+          requests / connections + (c < requests % connections ? 1 : 0);
+      for (std::size_t n = 0; n < share; ++n) {
+        auto frame = ReadFrame(socks[c]);
+        if (!frame.ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        auto response = net::DecodeResponse(*frame);
+        if (!response.ok() || response->id >= requests) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const std::uint64_t sent =
+            send_ns[response->id].load(std::memory_order_acquire);
+        latency_ns[response->id].store(
+            NowNs() > sent ? NowNs() - sent : 1, std::memory_order_relaxed);
+        totals.answered.fetch_add(1, std::memory_order_relaxed);
+        if (response->code == StatusCode::kOk) {
+          totals.ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (response->code == StatusCode::kUnavailable) {
+          totals.shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          totals.errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s = static_cast<double>(NowNs()) / 1e9;
+  for (net::Socket& sock : socks) sock.Close();
+
+  const std::uint64_t ok = totals.ok.load();
+  const std::uint64_t shed = totals.shed.load();
+  const std::uint64_t errors = totals.errors.load();
+  const std::uint64_t answered = totals.answered.load();
+  const std::uint64_t lost = requests - answered;
+
+  // Percentiles over successfully served requests (shed replies return in
+  // microseconds and would flatter the tail).
+  std::vector<std::uint64_t> served;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const std::uint64_t ns = latency_ns[i].load(std::memory_order_relaxed);
+    if (ns > 0) served.push_back(ns);
+  }
+  std::sort(served.begin(), served.end());
+  const auto Percentile = [&served](double q) {
+    if (served.empty()) return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(served.size() - 1) + 0.5);
+    return static_cast<double>(served[idx]) / 1e6;
+  };
+  const double p50_ms = Percentile(0.50);
+  const double p90_ms = Percentile(0.90);
+  const double p99_ms = Percentile(0.99);
+  const double throughput =
+      elapsed_s > 0.0 ? static_cast<double>(answered) / elapsed_s : 0.0;
+
+  std::printf(
+      "serve_loadgen: %zu requests @ %.0f qps over %zu connections: "
+      "%llu ok, %llu shed, %llu errors, %llu lost; "
+      "p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, %.1f rps\n",
+      requests, qps, connections, static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(lost), p50_ms, p90_ms, p99_ms,
+      throughput);
+
+  const std::string json_path = GetArg(args, "json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::app);
+    char line[1024];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\":\"serve.loadgen\",\"params\":{\"qps\":\"%.0f\","
+        "\"requests\":\"%zu\",\"connections\":\"%zu\",\"type\":\"%s\","
+        "\"seed\":\"%llu\"},\"seconds\":%.6f,\"p50_ms\":%.3f,"
+        "\"p90_ms\":%.3f,\"p99_ms\":%.3f,\"throughput_rps\":%.1f,"
+        "\"requests\":%zu,\"ok\":%llu,\"shed\":%llu,\"errors\":%llu,"
+        "\"lost\":%llu}",
+        qps, requests, connections, type_name.c_str(),
+        static_cast<unsigned long long>(seed), elapsed_s, p50_ms, p90_ms,
+        p99_ms, throughput, requests, static_cast<unsigned long long>(ok),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(lost));
+    out << line << "\n";
+    if (!out.good()) {
+      return Fail(Status::Internal("cannot write json: " + json_path));
+    }
+  }
+
+  if (failed.load() || lost != 0) {
+    std::fprintf(stderr, "serve_loadgen: lost %llu of %zu replies\n",
+                 static_cast<unsigned long long>(lost), requests);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace adarts::loadgen
+
+int main(int argc, char** argv) { return adarts::loadgen::Main(argc, argv); }
