@@ -241,17 +241,35 @@ std::string JsonEscape(const std::string& s) {
 void BenchJsonWriter::Record(
     const std::string& bench,
     const std::vector<std::pair<std::string, std::string>>& params,
-    double seconds, double checksum, const StageMetrics* stages) const {
+    double seconds, double checksum, const StageMetrics* stages,
+    const std::vector<std::pair<std::string, double>>& metrics) const {
   if (path_.empty()) return;
   std::string line = "{\"bench\":\"" + JsonEscape(bench) + "\",\"params\":{";
   bool first = true;
   for (const auto& [key, value] : params) {
     if (!first) line += ',';
     first = false;
-    line += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    line += '"';
+    line += JsonEscape(key);
+    line += "\":\"";
+    line += JsonEscape(value);
+    line += '"';
   }
   line += "},\"seconds\":" + Fmt(seconds, 6) +
           ",\"checksum\":" + Fmt(checksum, 6);
+  if (!metrics.empty()) {
+    line += ",\"metrics\":{";
+    first = true;
+    for (const auto& [key, value] : metrics) {
+      if (!first) line += ',';
+      first = false;
+      line += '"';
+      line += JsonEscape(key);
+      line += "\":";
+      line += Fmt(value, 6);
+    }
+    line += "}";
+  }
   if (stages != nullptr && !stages->empty()) {
     line += ",\"stages\":" + stages->ToJson();
   }

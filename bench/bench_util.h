@@ -91,12 +91,15 @@ std::string Fmt(double v, int precision = 2);
 ///
 ///   {"bench":"fig8.selection_time","params":{"pipelines":"24"},
 ///    "seconds":1.234567,"checksum":0.873000,
+///    "metrics":{"win_rate":0.80,"rmse_best":0.41},
 ///    "stages":{"counters":{...},"spans_seconds":{...}}}
 ///
 /// `checksum` is a bench-chosen result digest (an F1, a correlation, a
 /// cluster count...) that makes regressions in *results* — not just in
-/// runtime — diffable across commits. `stages` is present when the bench
-/// passes the run's StageMetrics snapshot.
+/// runtime — diffable across commits. `metrics` carries any named result
+/// numbers beyond the single digest (tools/bench_compare gates on them
+/// direction-aware); `stages` is present when the bench passes the run's
+/// StageMetrics snapshot.
 class BenchJsonWriter {
  public:
   /// An empty path disables the writer; `Record` becomes a no-op.
@@ -107,7 +110,9 @@ class BenchJsonWriter {
   void Record(const std::string& bench,
               const std::vector<std::pair<std::string, std::string>>& params,
               double seconds, double checksum,
-              const StageMetrics* stages = nullptr) const;
+              const StageMetrics* stages = nullptr,
+              const std::vector<std::pair<std::string, double>>& metrics = {})
+      const;
 
  private:
   std::string path_;

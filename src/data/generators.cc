@@ -309,4 +309,26 @@ std::vector<ts::TimeSeries> GenerateMixedCorpus(
   return out;
 }
 
+std::vector<std::size_t> InjectSpikeAnomalies(std::size_t count,
+                                              double magnitude,
+                                              std::size_t margin,
+                                              adarts::Rng* rng,
+                                              ts::TimeSeries* series) {
+  const std::size_t n = series->length();
+  if (count == 0 || margin * 2 + count >= n) return {};
+  const double scale = std::max(series->ObservedStdDev(), 1e-9);
+  std::vector<std::size_t> slots =
+      rng->SampleWithoutReplacement(n - 2 * margin, count);
+  std::vector<std::size_t> positions;
+  positions.reserve(count);
+  for (std::size_t slot : slots) positions.push_back(slot + margin);
+  std::sort(positions.begin(), positions.end());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double sign = i % 2 == 0 ? 1.0 : -1.0;
+    const std::size_t p = positions[i];
+    series->set_value(p, series->value(p) + sign * magnitude * scale);
+  }
+  return positions;
+}
+
 }  // namespace adarts::data

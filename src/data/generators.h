@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/rng.h"
 #include "ts/time_series.h"
 
 namespace adarts::data {
@@ -45,6 +46,18 @@ std::vector<ts::TimeSeries> GenerateCategory(Category category,
 /// category concatenated (used by the clustering and coverage benches).
 std::vector<ts::TimeSeries> GenerateMixedCorpus(
     std::size_t datasets_per_category, const GeneratorOptions& base_options);
+
+/// Plants `count` point anomalies in `series`: spikes of `magnitude`
+/// observed standard deviations (sign alternating), at rng-chosen distinct
+/// positions in [margin, length - margin). Returns the planted positions,
+/// ascending — the ground truth of the anomaly-detection-after-repair
+/// downstream task (bench_fig12). No-op (empty result) when the series is
+/// too short for the margins.
+std::vector<std::size_t> InjectSpikeAnomalies(std::size_t count,
+                                              double magnitude,
+                                              std::size_t margin,
+                                              adarts::Rng* rng,
+                                              ts::TimeSeries* series);
 
 }  // namespace adarts::data
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+
+#include "ts/fft.h"
 
 namespace adarts::ts {
 
@@ -71,6 +74,125 @@ Status InjectBlockAt(std::size_t start, std::size_t len, TimeSeries* series) {
   }
   for (std::size_t i = start; i < start + len; ++i) {
     series->SetMissing(i, true);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Shared validation for the rate-parameterised generators: a sane rate and
+/// enough room to keep index 0 (plus at least one more point) observed.
+Status ValidateRateAndLength(double rate, std::size_t n) {
+  if (rate <= 0.0 || rate >= 1.0) {
+    return Status::InvalidArgument("missing rate must be in (0, 1)");
+  }
+  if (n < 8) return Status::InvalidArgument("series too short for scenario");
+  return Status::OK();
+}
+
+/// Block length for a target missing fraction, clamped so at least half the
+/// series stays observed.
+std::size_t RateBlockLen(double rate, std::size_t n) {
+  const auto len =
+      static_cast<std::size_t>(std::round(rate * static_cast<double>(n)));
+  return std::clamp<std::size_t>(len, 1, n / 2);
+}
+
+}  // namespace
+
+Status InjectMcar(double rate, Rng* rng, TimeSeries* series) {
+  const std::size_t n = series->length();
+  ADARTS_RETURN_NOT_OK(ValidateRateAndLength(rate, n));
+  // Index 0 stays observed (the imputers' anchor), so the realised fraction
+  // is rate * (n-1)/n in expectation — negligible for real series lengths.
+  for (std::size_t i = 1; i < n; ++i) {
+    if (rng->Bernoulli(rate)) series->SetMissing(i, true);
+  }
+  return Status::OK();
+}
+
+Status InjectMonotoneTail(double rate, Rng* rng, TimeSeries* series) {
+  const std::size_t n = series->length();
+  ADARTS_RETURN_NOT_OK(ValidateRateAndLength(rate, n));
+  const double target = rate * static_cast<double>(n);
+  const auto tail = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::round(rng->Uniform(0.5, 1.5) * target)), 1,
+      n - 2);
+  return InjectBlockAt(n - tail, tail, series);
+}
+
+Status InjectSeasonalGaps(double rate, Rng* rng, TimeSeries* series) {
+  const std::size_t n = series->length();
+  ADARTS_RETURN_NOT_OK(ValidateRateAndLength(rate, n));
+  auto period = static_cast<std::size_t>(std::round(
+      EstimatePeriod(series->values())));
+  // Aperiodic/flat series (or a "period" that is really the whole window)
+  // fall back to a fixed cadence so the scenario still applies everywhere.
+  if (period < 4 || period > n / 2) period = std::max<std::size_t>(8, n / 8);
+  const auto gap = std::clamp<std::size_t>(RateBlockLen(rate, period), 1,
+                                           period - 2);
+  // One phase offset shared by every cycle; >= 1 keeps index 0 observed.
+  const std::size_t phase =
+      1 + static_cast<std::size_t>(rng->UniformInt(period - gap));
+  for (std::size_t cycle = 0; cycle + phase + gap <= n; cycle += period) {
+    ADARTS_RETURN_NOT_OK(InjectBlockAt(cycle + phase, gap, series));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ValidateSet(const std::vector<TimeSeries>* set) {
+  if (set == nullptr || set->empty()) {
+    return Status::InvalidArgument("empty series set");
+  }
+  const std::size_t n = set->front().length();
+  for (const auto& s : *set) {
+    if (s.length() != n) {
+      return Status::InvalidArgument(
+          "multi-series scenarios need one shared length");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status InjectDisjointBlocks(double rate, Rng* rng,
+                            std::vector<TimeSeries>* set) {
+  ADARTS_RETURN_NOT_OK(ValidateSet(set));
+  const std::size_t n = set->front().length();
+  ADARTS_RETURN_NOT_OK(ValidateRateAndLength(rate, n));
+  const std::size_t len = RateBlockLen(rate, n);
+  // Slot the usable range [1, n) into disjoint (block + one-separator)
+  // stalls; series cycle through the stalls, so blocks of different series
+  // share no time index until the slots are exhausted and the layout wraps.
+  const std::size_t slots = (n - 1) / (len + 1);
+  if (slots == 0) return Status::InvalidArgument("block spec longer than series");
+  const auto base = static_cast<std::size_t>(rng->UniformInt(slots));
+  for (std::size_t i = 0; i < set->size(); ++i) {
+    const std::size_t slot = (base + i) % slots;
+    ADARTS_RETURN_NOT_OK(InjectBlockAt(1 + slot * (len + 1), len, &(*set)[i]));
+  }
+  return Status::OK();
+}
+
+Status InjectOverlappingBlocks(double rate, Rng* rng,
+                               std::vector<TimeSeries>* set) {
+  ADARTS_RETURN_NOT_OK(ValidateSet(set));
+  const std::size_t n = set->front().length();
+  ADARTS_RETURN_NOT_OK(ValidateRateAndLength(rate, n));
+  const std::size_t len = std::max<std::size_t>(RateBlockLen(rate, n), 2);
+  // One shared anchor window; every series jitters within +/- len/4 of it,
+  // so any two blocks still overlap by at least len/2 time steps.
+  const auto anchor = 1 + static_cast<std::size_t>(rng->UniformInt(n - len));
+  const int spread = static_cast<int>(len / 4);
+  for (auto& series : *set) {
+    const int jitter = spread > 0 ? rng->UniformInt(-spread, spread) : 0;
+    const auto start = static_cast<std::size_t>(std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(anchor) + jitter, 1,
+        static_cast<std::int64_t>(n - len)));
+    ADARTS_RETURN_NOT_OK(InjectBlockAt(start, len, &series));
   }
   return Status::OK();
 }

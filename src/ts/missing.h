@@ -37,6 +37,46 @@ Status InjectTipBlock(double fraction, TimeSeries* series);
 /// Marks a block missing at an explicit [start, start+len) range.
 Status InjectBlockAt(std::size_t start, std::size_t len, TimeSeries* series);
 
+// --- ImputeGAP-style contamination generators (scenario registry) ------------
+//
+// The richer missingness taxonomy of the scenario registry (ts/scenario.h):
+// point-wise MCAR, monotone tails, seasonality-aligned gaps, and the two
+// multi-series block layouts (disjoint vs. overlapping). All are
+// deterministic functions of the passed `Rng` and keep index 0 of every
+// series observed, so no generator can ever mask a series completely.
+
+/// MCAR: every position after index 0 goes missing independently with
+/// probability `rate` (rate in (0, 1)). The realised fraction concentrates
+/// around `rate` for long series.
+Status InjectMcar(double rate, Rng* rng, TimeSeries* series);
+
+/// Monotone missingness: one tail block from a random onset to the very end
+/// of the series (once a sensor dies it stays dead). The tail length is
+/// drawn uniformly from [0.5, 1.5] * rate * length (clamped to keep at
+/// least two observed points), so the expected missing fraction is `rate`.
+Status InjectMonotoneTail(double rate, Rng* rng, TimeSeries* series);
+
+/// Seasonality-aligned gaps: estimates the dominant period via the FFT
+/// (ts::EstimatePeriod) and masks a gap of ~`rate * period` samples at the
+/// same random phase offset in every full cycle — the "outage recurs at the
+/// same time of day" scenario. Falls back to a period of length/8 for
+/// aperiodic series.
+Status InjectSeasonalGaps(double rate, Rng* rng, TimeSeries* series);
+
+/// Multi-series layout: one block of ~`rate * length` per series, staggered
+/// left-to-right so blocks of different series do not overlap in time while
+/// room remains (they wrap around when the combined block mass exceeds the
+/// series length). All series must share one length.
+Status InjectDisjointBlocks(double rate, Rng* rng,
+                            std::vector<TimeSeries>* set);
+
+/// Multi-series layout: one block of ~`rate * length` per series, jittered
+/// around one shared anchor window so every pair of consecutive series
+/// overlaps in time (the correlated-outage worst case for cross-series
+/// imputers). All series must share one length.
+Status InjectOverlappingBlocks(double rate, Rng* rng,
+                               std::vector<TimeSeries>* set);
+
 /// Convenience: injects a pattern chosen by enum with a size expressed as a
 /// fraction of the series length (multi-block uses three blocks of
 /// fraction/3 each).

@@ -1,0 +1,129 @@
+#include "ts/scenario.h"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+
+#include "ts/missing.h"
+
+namespace adarts::ts {
+namespace {
+
+constexpr double kDefaultRates[] = {0.05, 0.1, 0.2};
+
+Status ForEachSeries(Status (*inject)(double, Rng*, TimeSeries*), double rate,
+                     Rng* rng, std::vector<TimeSeries>* set) {
+  for (auto& series : *set) {
+    ADARTS_RETURN_NOT_OK(inject(rate, rng, &series));
+  }
+  return Status::OK();
+}
+
+Status ApplyMcar(double rate, Rng* rng, std::vector<TimeSeries>* set) {
+  return ForEachSeries(&InjectMcar, rate, rng, set);
+}
+
+Status ApplySingleBlock(double rate, Rng* rng, std::vector<TimeSeries>* set) {
+  for (auto& series : *set) {
+    const std::size_t len = std::max<std::size_t>(
+        static_cast<std::size_t>(rate * static_cast<double>(series.length())),
+        2);
+    ADARTS_RETURN_NOT_OK(InjectSingleBlock(len, rng, &series));
+  }
+  return Status::OK();
+}
+
+Status ApplyMultiBlock(double rate, Rng* rng, std::vector<TimeSeries>* set) {
+  for (auto& series : *set) {
+    ADARTS_RETURN_NOT_OK(
+        InjectPattern(MissingPattern::kMultiBlock, rate, rng, &series));
+  }
+  return Status::OK();
+}
+
+Status ApplyBlackout(double rate, Rng* rng, std::vector<TimeSeries>* set) {
+  // One aligned outage window shared by every series: the mask that starves
+  // cross-series imputers of reference signal.
+  const std::size_t n = set->front().length();
+  const std::size_t len = std::clamp<std::size_t>(
+      static_cast<std::size_t>(rate * static_cast<double>(n)), 1, n / 2);
+  const auto start = 1 + static_cast<std::size_t>(rng->UniformInt(n - len));
+  for (auto& series : *set) {
+    ADARTS_RETURN_NOT_OK(InjectBlockAt(start, len, &series));
+  }
+  return Status::OK();
+}
+
+Status ApplyMonotoneTail(double rate, Rng* rng, std::vector<TimeSeries>* set) {
+  return ForEachSeries(&InjectMonotoneTail, rate, rng, set);
+}
+
+Status ApplySeasonalGaps(double rate, Rng* rng, std::vector<TimeSeries>* set) {
+  return ForEachSeries(&InjectSeasonalGaps, rate, rng, set);
+}
+
+}  // namespace
+
+const std::vector<Scenario>& AllScenarios() {
+  static const std::vector<Scenario>* const kRegistry = [] {
+    const std::vector<double> rates(std::begin(kDefaultRates),
+                                    std::end(kDefaultRates));
+    return new std::vector<Scenario>{
+        {"mcar", "point-wise missing-completely-at-random at rate r",
+         &ApplyMcar, rates},
+        {"single_block", "one contiguous block per series, random offset",
+         &ApplySingleBlock, rates},
+        {"multi_block", "three disjoint blocks per series", &ApplyMultiBlock,
+         rates},
+        {"blackout", "one outage window aligned across every series",
+         &ApplyBlackout, rates},
+        {"disjoint_blocks",
+         "per-series blocks staggered so no two series are out at once",
+         &InjectDisjointBlocks, rates},
+        {"overlapping_blocks",
+         "per-series blocks jittered around one shared window",
+         &InjectOverlappingBlocks, rates},
+        {"monotone_tail", "sensor dies at a random point and stays dead",
+         &ApplyMonotoneTail, rates},
+        {"seasonal_gaps",
+         "recurring gap at the same phase of the dominant FFT period",
+         &ApplySeasonalGaps, rates},
+    };
+  }();
+  return *kRegistry;
+}
+
+Result<Scenario> FindScenario(std::string_view name) {
+  std::string known;
+  for (const Scenario& scenario : AllScenarios()) {
+    if (scenario.name == name) return scenario;
+    if (!known.empty()) known += ", ";
+    known += scenario.name;
+  }
+  return Status::NotFound("unknown scenario '" + std::string(name) +
+                          "' (known: " + known + ")");
+}
+
+Status ApplyScenario(const Scenario& scenario, double rate, Rng* rng,
+                     std::vector<TimeSeries>* set) {
+  if (scenario.apply == nullptr) {
+    return Status::InvalidArgument("scenario has no generator");
+  }
+  if (rate <= 0.0 || rate >= 1.0) {
+    return Status::InvalidArgument("missing rate must be in (0, 1)");
+  }
+  if (set == nullptr || set->empty()) {
+    return Status::InvalidArgument("empty series set");
+  }
+  const std::size_t n = set->front().length();
+  if (n < 8) return Status::InvalidArgument("series too short for scenario");
+  for (const auto& series : *set) {
+    if (series.length() != n) {
+      return Status::InvalidArgument(
+          "scenario sets need one shared series length");
+    }
+  }
+  return scenario.apply(rate, rng, set);
+}
+
+}  // namespace adarts::ts

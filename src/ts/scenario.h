@@ -1,0 +1,49 @@
+#ifndef ADARTS_TS_SCENARIO_H_
+#define ADARTS_TS_SCENARIO_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace adarts::ts {
+
+/// One missingness scenario of the contamination matrix: a named, set-wise
+/// mask generator plus the missing-rate grid it is swept over. Scenarios
+/// are deterministic functions of the passed `Rng` — same seed, same masks,
+/// bit for bit — which is what makes `BENCH_scenarios.json` records
+/// comparable across commits (tools/bench_compare).
+///
+/// The taxonomy follows ImputeGAP (same lead author as the paper): beyond
+/// the seed repo's four block patterns it adds point-wise MCAR, monotone
+/// tails, seasonality-aligned gaps, and the disjoint/overlapping
+/// multi-series block layouts. Every generator keeps index 0 of each series
+/// observed, so no scenario can mask a series completely.
+struct Scenario {
+  std::string_view name;
+  std::string_view description;
+  /// Masks positions of `set` in place at the given missing rate. The set's
+  /// series must share one length >= 8 (multi-series layouts are set-wise).
+  Status (*apply)(double rate, Rng* rng, std::vector<TimeSeries>* set);
+  /// The default rate grid the benches sweep for this scenario.
+  std::vector<double> rates;
+};
+
+/// The full registry, in stable sweep order. Adding a scenario here is the
+/// whole integration: benches, tests and the CI regression gate enumerate
+/// this list (DESIGN.md §11).
+const std::vector<Scenario>& AllScenarios();
+
+/// Registry lookup by name; NotFound with the known names otherwise.
+Result<Scenario> FindScenario(std::string_view name);
+
+/// Validates the inputs (rate in (0, 1), non-empty set, one shared series
+/// length >= 8) and applies `scenario` to `set` in place.
+Status ApplyScenario(const Scenario& scenario, double rate, Rng* rng,
+                     std::vector<TimeSeries>* set);
+
+}  // namespace adarts::ts
+
+#endif  // ADARTS_TS_SCENARIO_H_

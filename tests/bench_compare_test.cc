@@ -1,0 +1,287 @@
+// Tests for the bench_compare regression gate (tools/bench_compare_lib):
+// the JSONL record loader (including hostile input — the gate parses files
+// produced by older commits, so malformed lines must fail with a line
+// number, never crash), the direction-aware comparison logic, and the full
+// CLI driven through RunBenchCompare with golden-pair fixtures on disk.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/bench_compare_lib.h"
+
+namespace adarts::tools {
+namespace {
+
+std::string RecordLine(const std::string& bench, const std::string& dataset,
+                       double checksum, double win_rate, double rmse) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\":\"%s\",\"params\":{\"dataset\":\"%s\"},"
+                "\"seconds\":0.5,\"checksum\":%f,"
+                "\"metrics\":{\"win_rate\":%f,\"rmse_best\":%f}}\n",
+                bench.c_str(), dataset.c_str(), checksum, win_rate, rmse);
+  return buf;
+}
+
+std::string WriteTempFile(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  return path;
+}
+
+TEST(ParseBenchRecordsTest, ParsesRecordsWithMetricsAndStages) {
+  const std::string text =
+      "{\"bench\":\"scenarios.cell\",\"params\":{\"scenario\":\"mcar\","
+      "\"category\":\"Power\"},\"seconds\":1.25,\"checksum\":0.5,"
+      "\"metrics\":{\"win_rate\":0.8},"
+      "\"stages\":{\"counters\":{},\"spans_seconds\":{\"train\":2.5},"
+      "\"histograms\":{\"recommend.latency\":{\"count\":10,\"sum_ns\":900,"
+      "\"max_ns\":200,\"p50_ns\":80,\"p90_ns\":150,\"p99_ns\":190}}}}\n"
+      "\n"
+      "{\"bench\":\"scenarios.summary\",\"params\":{},\"seconds\":9,"
+      "\"checksum\":1}\n";
+  const auto records = ParseBenchRecords(text);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  const BenchRecord& cell = records->front();
+  EXPECT_EQ(cell.bench, "scenarios.cell");
+  // Params are sorted by key so record identity is order-independent.
+  EXPECT_EQ(cell.Key(), "scenarios.cell{category=Power,scenario=mcar}");
+  EXPECT_DOUBLE_EQ(cell.seconds, 1.25);
+  EXPECT_DOUBLE_EQ(cell.checksum, 0.5);
+  EXPECT_DOUBLE_EQ(cell.metrics.at("win_rate"), 0.8);
+  // Perf numbers are flattened out of stages.
+  EXPECT_DOUBLE_EQ(cell.perf.at("seconds"), 1.25);
+  EXPECT_DOUBLE_EQ(cell.perf.at("spans.train"), 2.5);
+  EXPECT_DOUBLE_EQ(cell.perf.at("hist.recommend.latency.p99_ns"), 190.0);
+  EXPECT_EQ(records->back().Key(), "scenarios.summary{}");
+}
+
+TEST(ParseBenchRecordsTest, LastOccurrenceWinsForDuplicateKeys) {
+  // Appended re-runs duplicate keys; the loader keeps the latest line.
+  const std::string text = RecordLine("b", "d", 1.0, 0.5, 2.0) +
+                           RecordLine("b", "d", 9.0, 0.9, 1.0);
+  const auto records = ParseBenchRecords(text);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_DOUBLE_EQ(records->front().checksum, 9.0);
+  EXPECT_DOUBLE_EQ(records->front().metrics.at("win_rate"), 0.9);
+}
+
+TEST(ParseBenchRecordsTest, HostileInputFailsWithLineNumberNotCrash) {
+  const struct {
+    const char* label;
+    const char* text;
+  } kCases[] = {
+      {"truncated JSON", "{\"bench\":\"b\",\"params\":{\n"},
+      {"array root", "[1,2,3]\n"},
+      {"number root", "42\n"},
+      {"missing bench", "{\"params\":{},\"seconds\":1,\"checksum\":1}\n"},
+      {"non-string param",
+       "{\"bench\":\"b\",\"params\":{\"k\":7},\"seconds\":1,\"checksum\":1}\n"},
+      {"non-number metric",
+       "{\"bench\":\"b\",\"params\":{},\"seconds\":1,\"checksum\":1,"
+       "\"metrics\":{\"m\":\"high\"}}\n"},
+      {"garbage bytes", "\x01\x02 not json at all\n"},
+  };
+  for (const auto& c : kCases) {
+    const std::string text =
+        RecordLine("ok", "d", 1.0, 0.5, 2.0) + c.text;  // bad line is line 2
+    const auto records = ParseBenchRecords(text);
+    ASSERT_FALSE(records.ok()) << c.label;
+    EXPECT_NE(records.status().ToString().find("line 2"), std::string::npos)
+        << c.label << ": " << records.status().ToString();
+  }
+}
+
+TEST(ParseBenchRecordsTest, DeeplyNestedJsonIsRejectedNotStackOverflowed) {
+  std::string bomb(5000, '[');
+  bomb += std::string(5000, ']');
+  bomb += '\n';
+  const auto records = ParseBenchRecords(bomb);
+  EXPECT_FALSE(records.ok());
+}
+
+TEST(MetricDirectionTest, QualityNamesAreHigherBetterRestLowerBetter) {
+  EXPECT_TRUE(MetricHigherIsBetter("win_rate"));
+  EXPECT_TRUE(MetricHigherIsBetter("anomaly_f1_adarts"));
+  EXPECT_TRUE(MetricHigherIsBetter("throughput_qps"));
+  EXPECT_FALSE(MetricHigherIsBetter("rmse_best"));
+  EXPECT_FALSE(MetricHigherIsBetter("algo_failures"));
+  EXPECT_FALSE(MetricHigherIsBetter("seconds"));
+}
+
+class CompareTest : public ::testing::Test {
+ protected:
+  static std::vector<BenchRecord> Parse(const std::string& text) {
+    auto records = ParseBenchRecords(text);
+    EXPECT_TRUE(records.ok()) << records.status().ToString();
+    return records.ok() ? *records : std::vector<BenchRecord>{};
+  }
+  CompareOptions options_;  // defaults: rel_tol 0.10, no perf
+};
+
+TEST_F(CompareTest, IdenticalRunsProduceNoFailingFindings) {
+  const std::string run = RecordLine("b", "x", 1.0, 0.75, 2.0) +
+                          RecordLine("b", "y", 3.0, 0.5, 1.5);
+  const auto report =
+      CompareBenchRecords(Parse(run), Parse(run), options_);
+  EXPECT_FALSE(report.failed()) << report.ToString();
+  EXPECT_EQ(report.compared_records, 2u);
+  EXPECT_GE(report.compared_values, 6u);
+}
+
+TEST_F(CompareTest, DegradedLowerBetterMetricFails) {
+  const auto baseline = Parse(RecordLine("b", "x", 1.0, 0.75, 2.0));
+  const auto current = Parse(RecordLine("b", "x", 1.0, 0.75, 2.6));
+  const auto report = CompareBenchRecords(baseline, current, options_);
+  EXPECT_TRUE(report.failed()) << report.ToString();
+}
+
+TEST_F(CompareTest, FallingWinRateFailsRisingWinRateIsInfoOnly) {
+  const auto baseline = Parse(RecordLine("b", "x", 1.0, 0.80, 2.0));
+  const auto worse = Parse(RecordLine("b", "x", 1.0, 0.40, 2.0));
+  EXPECT_TRUE(CompareBenchRecords(baseline, worse, options_).failed());
+  const auto better = Parse(RecordLine("b", "x", 1.0, 1.0, 2.0));
+  const auto report = CompareBenchRecords(baseline, better, options_);
+  EXPECT_FALSE(report.failed()) << report.ToString();
+  bool saw_improvement = false;
+  for (const auto& f : report.findings) {
+    saw_improvement =
+        saw_improvement || f.kind == Finding::Kind::kMetricImprovement;
+  }
+  EXPECT_TRUE(saw_improvement);
+}
+
+TEST_F(CompareTest, ChecksumDriftFailsInEitherDirection) {
+  const auto baseline = Parse(RecordLine("b", "x", 2.0, 0.5, 2.0));
+  EXPECT_TRUE(CompareBenchRecords(
+                  baseline, Parse(RecordLine("b", "x", 3.0, 0.5, 2.0)),
+                  options_)
+                  .failed());
+  EXPECT_TRUE(CompareBenchRecords(
+                  baseline, Parse(RecordLine("b", "x", 1.0, 0.5, 2.0)),
+                  options_)
+                  .failed());
+}
+
+TEST_F(CompareTest, SmallDriftWithinToleranceIsClean) {
+  const auto baseline = Parse(RecordLine("b", "x", 2.0, 0.80, 2.0));
+  const auto current = Parse(RecordLine("b", "x", 2.05, 0.78, 2.04));
+  EXPECT_FALSE(CompareBenchRecords(baseline, current, options_).failed());
+}
+
+TEST_F(CompareTest, MissingRecordFailsAddedRecordDoesNot) {
+  const auto two = Parse(RecordLine("b", "x", 1.0, 0.5, 2.0) +
+                         RecordLine("b", "y", 1.0, 0.5, 2.0));
+  const auto one = Parse(RecordLine("b", "x", 1.0, 0.5, 2.0));
+  // Baseline record vanished from current: red (a bench silently dropped).
+  const auto missing = CompareBenchRecords(two, one, options_);
+  EXPECT_TRUE(missing.failed());
+  // Current grew a record: informational only.
+  const auto added = CompareBenchRecords(one, two, options_);
+  EXPECT_FALSE(added.failed()) << added.ToString();
+  bool saw_added = false;
+  for (const auto& f : added.findings) {
+    saw_added = saw_added || f.kind == Finding::Kind::kAddedRecord;
+  }
+  EXPECT_TRUE(saw_added);
+}
+
+TEST_F(CompareTest, MissingMetricFails) {
+  const auto baseline = Parse(RecordLine("b", "x", 1.0, 0.5, 2.0));
+  auto current = baseline;
+  current.front().metrics.erase("win_rate");
+  EXPECT_TRUE(CompareBenchRecords(baseline, current, options_).failed());
+}
+
+TEST_F(CompareTest, PerfInflationOnlyFailsWithCheckPerf) {
+  auto baseline = Parse(RecordLine("b", "x", 1.0, 0.5, 2.0));
+  auto current = baseline;
+  current.front().perf["seconds"] = baseline.front().perf["seconds"] * 3.0;
+  EXPECT_FALSE(CompareBenchRecords(baseline, current, options_).failed());
+  options_.check_perf = true;
+  EXPECT_TRUE(CompareBenchRecords(baseline, current, options_).failed());
+  // Perf getting faster is never red.
+  current.front().perf["seconds"] = baseline.front().perf["seconds"] / 3.0;
+  EXPECT_FALSE(CompareBenchRecords(baseline, current, options_).failed());
+}
+
+TEST_F(CompareTest, LatencyHistogramP99InflationFailsUnderCheckPerf) {
+  auto baseline = Parse(RecordLine("b", "x", 1.0, 0.5, 2.0));
+  auto current = baseline;
+  baseline.front().perf["hist.recommend.latency.p99_ns"] = 1000.0;
+  current.front().perf["hist.recommend.latency.p99_ns"] = 5000.0;
+  options_.check_perf = true;
+  const auto report = CompareBenchRecords(baseline, current, options_);
+  EXPECT_TRUE(report.failed()) << report.ToString();
+}
+
+// --- CLI end to end: golden pairs on disk ----------------------------------
+
+TEST(RunBenchCompareTest, IdenticalFilesExitZero) {
+  const std::string run = RecordLine("b", "x", 1.0, 0.75, 2.0);
+  const auto a = WriteTempFile("bc_base.json", run);
+  const auto b = WriteTempFile("bc_same.json", run);
+  std::string output;
+  EXPECT_EQ(RunBenchCompare({a, b}, &output), 0);
+  EXPECT_NE(output.find("OK"), std::string::npos) << output;
+}
+
+TEST(RunBenchCompareTest, DegradedRmseExitsOne) {
+  const auto a =
+      WriteTempFile("bc_base2.json", RecordLine("b", "x", 1.0, 0.75, 2.0));
+  const auto b =
+      WriteTempFile("bc_bad2.json", RecordLine("b", "x", 1.0, 0.75, 3.0));
+  std::string output;
+  EXPECT_EQ(RunBenchCompare({a, b}, &output), 1);
+  EXPECT_NE(output.find("rmse_best"), std::string::npos) << output;
+}
+
+TEST(RunBenchCompareTest, InflatedLatencyExitsOneOnlyWithCheckPerf) {
+  const std::string stages =
+      "{\"bench\":\"serve\",\"params\":{},\"seconds\":1,\"checksum\":1,"
+      "\"stages\":{\"counters\":{},\"spans_seconds\":{},"
+      "\"histograms\":{\"recommend.latency\":{\"count\":5,\"sum_ns\":50,"
+      "\"max_ns\":%d,\"p50_ns\":5,\"p90_ns\":8,\"p99_ns\":%d}}}}\n";
+  char base_line[512];
+  char cur_line[512];
+  std::snprintf(base_line, sizeof(base_line), stages.c_str(), 10, 10);
+  std::snprintf(cur_line, sizeof(cur_line), stages.c_str(), 90, 90);
+  const auto a = WriteTempFile("bc_lat_base.json", base_line);
+  const auto b = WriteTempFile("bc_lat_cur.json", cur_line);
+  EXPECT_EQ(RunBenchCompare({a, b}, nullptr), 0);
+  std::string output;
+  EXPECT_EQ(RunBenchCompare({a, b, "--check-perf"}, &output), 1);
+  EXPECT_NE(output.find("p99"), std::string::npos) << output;
+}
+
+TEST(RunBenchCompareTest, WiderToleranceAbsorbsTheSameDelta) {
+  const auto a =
+      WriteTempFile("bc_tol_base.json", RecordLine("b", "x", 1.0, 0.75, 2.0));
+  const auto b =
+      WriteTempFile("bc_tol_cur.json", RecordLine("b", "x", 1.0, 0.75, 2.3));
+  EXPECT_EQ(RunBenchCompare({a, b}, nullptr), 1);
+  EXPECT_EQ(RunBenchCompare({a, b, "--rel-tol", "0.5"}, nullptr), 0);
+}
+
+TEST(RunBenchCompareTest, MalformedInputsExitTwo) {
+  const auto good =
+      WriteTempFile("bc_ok.json", RecordLine("b", "x", 1.0, 0.75, 2.0));
+  const auto bad = WriteTempFile("bc_hostile.json", "{\"bench\": [}\n");
+  std::string output;
+  EXPECT_EQ(RunBenchCompare({good, bad}, &output), 2);
+  EXPECT_EQ(RunBenchCompare({good, "/nonexistent/nope.json"}, nullptr), 2);
+  EXPECT_EQ(RunBenchCompare({good}, nullptr), 2);            // one path
+  EXPECT_EQ(RunBenchCompare({}, nullptr), 2);                // no paths
+  EXPECT_EQ(RunBenchCompare({good, good, "--frobnicate"}, nullptr), 2);
+  EXPECT_EQ(RunBenchCompare({good, good, "--rel-tol"}, nullptr), 2);
+  EXPECT_EQ(RunBenchCompare({good, good, "--rel-tol", "bogus"}, nullptr), 2);
+}
+
+}  // namespace
+}  // namespace adarts::tools

@@ -1,0 +1,244 @@
+// Property-style tests over the missingness-scenario registry (ts/scenario):
+// every registered scenario, swept over its rate grid and several random
+// corpora, must (a) land near the requested missing fraction, (b) be a
+// deterministic function of the seed, (c) never mask a series completely,
+// and (d) leave ground-truth values untouched under the mask. The
+// overlapping/disjoint multi-series layouts get their geometric contracts
+// checked explicitly — those are the properties the recommender win-rate
+// sweep leans on.
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "ts/missing.h"
+#include "ts/scenario.h"
+
+namespace adarts::ts {
+namespace {
+
+using ::adarts::testing::MakeCorrelatedSet;
+using ::adarts::testing::MakeSine;
+
+std::vector<TimeSeries> MakeCorpus(std::size_t series, std::size_t length,
+                                   std::uint64_t seed) {
+  auto set = MakeCorrelatedSet(series, length, /*noise=*/0.1, seed);
+  // De-correlate half the corpus a bit so seasonal-gap period estimation
+  // sees realistic (not textbook-clean) inputs.
+  for (std::size_t i = 0; i < set.size(); i += 2) {
+    set[i] = MakeSine(length, 24.0 + static_cast<double>(i), 0.3, seed + 100 + i);
+  }
+  return set;
+}
+
+double MissingFraction(const std::vector<TimeSeries>& set) {
+  std::size_t missing = 0;
+  std::size_t total = 0;
+  for (const auto& s : set) {
+    missing += s.MissingCount();
+    total += s.length();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(missing) /
+                                static_cast<double>(total);
+}
+
+TEST(ScenarioRegistryTest, RegistryIsPopulatedWithUniqueNamedScenarios) {
+  const auto& all = AllScenarios();
+  ASSERT_GE(all.size(), 8u);
+  std::vector<std::string> names;
+  for (const auto& s : all) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_NE(s.apply, nullptr);
+    EXPECT_FALSE(s.rates.empty());
+    for (double r : s.rates) {
+      EXPECT_GT(r, 0.0);
+      EXPECT_LT(r, 1.0);
+    }
+    names.emplace_back(s.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end())
+      << "duplicate scenario names in the registry";
+}
+
+TEST(ScenarioRegistryTest, FindScenarioByNameAndUnknownName) {
+  const auto mcar = FindScenario("mcar");
+  ASSERT_TRUE(mcar.ok());
+  EXPECT_EQ(mcar->name, "mcar");
+  const auto unknown = FindScenario("definitely_not_a_scenario");
+  ASSERT_FALSE(unknown.ok());
+  // The error should list the known names, so a typo in a bench flag is
+  // self-diagnosing.
+  EXPECT_NE(unknown.status().ToString().find("mcar"), std::string::npos);
+}
+
+TEST(ScenarioPropertyTest, HitsRequestedMissingFractionWithinTolerance) {
+  for (const auto& scenario : AllScenarios()) {
+    for (double rate : scenario.rates) {
+      for (std::uint64_t seed : {11u, 29u, 83u}) {
+        auto set = MakeCorpus(6, 192, seed);
+        Rng rng(seed * 7 + 1);
+        ASSERT_TRUE(ApplyScenario(scenario, rate, &rng, &set).ok())
+            << scenario.name << " rate " << rate;
+        const double fraction = MissingFraction(set);
+        // Generators are stochastic and block lengths are clamped to whole
+        // positions / periods, so the contract is a loose band, not
+        // equality: monotone_tail alone draws its length from
+        // [0.5, 1.5] * rate.
+        EXPECT_GE(fraction, rate / 4.0)
+            << scenario.name << " rate " << rate << " seed " << seed;
+        EXPECT_LE(fraction, rate * 3.0 + 4.0 / 192.0)
+            << scenario.name << " rate " << rate << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ScenarioPropertyTest, DeterministicBitForBitForFixedSeed) {
+  for (const auto& scenario : AllScenarios()) {
+    const double rate = scenario.rates.front();
+    auto first = MakeCorpus(5, 160, 17);
+    auto second = MakeCorpus(5, 160, 17);
+    Rng rng_a(999);
+    Rng rng_b(999);
+    ASSERT_TRUE(ApplyScenario(scenario, rate, &rng_a, &first).ok());
+    ASSERT_TRUE(ApplyScenario(scenario, rate, &rng_b, &second).ok());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].missing_mask(), second[i].missing_mask())
+          << scenario.name << " series " << i;
+    }
+    // A different seed must not reproduce the same masks for every
+    // stochastic scenario (all of them draw at least a position).
+    auto third = MakeCorpus(5, 160, 17);
+    Rng rng_c(1000);
+    ASSERT_TRUE(ApplyScenario(scenario, rate, &rng_c, &third).ok());
+    bool any_difference = false;
+    for (std::size_t i = 0; i < first.size() && !any_difference; ++i) {
+      any_difference = first[i].missing_mask() != third[i].missing_mask();
+    }
+    EXPECT_TRUE(any_difference)
+        << scenario.name << ": masks identical across different seeds";
+  }
+}
+
+TEST(ScenarioPropertyTest, NeverMasksASeriesCompletely) {
+  for (const auto& scenario : AllScenarios()) {
+    const double rate = scenario.rates.back();  // the most aggressive rate
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+      auto set = MakeCorpus(8, 96, seed);
+      Rng rng(seed);
+      ASSERT_TRUE(ApplyScenario(scenario, rate, &rng, &set).ok());
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        EXPECT_LT(set[i].MissingCount(), set[i].length())
+            << scenario.name << " fully masked series " << i;
+        // Index 0 stays observed by contract: every imputer has an anchor.
+        EXPECT_FALSE(set[i].IsMissing(0)) << scenario.name;
+      }
+    }
+  }
+}
+
+TEST(ScenarioPropertyTest, MaskingRetainsGroundTruthValues) {
+  for (const auto& scenario : AllScenarios()) {
+    auto set = MakeCorpus(4, 128, 23);
+    const auto original = set;
+    Rng rng(55);
+    ASSERT_TRUE(
+        ApplyScenario(scenario, scenario.rates.front(), &rng, &set).ok());
+    std::size_t masked_total = 0;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      masked_total += set[i].MissingCount();
+      for (std::size_t t = 0; t < set[i].length(); ++t) {
+        EXPECT_EQ(set[i].value(t), original[i].value(t))
+            << scenario.name << ": value rewritten at " << t
+            << " — ImputationRmse ground truth destroyed";
+      }
+    }
+    EXPECT_GT(masked_total, 0u) << scenario.name << " masked nothing";
+  }
+}
+
+TEST(ScenarioPropertyTest, OverlappingBlocksOverlapAcrossSeries) {
+  const auto scenario = FindScenario("overlapping_blocks");
+  ASSERT_TRUE(scenario.ok());
+  for (std::uint64_t seed : {3u, 31u, 71u}) {
+    auto set = MakeCorpus(6, 192, seed);
+    Rng rng(seed);
+    ASSERT_TRUE(ApplyScenario(*scenario, 0.1, &rng, &set).ok());
+    // Count positions masked in at least two series: the defining property
+    // of the overlapping layout (what makes cross-series imputers struggle).
+    std::size_t shared = 0;
+    for (std::size_t t = 0; t < set.front().length(); ++t) {
+      std::size_t masked_here = 0;
+      for (const auto& s : set) masked_here += s.IsMissing(t) ? 1 : 0;
+      if (masked_here >= 2) ++shared;
+    }
+    EXPECT_GT(shared, 0u) << "seed " << seed
+                          << ": no position masked in >= 2 series";
+  }
+}
+
+TEST(ScenarioPropertyTest, DisjointBlocksDoNotOverlapWhenSlotsSuffice) {
+  const auto scenario = FindScenario("disjoint_blocks");
+  ASSERT_TRUE(scenario.ok());
+  // 4 series at rate 0.05 on length 192: block length ~10, slots ~17 >= 4,
+  // so the layout owes us strict disjointness.
+  for (std::uint64_t seed : {7u, 13u}) {
+    auto set = MakeCorpus(4, 192, seed);
+    Rng rng(seed);
+    ASSERT_TRUE(ApplyScenario(*scenario, 0.05, &rng, &set).ok());
+    for (std::size_t t = 0; t < set.front().length(); ++t) {
+      std::size_t masked_here = 0;
+      for (const auto& s : set) masked_here += s.IsMissing(t) ? 1 : 0;
+      EXPECT_LE(masked_here, 1u)
+          << "seed " << seed << ": position " << t
+          << " masked in " << masked_here << " series";
+    }
+  }
+}
+
+TEST(ScenarioErrorTest, RejectsBadRatesAndBadSets) {
+  const auto& scenario = AllScenarios().front();
+  Rng rng(1);
+  auto set = MakeCorpus(3, 64, 9);
+  EXPECT_FALSE(ApplyScenario(scenario, 0.0, &rng, &set).ok());
+  EXPECT_FALSE(ApplyScenario(scenario, 1.0, &rng, &set).ok());
+  EXPECT_FALSE(ApplyScenario(scenario, -0.2, &rng, &set).ok());
+
+  std::vector<TimeSeries> empty;
+  EXPECT_FALSE(ApplyScenario(scenario, 0.1, &rng, &empty).ok());
+
+  // Too short for any block layout.
+  std::vector<TimeSeries> tiny;
+  tiny.emplace_back(la::Vector{1.0, 2.0, 3.0});
+  EXPECT_FALSE(ApplyScenario(scenario, 0.1, &rng, &tiny).ok());
+
+  // Mixed lengths: set-wise layouts need one shared length.
+  auto mixed = MakeCorpus(2, 64, 9);
+  mixed.push_back(MakeSine(96, 24.0));
+  EXPECT_FALSE(ApplyScenario(scenario, 0.1, &rng, &mixed).ok());
+}
+
+TEST(ScenarioErrorTest, SeasonalGapsFallsBackWhenPeriodUndetectable) {
+  // White noise has no dominant period; the generator must fall back to a
+  // default cycle rather than fail or mask nothing.
+  const auto scenario = FindScenario("seasonal_gaps");
+  ASSERT_TRUE(scenario.ok());
+  Rng noise_rng(77);
+  std::vector<TimeSeries> set;
+  for (int s = 0; s < 3; ++s) {
+    la::Vector v(128);
+    for (auto& x : v) x = noise_rng.Normal(0.0, 1.0);
+    set.emplace_back(std::move(v));
+  }
+  Rng rng(5);
+  ASSERT_TRUE(ApplyScenario(*scenario, 0.1, &rng, &set).ok());
+  EXPECT_GT(MissingFraction(set), 0.0);
+}
+
+}  // namespace
+}  // namespace adarts::ts

@@ -1,0 +1,23 @@
+// bench_compare — the efficacy-regression gate over `BenchJsonWriter`
+// JSON-lines records (GCG check/cmpres style: diff two result runs, flag
+// every regression, exit non-zero so CI goes red).
+//
+//   bench_compare baseline.json current.json [--rel-tol 0.10] [--abs-tol X]
+//                 [--check-perf] [--perf-rel-tol 0.25]
+//
+// Pairs records by (bench, params), then checks: checksum drift (either
+// direction — the digest changing means the results changed), metric
+// regressions with per-name direction (win_rate falling and rmse rising are
+// both red), records or metrics that disappeared, and — with --check-perf —
+// inflated wall seconds / stage spans / latency-histogram percentiles
+// (e.g. recommend.latency p99). Exit codes: 0 clean, 1 regression,
+// 2 usage/unreadable/malformed input. See DESIGN.md §11.
+
+#include <vector>
+
+#include "tools/bench_compare_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return adarts::tools::RunBenchCompare(args, nullptr);
+}

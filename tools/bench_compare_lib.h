@@ -1,0 +1,107 @@
+#ifndef ADARTS_TOOLS_BENCH_COMPARE_LIB_H_
+#define ADARTS_TOOLS_BENCH_COMPARE_LIB_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adarts::tools {
+
+/// One parsed line of a `BenchJsonWriter` JSON-lines file
+/// (bench/bench_util.h): the record identity (bench name + params), the
+/// result digests (checksum + named metrics) and the flattened performance
+/// numbers (wall seconds, stage spans, latency-histogram percentiles).
+struct BenchRecord {
+  std::string bench;
+  std::vector<std::pair<std::string, std::string>> params;  ///< sorted by key
+  double seconds = 0.0;
+  double checksum = 0.0;
+  /// Named result metrics from the record's `metrics` object.
+  std::map<std::string, double> metrics;
+  /// Performance numbers: "seconds", "spans.<name>", and
+  /// "hist.<name>.p50_ns/p90_ns/p99_ns" flattened out of `stages`.
+  std::map<std::string, double> perf;
+
+  /// Stable identity used to pair baseline and current records:
+  /// `bench{k=v,...}` with params in key order.
+  std::string Key() const;
+};
+
+/// Parses a whole JSON-lines file of bench records. Empty lines are
+/// skipped; a line that is not valid JSON or not record-shaped fails with
+/// InvalidArgument naming the line number (hostile input never crashes).
+/// When the same record key appears on several lines — appended re-runs —
+/// the last occurrence wins, matching "latest run" semantics.
+Result<std::vector<BenchRecord>> ParseBenchRecords(const std::string& text);
+
+struct CompareOptions {
+  /// Relative tolerance on checksum and metric values.
+  double rel_tol = 0.10;
+  /// Absolute floor below which differences never count (FP noise).
+  double abs_tol = 1e-9;
+  /// Also gate the performance numbers (seconds, spans, histogram
+  /// percentiles). Off by default: timings are machine-dependent, results
+  /// are not.
+  bool check_perf = false;
+  /// Relative tolerance for the performance numbers (generous by default —
+  /// CI machines are noisy).
+  double perf_rel_tol = 0.25;
+};
+
+/// One observation of the diff. Only some kinds fail the comparison:
+/// regressions, drift, and baseline records/metrics that disappeared.
+/// Improvements and newly-added records are reported for the log but are
+/// never red — adding a bench must not break the gate.
+struct Finding {
+  enum class Kind {
+    kChecksumDrift,      ///< checksum moved either way beyond tolerance
+    kMetricRegression,   ///< a metric got worse (direction-aware)
+    kMetricImprovement,  ///< a metric got better beyond tolerance (info)
+    kPerfRegression,     ///< a perf number inflated (with check_perf)
+    kMissingRecord,      ///< baseline record absent from current run
+    kMissingMetric,      ///< baseline metric absent from current record
+    kAddedRecord,        ///< current-only record (info)
+  };
+  Kind kind;
+  std::string key;    ///< record key
+  std::string field;  ///< metric/perf name; empty for record-level findings
+  double baseline = 0.0;
+  double current = 0.0;
+
+  bool fails() const;
+  std::string ToString() const;
+};
+
+struct CompareReport {
+  std::vector<Finding> findings;
+  std::size_t compared_records = 0;
+  std::size_t compared_values = 0;
+
+  bool failed() const;
+  /// Full human-readable report: one line per finding plus the verdict.
+  std::string ToString() const;
+};
+
+/// Direction convention for metric names: quality scores (win_rate,
+/// accuracy, f1, mrr, throughput...) are higher-better, everything else
+/// (RMSE, latency, failure counts) lower-better.
+bool MetricHigherIsBetter(const std::string& name);
+
+/// Diffs `current` against `baseline` under `options`.
+CompareReport CompareBenchRecords(const std::vector<BenchRecord>& baseline,
+                                  const std::vector<BenchRecord>& current,
+                                  const CompareOptions& options);
+
+/// The whole CLI (shared with tests): `args` is argv[1..]. Appends the
+/// report to `*output` when non-null, else prints to stdout/stderr.
+/// Returns 0 (no regressions), 1 (regressions / missing records), or
+/// 2 (usage, unreadable file, or malformed JSON).
+int RunBenchCompare(const std::vector<std::string>& args, std::string* output);
+
+}  // namespace adarts::tools
+
+#endif  // ADARTS_TOOLS_BENCH_COMPARE_LIB_H_

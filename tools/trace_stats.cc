@@ -7,214 +7,24 @@
 //
 // Reports the top span families by total and self time (self = total minus
 // the time covered by spans nested inside, per thread), per-thread busy
-// utilization %, and the dropped-events count. The JSON reader below is a
-// minimal recursive-descent parser for the tracer's output schema — the
-// repo deliberately has no third-party JSON dependency.
+// utilization %, and the dropped-events count. JSON reading goes through
+// common/json.h — the repo's own minimal parser, shared with bench_compare;
+// the repo deliberately has no third-party JSON dependency.
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value + parser (objects, arrays, strings, numbers, literals).
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    const bool ok = ParseValue(out);
-    SkipWhitespace();
-    return ok && pos_ == text_.size();
-  }
-
- private:
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipWhitespace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{':
-        return ParseObject(out);
-      case '[':
-        return ParseArray(out);
-      case '"':
-        out->type = JsonValue::Type::kString;
-        return ParseString(&out->str);
-      case 't':
-      case 'f':
-        return ParseLiteral(out);
-      case 'n':
-        return ParseLiteral(out);
-      default:
-        return ParseNumber(out);
-    }
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->type = JsonValue::Type::kObject;
-    if (!Consume('{')) return false;
-    if (Consume('}')) return true;
-    for (;;) {
-      SkipWhitespace();
-      std::string key;
-      if (!ParseString(&key)) return false;
-      if (!Consume(':')) return false;
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->object.emplace(std::move(key), std::move(value));
-      if (Consume(',')) continue;
-      return Consume('}');
-    }
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->type = JsonValue::Type::kArray;
-    if (!Consume('[')) return false;
-    if (Consume(']')) return true;
-    for (;;) {
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->array.push_back(std::move(value));
-      if (Consume(',')) continue;
-      return Consume(']');
-    }
-  }
-
-  bool ParseString(std::string* out) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c != '\\') {
-        out->push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) return false;
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-          out->push_back('"');
-          break;
-        case '\\':
-          out->push_back('\\');
-          break;
-        case '/':
-          out->push_back('/');
-          break;
-        case 'n':
-          out->push_back('\n');
-          break;
-        case 't':
-          out->push_back('\t');
-          break;
-        case 'r':
-          out->push_back('\r');
-          break;
-        case 'b':
-          out->push_back('\b');
-          break;
-        case 'f':
-          out->push_back('\f');
-          break;
-        case 'u': {
-          // The tracer only emits \u00XX escapes for control characters;
-          // decode the low byte and ignore the (always-zero) high byte.
-          if (pos_ + 4 > text_.size()) return false;
-          const std::string hex = text_.substr(pos_, 4);
-          pos_ += 4;
-          out->push_back(static_cast<char>(
-              std::strtol(hex.c_str(), nullptr, 16) & 0xff));
-          break;
-        }
-        default:
-          return false;
-      }
-    }
-    return false;  // unterminated string
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out->type = JsonValue::Type::kNumber;
-    out->number = std::atof(text_.substr(start, pos_ - start).c_str());
-    return true;
-  }
-
-  bool ParseLiteral(JsonValue* out) {
-    const auto match = [&](const char* word) {
-      const std::size_t len = std::strlen(word);
-      if (text_.compare(pos_, len, word) != 0) return false;
-      pos_ += len;
-      return true;
-    };
-    if (match("true")) {
-      out->type = JsonValue::Type::kBool;
-      out->boolean = true;
-      return true;
-    }
-    if (match("false")) {
-      out->type = JsonValue::Type::kBool;
-      out->boolean = false;
-      return true;
-    }
-    if (match("null")) {
-      out->type = JsonValue::Type::kNull;
-      return true;
-    }
-    return false;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using adarts::json::JsonValue;
+using adarts::json::ParseJson;
 
 // ---------------------------------------------------------------------------
 // Trace analysis.
@@ -277,11 +87,11 @@ int main(int argc, char** argv) {
   }
   std::fclose(f);
 
-  JsonValue root;
-  if (!JsonParser(text).Parse(&root) ||
-      root.type != JsonValue::Type::kObject) {
+  const auto parsed = ParseJson(text);
+  if (!parsed.ok() || !parsed->is_object()) {
     return Fail("not valid JSON");
   }
+  const JsonValue& root = *parsed;
   const JsonValue* events = root.Find("traceEvents");
   if (events == nullptr || events->type != JsonValue::Type::kArray) {
     return Fail("no traceEvents array — not a Chrome trace-event file");
