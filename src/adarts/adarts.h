@@ -1,6 +1,9 @@
 #ifndef ADARTS_ADARTS_ADARTS_H_
 #define ADARTS_ADARTS_ADARTS_H_
 
+#include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "automl/model_race.h"
@@ -241,15 +244,34 @@ class Adarts {
       const std::vector<ts::TimeSeries>& faulty_set,
       const RecommendBatchOptions& options, ExecContext& ctx) const;
 
-  /// Persists the engine as a deterministic model bundle: extractor
-  /// options, algorithm pool, committee pipeline specs, and the labeled
-  /// training dataset. Because every classifier is deterministic given its
-  /// stored seed, Load refits the committee exactly and the loaded engine
-  /// reproduces this engine's recommendations bit-for-bit.
+  /// Persists the engine as a deterministic model bundle: a versioned
+  /// snapshot header (format version, monotonic engine version, creation
+  /// time, payload length, FNV-1a content checksum) followed by the
+  /// payload — extractor options, algorithm pool, committee pipeline
+  /// specs, and the labeled training dataset. Because every classifier is
+  /// deterministic given its stored seed, Load refits the committee
+  /// exactly and the loaded engine reproduces this engine's
+  /// recommendations bit-for-bit. The payload is byte-identical across
+  /// saves of the same engine; only `created_unix` in the header moves.
   Status Save(const std::string& path) const;
 
-  /// Restores an engine saved with Save.
+  /// Restores an engine saved with Save. The header is verified BEFORE any
+  /// payload parsing or allocation: a wrong magic, an unsupported format
+  /// version, a payload shorter or longer than the header declares (a torn
+  /// write), or an FNV-1a checksum mismatch (any flipped byte) each yield
+  /// a precise InvalidArgument naming what disagreed.
   static Result<Adarts> Load(const std::string& path);
+
+  /// Monotonic version of this engine, stamped into the snapshot header by
+  /// `Save` and restored by `Load`. A freshly trained engine is version 1;
+  /// publishers bump it before saving so the serving daemon's hot-swap can
+  /// reject stale snapshots (DESIGN.md §12).
+  std::uint64_t engine_version() const { return engine_version_; }
+  void set_engine_version(std::uint64_t version) { engine_version_ = version; }
+
+  /// Wall-clock seconds-since-epoch recorded in the snapshot header this
+  /// engine was loaded from; 0 for engines that never round-tripped disk.
+  std::uint64_t snapshot_created_unix() const { return created_unix_; }
 
   /// Feature vector of a (possibly incomplete) series under the engine's
   /// configured extractor.
@@ -296,7 +318,32 @@ class Adarts {
   /// Majority training label; computed in the constructor so Save/Load
   /// needs no bundle-format change. 0 when labels are absent.
   int default_class_ = 0;
+  /// Snapshot-versioning metadata (see `engine_version()`).
+  std::uint64_t engine_version_ = 1;
+  std::uint64_t created_unix_ = 0;
 };
+
+/// The verified metadata block at the front of a model bundle (DESIGN.md
+/// §12). `Adarts::Load` re-derives and checks every field; this struct and
+/// `ReadSnapshotHeader` let tools inspect a snapshot without paying for the
+/// full committee refit.
+struct SnapshotHeader {
+  std::uint32_t format_version = 0;
+  std::uint64_t engine_version = 0;
+  std::uint64_t created_unix = 0;
+  std::uint64_t payload_bytes = 0;
+  /// FNV-1a (64-bit) over the payload bytes.
+  std::uint64_t checksum = 0;
+};
+
+/// Parses and bounds-checks the header of a snapshot at `path` without
+/// reading or verifying the payload. Same rejection vocabulary as Load for
+/// the header itself (bad magic, unsupported format version).
+Result<SnapshotHeader> ReadSnapshotHeader(const std::string& path);
+
+/// FNV-1a 64-bit over `data` — the snapshot content checksum. Exposed so
+/// tests and the chaos harness can compute expected digests.
+std::uint64_t Fnv1a64(std::string_view data);
 
 }  // namespace adarts
 

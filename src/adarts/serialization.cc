@@ -1,13 +1,21 @@
 // Save/Load of trained engines as deterministic model bundles (see
-// Adarts::Save in adarts.h). The format is a whitespace-separated text
-// archive: doubles round-trip at 17 significant digits and classifier
-// training is fully deterministic given the stored seeds, so a loaded
-// engine's committee is bit-identical to the saved one.
+// Adarts::Save in adarts.h). The format is a versioned snapshot: one magic
+// line, one header line `header <format_version> <engine_version>
+// <created_unix> <payload_bytes> <fnv1a-hex>`, then the payload — a
+// whitespace-separated text archive in which doubles round-trip at 17
+// significant digits. Classifier training is fully deterministic given the
+// stored seeds, so a loaded engine's committee is bit-identical to the
+// saved one. Load verifies the header bounds, the declared payload length
+// and the FNV-1a content checksum BEFORE parsing a single payload token:
+// a torn write, a flipped byte, or a future-format file is rejected with a
+// precise error instead of being half-trusted (DESIGN.md §12).
 
+#include <ctime>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -19,7 +27,12 @@ namespace adarts {
 
 namespace {
 
-constexpr char kMagic[] = "ADARTS_MODEL_V1";
+constexpr char kMagic[] = "ADARTS_MODEL_V2";
+constexpr char kMagicV1[] = "ADARTS_MODEL_V1";
+constexpr std::uint32_t kFormatVersion = 2;
+// Upper bound on the declared payload length — rejects absurd headers
+// before any read of attacker-controlled size succeeds in allocating.
+constexpr std::uint64_t kMaxPayloadBytes = std::uint64_t{1} << 30;  // 1 GiB
 
 // Upper bounds a well-formed bundle can never exceed. Load validates every
 // on-disk size against these BEFORE any reserve/resize, so a truncated or
@@ -42,12 +55,102 @@ Status Expect(std::istream& in, const std::string& token) {
   return Status::OK();
 }
 
+std::string ChecksumHex(std::uint64_t checksum) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(checksum));
+  return std::string(buf);
+}
+
+// Parses the magic + header lines from `in`. Shared by Adarts::Load and
+// ReadSnapshotHeader so the two can never disagree on what a valid header
+// looks like.
+Result<SnapshotHeader> ParseHeader(std::istream& in, const std::string& path) {
+  std::string magic;
+  if (!std::getline(in, magic)) {
+    return Status::InvalidArgument("model bundle: empty file: " + path);
+  }
+  if (magic == kMagicV1) {
+    return Status::InvalidArgument(
+        "model bundle: unversioned V1 snapshot no longer supported "
+        "(re-save with this build to produce a V2 snapshot): " +
+        path);
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("model bundle: bad magic '" + magic +
+                                   "' (want '" + kMagic + "'): " + path);
+  }
+  std::string header_line;
+  if (!std::getline(in, header_line)) {
+    return Status::InvalidArgument("model bundle: missing header line: " +
+                                   path);
+  }
+  std::istringstream hs(header_line);
+  SnapshotHeader header;
+  std::string tag;
+  std::string checksum_hex;
+  if (!(hs >> tag >> header.format_version >> header.engine_version >>
+        header.created_unix >> header.payload_bytes >> checksum_hex) ||
+      tag != "header") {
+    return Status::InvalidArgument("model bundle: malformed header line '" +
+                                   header_line + "': " + path);
+  }
+  std::string trailing;
+  if (hs >> trailing) {
+    return Status::InvalidArgument(
+        "model bundle: trailing header fields starting at '" + trailing +
+        "': " + path);
+  }
+  if (header.format_version != kFormatVersion) {
+    const std::string relation =
+        header.format_version > kFormatVersion
+            ? "newer than this build understands"
+            : "older than this build supports";
+    return Status::InvalidArgument(
+        "model bundle: format_version " +
+        std::to_string(header.format_version) + " is " + relation +
+        " (want " + std::to_string(kFormatVersion) + "): " + path);
+  }
+  if (header.engine_version == 0) {
+    return Status::InvalidArgument(
+        "model bundle: engine_version 0 is reserved: " + path);
+  }
+  if (header.payload_bytes == 0 || header.payload_bytes > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "model bundle: implausible payload_bytes " +
+        std::to_string(header.payload_bytes) + " (max " +
+        std::to_string(kMaxPayloadBytes) + "): " + path);
+  }
+  if (checksum_hex.size() != 16 ||
+      checksum_hex.find_first_not_of("0123456789abcdef") !=
+          std::string::npos) {
+    return Status::InvalidArgument("model bundle: bad checksum field '" +
+                                   checksum_hex + "': " + path);
+  }
+  header.checksum = std::strtoull(checksum_hex.c_str(), nullptr, 16);
+  return header;
+}
+
 }  // namespace
+
+std::uint64_t Fnv1a64(std::string_view data) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+Result<SnapshotHeader> ReadSnapshotHeader(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open: " + path);
+  return ParseHeader(file, path);
+}
 
 Status Adarts::Save(const std::string& path) const {
   std::ostringstream out;
   out.precision(17);
-  out << kMagic << '\n';
 
   const features::FeatureExtractorOptions& fopts = extractor_.options();
   out << "extractor " << (fopts.statistical ? 1 : 0) << ' '
@@ -84,6 +187,18 @@ Status Adarts::Save(const std::string& path) const {
   }
   out << "end\n";
 
+  // The checksum covers exactly the payload bytes (extractor..end); the
+  // header line carries its length and FNV-1a so Load can verify integrity
+  // before parsing a single payload token.
+  const std::string payload = out.str();
+  const std::uint64_t created = static_cast<std::uint64_t>(std::time(nullptr));
+  std::ostringstream head;
+  head << kMagic << '\n'
+       << "header " << kFormatVersion << ' ' << engine_version_ << ' '
+       << created << ' ' << payload.size() << ' '
+       << ChecksumHex(Fnv1a64(payload)) << '\n';
+  const std::string bundle = head.str() + payload;
+
   // Atomic publish: the bundle is written to a private temp file and renamed
   // over the destination, so a crash, ENOSPC, or an armed failpoint at any
   // point leaves the previously-good snapshot at `path` untouched — the
@@ -92,12 +207,12 @@ Status Adarts::Save(const std::string& path) const {
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   Status written = [&]() -> Status {
-    std::ofstream file(tmp, std::ios::trunc);
+    std::ofstream file(tmp, std::ios::trunc | std::ios::binary);
     if (!file) return Status::Internal("cannot open for writing: " + tmp);
     // Models a crash mid-write: the temp file exists but its contents never
     // complete. The destination must survive this bit-identically.
     ADARTS_FAILPOINT("adarts.save.write");
-    file << out.str();
+    file << bundle;
     file.flush();
     if (!file.good()) return Status::Internal("write failed: " + tmp);
     return Status::OK();
@@ -125,25 +240,53 @@ Status Adarts::Save(const std::string& path) const {
 
 Result<Adarts> Adarts::Load(const std::string& path) {
   ADARTS_FAILPOINT("adarts.load.read");
-  std::ifstream file(path);
+  std::ifstream file(path, std::ios::binary);
   if (!file) return Status::NotFound("cannot open: " + path);
 
-  ADARTS_RETURN_NOT_OK(Expect(file, kMagic));
+  ADARTS_ASSIGN_OR_RETURN(SnapshotHeader header, ParseHeader(file, path));
 
-  ADARTS_RETURN_NOT_OK(Expect(file, "extractor"));
+  // Pull exactly the declared payload: fewer bytes means a torn write, more
+  // means trailing garbage — both are rejected before any token is trusted.
+  std::string payload(header.payload_bytes, '\0');
+  file.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const std::uint64_t got = static_cast<std::uint64_t>(file.gcount());
+  if (got < header.payload_bytes) {
+    return Status::InvalidArgument(
+        "model bundle: torn snapshot — header declares " +
+        std::to_string(header.payload_bytes) + " payload bytes but only " +
+        std::to_string(got) + " present: " + path);
+  }
+  if (file.peek() != std::ifstream::traits_type::eof()) {
+    return Status::InvalidArgument(
+        "model bundle: trailing bytes after declared payload: " + path);
+  }
+
+  // Models a checksum/verify failure without needing a corrupt file on disk.
+  ADARTS_FAILPOINT("adarts.load.verify");
+  const std::uint64_t actual = Fnv1a64(payload);
+  if (actual != header.checksum) {
+    return Status::InvalidArgument(
+        "model bundle: checksum mismatch — header says " +
+        ChecksumHex(header.checksum) + ", payload hashes to " +
+        ChecksumHex(actual) + " (corrupted snapshot): " + path);
+  }
+
+  std::istringstream in(payload);
+
+  ADARTS_RETURN_NOT_OK(Expect(in, "extractor"));
   features::FeatureExtractorOptions fopts;
   int statistical = 0;
   int topological = 0;
-  if (!(file >> statistical >> topological >> fopts.embedding_dimension >>
+  if (!(in >> statistical >> topological >> fopts.embedding_dimension >>
         fopts.embedding_tau >> fopts.landmarks >> fopts.max_acf_lag)) {
     return Status::InvalidArgument("model bundle: bad extractor block");
   }
   fopts.statistical = statistical != 0;
   fopts.topological = topological != 0;
 
-  ADARTS_RETURN_NOT_OK(Expect(file, "pool"));
+  ADARTS_RETURN_NOT_OK(Expect(in, "pool"));
   std::size_t pool_size = 0;
-  if (!(file >> pool_size) || pool_size == 0 || pool_size > kMaxPoolSize) {
+  if (!(in >> pool_size) || pool_size == 0 || pool_size > kMaxPoolSize) {
     return Status::InvalidArgument("model bundle: bad pool size " +
                                    std::to_string(pool_size) + " (max " +
                                    std::to_string(kMaxPoolSize) + ")");
@@ -152,7 +295,7 @@ Result<Adarts> Adarts::Load(const std::string& path) {
   pool.reserve(pool_size);
   for (std::size_t i = 0; i < pool_size; ++i) {
     std::string name;
-    if (!(file >> name)) {
+    if (!(in >> name)) {
       return Status::InvalidArgument("model bundle: truncated pool");
     }
     ADARTS_ASSIGN_OR_RETURN(impute::Algorithm a,
@@ -160,9 +303,9 @@ Result<Adarts> Adarts::Load(const std::string& path) {
     pool.push_back(a);
   }
 
-  ADARTS_RETURN_NOT_OK(Expect(file, "committee"));
+  ADARTS_RETURN_NOT_OK(Expect(in, "committee"));
   std::size_t committee_size = 0;
-  if (!(file >> committee_size) || committee_size == 0 ||
+  if (!(in >> committee_size) || committee_size == 0 ||
       committee_size > kMaxCommitteeSize) {
     return Status::InvalidArgument("model bundle: bad committee size " +
                                    std::to_string(committee_size) + " (max " +
@@ -171,12 +314,12 @@ Result<Adarts> Adarts::Load(const std::string& path) {
   std::vector<automl::Pipeline> specs;
   specs.reserve(committee_size);
   for (std::size_t i = 0; i < committee_size; ++i) {
-    ADARTS_RETURN_NOT_OK(Expect(file, "pipeline"));
+    ADARTS_RETURN_NOT_OK(Expect(in, "pipeline"));
     automl::Pipeline spec;
     std::string classifier_name;
     std::string scaler_name;
     std::size_t num_params = 0;
-    if (!(file >> classifier_name >> scaler_name >> spec.scaler_param >>
+    if (!(in >> classifier_name >> scaler_name >> spec.scaler_param >>
           spec.id >> num_params) ||
         num_params > kMaxPipelineParams) {
       return Status::InvalidArgument("model bundle: bad pipeline header");
@@ -196,7 +339,7 @@ Result<Adarts> Adarts::Load(const std::string& path) {
     for (std::size_t p = 0; p < num_params; ++p) {
       std::string key;
       double value = 0.0;
-      if (!(file >> key >> value)) {
+      if (!(in >> key >> value)) {
         return Status::InvalidArgument("model bundle: truncated params");
       }
       spec.params[key] = value;
@@ -204,11 +347,11 @@ Result<Adarts> Adarts::Load(const std::string& path) {
     specs.push_back(std::move(spec));
   }
 
-  ADARTS_RETURN_NOT_OK(Expect(file, "dataset"));
+  ADARTS_RETURN_NOT_OK(Expect(in, "dataset"));
   std::size_t samples = 0;
   std::size_t dim = 0;
   ml::Dataset labeled;
-  if (!(file >> samples >> dim >> labeled.num_classes) || samples == 0 ||
+  if (!(in >> samples >> dim >> labeled.num_classes) || samples == 0 ||
       dim == 0 || dim > kMaxFeatureDim || samples > kMaxDatasetValues / dim ||
       labeled.num_classes <= 0 ||
       static_cast<std::size_t>(labeled.num_classes) > kMaxPoolSize) {
@@ -222,19 +365,19 @@ Result<Adarts> Adarts::Load(const std::string& path) {
   labeled.labels.reserve(samples);
   for (std::size_t i = 0; i < samples; ++i) {
     int label = 0;
-    if (!(file >> label)) {
+    if (!(in >> label)) {
       return Status::InvalidArgument("model bundle: truncated labels");
     }
     la::Vector f(dim);
     for (std::size_t j = 0; j < dim; ++j) {
-      if (!(file >> f[j])) {
+      if (!(in >> f[j])) {
         return Status::InvalidArgument("model bundle: truncated features");
       }
     }
     labeled.labels.push_back(label);
     labeled.features.push_back(std::move(f));
   }
-  ADARTS_RETURN_NOT_OK(Expect(file, "end"));
+  ADARTS_RETURN_NOT_OK(Expect(in, "end"));
   ADARTS_RETURN_NOT_OK(labeled.Validate());
   if (static_cast<int>(pool.size()) != labeled.num_classes) {
     return Status::InvalidArgument("model bundle: pool/classes mismatch");
@@ -254,8 +397,11 @@ Result<Adarts> Adarts::Load(const std::string& path) {
       automl::VotingRecommender recommender,
       automl::VotingRecommender::FromPipelines(std::move(committee),
                                                labeled.num_classes));
-  return Adarts(features::FeatureExtractor(fopts), std::move(recommender),
+  Adarts engine(features::FeatureExtractor(fopts), std::move(recommender),
                 std::move(report), std::move(pool), std::move(labeled));
+  engine.engine_version_ = header.engine_version;
+  engine.created_unix_ = header.created_unix;
+  return engine;
 }
 
 }  // namespace adarts

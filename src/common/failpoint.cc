@@ -175,6 +175,7 @@ const std::vector<std::string_view>& AllFailpointSites() {
   static const std::vector<std::string_view>* sites =
       new std::vector<std::string_view>{
           "adarts.load.read",
+          "adarts.load.verify",
           "adarts.save.commit",
           "adarts.save.write",
           "adarts.train.start",
@@ -195,6 +196,12 @@ const std::vector<std::string_view>& AllFailpointSites() {
           "io.csv.write",
           "la.pca.fit",
           "la.svd",
+          "net.accept",
+          "net.queue.push",
+          "net.read.frame",
+          "net.reload.swap",
+          "net.reload.verify",
+          "net.write.frame",
       };
   return *sites;
 }

@@ -37,6 +37,20 @@ void RequestShutdown();
 /// Clears the flag and drains the pipe so the next test starts fresh.
 void ResetShutdownLatchForTest();
 
+/// Registers a SIGHUP handler that bumps an atomic reload counter and
+/// writes to the same self-pipe, waking the daemon's poll loop. Unlike the
+/// shutdown latch, reloads are repeatable: each SIGHUP is one request.
+/// Requires `InstallShutdownHandler` to have run first (shares the pipe).
+Status InstallReloadHandler();
+
+/// Consumes one pending reload request: true exactly once per SIGHUP (or
+/// `RequestReloadSignal`) since the last call. The daemon polls this after
+/// each pipe wake and triggers `Server::RequestReload` on true.
+bool ConsumeReloadRequest();
+
+/// Trips the reload counter programmatically (tests). Async-signal-safe.
+void RequestReloadSignal();
+
 }  // namespace adarts
 
 #endif  // ADARTS_COMMON_SHUTDOWN_H_

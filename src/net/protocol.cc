@@ -166,7 +166,7 @@ Status DecodeSeriesVector(Reader* in, std::size_t max_count,
 
 bool IsValidMessageType(std::uint8_t value) {
   return value >= static_cast<std::uint8_t>(MessageType::kPing) &&
-         value <= static_cast<std::uint8_t>(MessageType::kRepair);
+         value <= static_cast<std::uint8_t>(MessageType::kReload);
 }
 
 std::string EncodeRequest(const Request& request) {
@@ -178,6 +178,7 @@ std::string EncodeRequest(const Request& request) {
   for (const ts::TimeSeries& series : request.series) {
     AppendSeries(&out, series);
   }
+  AppendBytes(&out, request.text);
   return out;
 }
 
@@ -197,19 +198,28 @@ Result<Request> DecodeRequest(std::string_view body) {
   }
   ADARTS_RETURN_NOT_OK(
       DecodeSeriesVector(&in, kMaxSeriesPerRequest, &request.series));
+  std::uint32_t text_len = 0;
+  if (!in.ReadU32(&text_len) || text_len > kMaxMessageBytes ||
+      !in.ReadBytes(text_len, &request.text)) {
+    return Status::InvalidArgument("frame: bad request text field");
+  }
   if (!in.exhausted()) {
     return Status::InvalidArgument("frame: trailing bytes in request");
   }
+  const bool no_series = request.type == MessageType::kPing ||
+                         request.type == MessageType::kReload;
   const std::size_t expected =
-      request.type == MessageType::kPing
-          ? 0
-          : (request.type == MessageType::kRecommendBatch
-                 ? request.series.size()
-                 : 1);
+      no_series ? 0
+                : (request.type == MessageType::kRecommendBatch
+                       ? request.series.size()
+                       : 1);
   if (request.series.size() != expected ||
       (request.type == MessageType::kRecommendBatch &&
        request.series.empty())) {
     return Status::InvalidArgument("frame: wrong series count for type");
+  }
+  if (request.type != MessageType::kReload && !request.text.empty()) {
+    return Status::InvalidArgument("frame: text field on non-reload request");
   }
   return request;
 }
@@ -228,6 +238,7 @@ std::string EncodeResponse(const Response& response) {
   for (const ts::TimeSeries& series : response.series) {
     AppendSeries(&out, series);
   }
+  AppendU64(&out, response.engine_version);
   return out;
 }
 
@@ -265,6 +276,9 @@ Result<Response> DecodeResponse(std::string_view body) {
   }
   ADARTS_RETURN_NOT_OK(
       DecodeSeriesVector(&in, kMaxSeriesPerRequest, &response.series));
+  if (!in.ReadU64(&response.engine_version)) {
+    return Status::InvalidArgument("frame: truncated engine_version");
+  }
   if (!in.exhausted()) {
     return Status::InvalidArgument("frame: trailing bytes in response");
   }

@@ -21,11 +21,15 @@ namespace adarts::net {
 ///
 /// Request body:
 ///
-///   u8   type          (kPing | kRecommend | kRecommendBatch | kRepair)
+///   u8   type          (kPing | kRecommend | kRecommendBatch | kRepair |
+///                       kReload)
 ///   u64  id            (echoed verbatim in the response)
 ///   f64  deadline_ms   (<= 0: use the server's default deadline)
-///   u32  series_count  (0 for ping, 1 for recommend/repair, N for batch)
+///   u32  series_count  (0 for ping/reload, 1 for recommend/repair,
+///                       N for batch)
 ///   series...
+///   u32  text_len + bytes   (kReload: snapshot path, empty = the path the
+///                            server was started with; others: empty)
 ///
 /// Response body:
 ///
@@ -35,6 +39,8 @@ namespace adarts::net {
 ///   u32  message_len + bytes          (empty on success)
 ///   u32  algorithm_count + (u32 len + bytes) each
 ///   u32  series_count + series each   (repair results)
+///   u64  engine_version               (version of the engine that answered;
+///                                      lets clients detect a live swap)
 ///
 /// A series is `u32 name_len + bytes, u64 length, length f64 values`
 /// (IEEE-754 bit patterns, little-endian); NaN marks a missing position in
@@ -51,9 +57,13 @@ enum class MessageType : std::uint8_t {
   kRecommend = 2,
   kRecommendBatch = 3,
   kRepair = 4,
+  /// Ask the server to validate + hot-swap a new engine snapshot. Answered
+  /// only after the reload pipeline finishes: kOk with the new version, or
+  /// the validation error with the old engine still serving.
+  kReload = 5,
 };
 
-/// True for the four known message types.
+/// True for the five known message types.
 bool IsValidMessageType(std::uint8_t value);
 
 /// Hard caps a well-formed frame can never exceed; decode rejects anything
@@ -71,6 +81,9 @@ struct Request {
   /// server default (which may be "none").
   double deadline_ms = 0.0;
   std::vector<ts::TimeSeries> series;
+  /// kReload: path of the snapshot to load; empty means "re-read the path
+  /// the server was started with". Must be empty for every other type.
+  std::string text;
 };
 
 struct Response {
@@ -82,6 +95,11 @@ struct Response {
   std::vector<std::string> algorithms;
   /// Repaired series (kRepair).
   std::vector<ts::TimeSeries> series;
+  /// engine_version of the engine that served this request (0 for replies
+  /// that never touched an engine, e.g. shed or malformed-frame errors).
+  /// A burst of requests straddling a hot-swap can partition its responses
+  /// into exactly two version groups — never a mix within one response.
+  std::uint64_t engine_version = 0;
 
   bool ok() const { return code == StatusCode::kOk; }
 };

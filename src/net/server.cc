@@ -5,10 +5,12 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "common/trace.h"
 #include "impute/imputer.h"
@@ -24,12 +26,38 @@ std::uint64_t SteadyNowNs() {
           .count());
 }
 
+// The self-check input every staged engine must handle before it may serve:
+// a plausible sine-plus-trend series with one missing block, exercising the
+// full feature-extract → committee-vote path.
+ts::TimeSeries CanarySeries() {
+  constexpr std::size_t kLength = 96;
+  la::Vector values(kLength);
+  std::vector<bool> missing(kLength, false);
+  for (std::size_t i = 0; i < kLength; ++i) {
+    values[i] = std::sin(0.2 * static_cast<double>(i)) +
+                0.01 * static_cast<double>(i);
+  }
+  for (std::size_t i = 40; i < 48; ++i) {
+    missing[i] = true;
+    values[i] = 0.0;
+  }
+  ts::TimeSeries series(std::move(values), std::move(missing));
+  series.set_name("__reload_canary__");
+  return series;
+}
+
 }  // namespace
 
 Server::Server(const Adarts& engine, ServeOptions options)
-    : engine_(engine),
+    : Server(std::shared_ptr<const Adarts>(&engine, [](const Adarts*) {}),
+             std::move(options)) {}
+
+Server::Server(std::shared_ptr<const Adarts> engine, ServeOptions options)
+    : registry_(std::move(engine),
+                options.model_path.empty() ? "<startup>" : options.model_path),
       options_(std::move(options)),
-      queue_(options_.queue_capacity) {}
+      queue_(options_.queue_capacity),
+      reload_queue_(1) {}
 
 Server::~Server() {
   if (started_.load(std::memory_order_acquire)) {
@@ -69,6 +97,7 @@ Status Server::Start() {
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  reload_thread_ = std::thread([this] { ReloadLoop(); });
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -104,11 +133,15 @@ Status Server::Wait() {
   }
 
   // Phase 3: everything admitted before this line is still answered — the
-  // queue rejects new work but drains existing items to the workers.
+  // queue rejects new work but drains existing items to the workers. The
+  // reload queue gets the same contract: a reload admitted before the drain
+  // still completes (and its reply is written) before the write sides close.
   queue_.Close();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  reload_queue_.Close();
+  if (reload_thread_.joinable()) reload_thread_.join();
 
   // Phase 4: all replies are written; now the write sides may go.
   {
@@ -133,18 +166,46 @@ void Server::AcceptLoop() {
     }
     auto conn = std::make_shared<ConnState>();
     conn->sock = std::move(accepted).value();
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    if (conns_.size() >= options_.max_connections ||
-        shutdown_requested_.load(std::memory_order_acquire)) {
-      // Over the connection cap (or racing a shutdown): refuse by closing.
+    if (FailpointRegistry::Armed() &&
+        !FailpointRegistry::Instance().Check("net.accept").ok()) {
+      // Injected accept-path failure: this one connection is dropped, the
+      // accept loop itself must survive and keep serving.
+      stats_.connections_refused.fetch_add(1, std::memory_order_relaxed);
+      metrics_.Increment("serve.conn_refused");
       continue;
     }
-    conn->index = next_conn_index_++;
-    conns_.push_back(conn);
-    ++active_readers_;
-    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    std::thread([this, conn] { ReaderLoop(conn); }).detach();
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.size() < options_.max_connections &&
+          !shutdown_requested_.load(std::memory_order_acquire)) {
+        conn->index = next_conn_index_++;
+        conns_.push_back(conn);
+        ++active_readers_;
+        stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        std::thread([this, conn] { ReaderLoop(conn); }).detach();
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      // Over the connection cap (or racing a shutdown): accept-then-refuse
+      // with an explicit kUnavailable frame the client can back off on,
+      // instead of a silent close it cannot tell apart from a crash — and
+      // instead of an unbounded reader-thread per excess connection.
+      stats_.connections_refused.fetch_add(1, std::memory_order_relaxed);
+      metrics_.Increment("serve.conn_refused");
+      RefuseConnection(conn->sock);
+    }
   }
+}
+
+void Server::RefuseConnection(Socket& sock) {
+  Response refusal;
+  refusal.code = StatusCode::kUnavailable;
+  refusal.message = "connection limit reached, retry later";
+  // Best-effort: the client may already be gone.
+  (void)WriteFrame(sock, EncodeResponse(refusal));
+  sock.Close();
 }
 
 void Server::ReaderLoop(std::shared_ptr<ConnState> conn) {
@@ -159,6 +220,14 @@ void Server::ReaderLoop(std::shared_ptr<ConnState> conn) {
         LogWarn("serve: connection " + std::to_string(conn->index) +
                 " read failed: " + frame.status().ToString());
       }
+      break;
+    }
+    if (FailpointRegistry::Armed() &&
+        !FailpointRegistry::Instance().Check("net.read.frame").ok()) {
+      // Injected mid-stream read failure: drop the connection exactly as a
+      // torn read would. The client observes a hard close, never a stall.
+      LogWarn("serve: connection " + std::to_string(conn->index) +
+              " injected read failure");
       break;
     }
     stats_.requests_received.fetch_add(1, std::memory_order_relaxed);
@@ -177,6 +246,25 @@ void Server::ReaderLoop(std::shared_ptr<ConnState> conn) {
       break;
     }
 
+    if (request->type == MessageType::kReload) {
+      // Reloads bypass the admission queue: the single reload thread
+      // validates + swaps, then answers on this connection. Capacity 1
+      // means a concurrent second reload is refused, not queued.
+      const std::uint64_t reload_id = request->id;
+      ReloadJob job;
+      job.conn = conn;
+      job.request = std::move(request).value();
+      if (!reload_queue_.TryPush(std::move(job))) {
+        Response response;
+        response.type = MessageType::kReload;
+        response.id = reload_id;
+        response.code = StatusCode::kUnavailable;
+        response.message = "reload already in progress, retry later";
+        SendResponse(conn, response);
+      }
+      continue;
+    }
+
     WorkItem item;
     item.conn = conn;
     item.request = std::move(request).value();
@@ -192,7 +280,10 @@ void Server::ReaderLoop(std::shared_ptr<ConnState> conn) {
 
     const MessageType type = item.request.type;
     const std::uint64_t id = item.request.id;
-    if (!queue_.TryPush(std::move(item))) {
+    const bool injected_shed =
+        FailpointRegistry::Armed() &&
+        !FailpointRegistry::Instance().Check("net.queue.push").ok();
+    if (injected_shed || !queue_.TryPush(std::move(item))) {
       // Admission control: full (or draining) queue sheds with an explicit
       // kUnavailable instead of queueing unboundedly.
       stats_.requests_shed.fetch_add(1, std::memory_order_relaxed);
@@ -251,9 +342,15 @@ void Server::WorkerLoop(std::size_t worker_index) {
       if (options_.worker_hook_for_test) {
         options_.worker_hook_for_test(item.request);
       }
+      // One registry load per request: this reference pins the engine for
+      // the whole execution, so a hot-swap landing mid-request can never
+      // tear it — the request completes on the engine it started on, and
+      // the response reports exactly that engine's version.
+      std::shared_ptr<const Adarts> engine = registry_.Active();
       ctx.set_cancel(item.has_token ? &item.token : nullptr);
-      Execute(ctx, item, &response);
+      Execute(ctx, *engine, item, &response);
       ctx.set_cancel(nullptr);
+      response.engine_version = engine->engine_version();
     }
     if (response.ok()) {
       stats_.requests_ok.fetch_add(1, std::memory_order_relaxed);
@@ -271,14 +368,19 @@ void Server::WorkerLoop(std::size_t worker_index) {
   }
 }
 
-void Server::Execute(ExecContext& ctx, const WorkItem& item,
-                     Response* response) {
+void Server::Execute(ExecContext& ctx, const Adarts& engine,
+                     const WorkItem& item, Response* response) {
   const Request& request = item.request;
   switch (request.type) {
     case MessageType::kPing:
       return;
+    case MessageType::kReload:
+      // Routed to the reload thread in ReaderLoop; reaching here is a bug.
+      response->code = StatusCode::kInternal;
+      response->message = "reload request reached a worker";
+      return;
     case MessageType::kRecommend: {
-      auto rec = engine_.Recommend(request.series[0], ctx);
+      auto rec = engine.Recommend(request.series[0], ctx);
       if (!rec.ok()) {
         response->code = rec.status().code();
         response->message = rec.status().message();
@@ -289,7 +391,7 @@ void Server::Execute(ExecContext& ctx, const WorkItem& item,
     }
     case MessageType::kRecommendBatch: {
       RecommendBatchOptions batch_options;
-      auto recs = engine_.RecommendBatch(request.series, batch_options, ctx);
+      auto recs = engine.RecommendBatch(request.series, batch_options, ctx);
       if (!recs.ok()) {
         response->code = recs.status().code();
         response->message = recs.status().message();
@@ -303,7 +405,7 @@ void Server::Execute(ExecContext& ctx, const WorkItem& item,
       return;
     }
     case MessageType::kRepair: {
-      auto repaired = engine_.Repair(request.series[0], ctx);
+      auto repaired = engine.Repair(request.series[0], ctx);
       if (!repaired.ok()) {
         response->code = repaired.status().code();
         response->message = repaired.status().message();
@@ -317,8 +419,115 @@ void Server::Execute(ExecContext& ctx, const WorkItem& item,
   response->message = "unhandled request type";
 }
 
+void Server::ReloadLoop() {
+  Tracer::SetCurrentThreadName("serve-reload");
+  // A dedicated serial context: canary checks never contend with workers.
+  ExecContext ctx(1, nullptr, TraceOptions{});
+  ReloadJob job;
+  while (reload_queue_.Pop(&job)) {
+    const Status outcome = DoReload(ctx, job.request.text);
+    if (outcome.ok()) {
+      stats_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+      metrics_.Increment("serve.reload.ok");
+    } else {
+      stats_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.Increment("serve.reload.failed");
+      LogWarn("serve: reload rejected, prior engine stays live: " +
+              outcome.ToString());
+    }
+    if (job.conn != nullptr) {
+      Response response;
+      response.type = MessageType::kReload;
+      response.id = job.request.id;
+      if (!outcome.ok()) {
+        response.code = outcome.code();
+        response.message = outcome.message();
+      }
+      // On success: the freshly swapped version. On failure: the version
+      // still serving — proof to the caller that the bad snapshot changed
+      // nothing.
+      response.engine_version = registry_.ActiveVersion();
+      SendResponse(job.conn, response);
+    }
+    job = ReloadJob{};  // release the connection reference promptly
+  }
+}
+
+Status Server::DoReload(ExecContext& ctx, const std::string& requested_path) {
+  const std::string path =
+      requested_path.empty() ? options_.model_path : requested_path;
+  if (path.empty()) {
+    return Status::FailedPrecondition(
+        "reload: no snapshot path (request named none and the server has no "
+        "configured model path)");
+  }
+  LogInfo("serve: reload: staging " + path);
+  // Stage 1 — load. Header bounds and the FNV-1a content checksum are
+  // verified inside Load before anything is constructed; a torn or
+  // corrupted snapshot dies here with a precise error.
+  auto loaded = Adarts::Load(path);
+  if (!loaded.ok()) {
+    registry_.RecordRejected(0, path, loaded.status().ToString());
+    return loaded.status();
+  }
+  auto staged = std::make_shared<const Adarts>(std::move(loaded).value());
+  const std::uint64_t version = staged->engine_version();
+
+  // Stage 2 — canary self-check: the staged engine must answer a real
+  // recommend end-to-end (feature extraction through committee vote)
+  // before it may serve anyone.
+  const Status canary = [&]() -> Status {
+    ADARTS_FAILPOINT("net.reload.verify");
+    auto rec = staged->Recommend(CanarySeries(), ctx);
+    if (!rec.ok()) {
+      return Status::Internal("reload: canary recommend failed: " +
+                              rec.status().ToString());
+    }
+    return Status::OK();
+  }();
+  if (!canary.ok()) {
+    registry_.RecordRejected(version, path, canary.ToString());
+    return canary;
+  }
+
+  // Stage 3 — publish. One atomic pointer store; the registry refuses
+  // version regressions and logs the outcome either way.
+  if (FailpointRegistry::Armed()) {
+    Status fp = FailpointRegistry::Instance().Check("net.reload.swap");
+    if (!fp.ok()) {
+      registry_.RecordRejected(version, path, fp.ToString());
+      return fp;
+    }
+  }
+  ADARTS_RETURN_NOT_OK(registry_.Swap(std::move(staged), path));
+  LogInfo("serve: reload: engine v" + std::to_string(version) +
+          " live from " + path);
+  return Status::OK();
+}
+
+Status Server::RequestReload(const std::string& path) {
+  ReloadJob job;  // conn stays null: outcome reports via swap log + stats
+  job.request.type = MessageType::kReload;
+  job.request.text = path;
+  if (!reload_queue_.TryPush(std::move(job))) {
+    return Status::Unavailable(
+        "reload already in progress or server draining");
+  }
+  return Status::OK();
+}
+
 void Server::SendResponse(const std::shared_ptr<ConnState>& conn,
                           const Response& response) {
+  if (FailpointRegistry::Armed() &&
+      !FailpointRegistry::Instance().Check("net.write.frame").ok()) {
+    // Injected mid-frame write failure: tear the connection down so the
+    // client observes a hard close, never a half-written frame or a stall.
+    metrics_.Increment("serve.write_errors");
+    LogWarn("serve: connection " + std::to_string(conn->index) +
+            " injected write failure");
+    conn->sock.ShutdownBoth();
+    return;
+  }
   const std::string body = EncodeResponse(response);
   std::lock_guard<std::mutex> lock(conn->write_mu);
   Status written = WriteFrame(conn->sock, body);
@@ -335,6 +544,8 @@ ServeStats Server::stats() const {
   ServeStats out;
   out.connections_accepted =
       stats_.connections_accepted.load(std::memory_order_relaxed);
+  out.connections_refused =
+      stats_.connections_refused.load(std::memory_order_relaxed);
   out.requests_received =
       stats_.requests_received.load(std::memory_order_relaxed);
   out.requests_ok = stats_.requests_ok.load(std::memory_order_relaxed);
@@ -345,6 +556,8 @@ ServeStats Server::stats() const {
   out.responses_sent = stats_.responses_sent.load(std::memory_order_relaxed);
   out.drained_in_flight =
       stats_.drained_in_flight.load(std::memory_order_relaxed);
+  out.reloads_ok = stats_.reloads_ok.load(std::memory_order_relaxed);
+  out.reloads_failed = stats_.reloads_failed.load(std::memory_order_relaxed);
   return out;
 }
 

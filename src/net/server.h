@@ -16,6 +16,7 @@
 #include "common/exec_context.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "net/engine_registry.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 
@@ -38,8 +39,14 @@ struct ServeOptions {
   /// Admission-queue bound: requests beyond it are shed with kUnavailable
   /// instead of queueing unboundedly.
   std::size_t queue_capacity = 64;
-  /// Concurrent connections; excess accepts are closed immediately.
+  /// Concurrent connections; beyond the cap the server accepts, answers one
+  /// kUnavailable refusal frame, and closes — an explicit signal the client
+  /// can back off on, instead of unbounded reader-thread growth.
   std::size_t max_connections = 256;
+  /// Snapshot path reloads fall back to when a kReload request (or SIGHUP)
+  /// names no path of its own; also recorded in the swap log. Empty
+  /// disables pathless reloads.
+  std::string model_path;
   /// Default per-request deadline (measured from admission) applied when a
   /// request carries none; <= 0 disables.
   double default_deadline_ms = 0.0;
@@ -53,6 +60,9 @@ struct ServeOptions {
 /// Monotonic totals since Start; readable at any time.
 struct ServeStats {
   std::uint64_t connections_accepted = 0;
+  /// Connections refused at the cap (accepted, answered kUnavailable,
+  /// closed).
+  std::uint64_t connections_refused = 0;
   std::uint64_t requests_received = 0;
   std::uint64_t requests_ok = 0;
   std::uint64_t requests_error = 0;
@@ -62,6 +72,10 @@ struct ServeStats {
   /// Requests a worker popped from the queue after shutdown was requested —
   /// in-flight work the drain finished and answered rather than dropped.
   std::uint64_t drained_in_flight = 0;
+  /// Engine hot-swaps that published a new engine / were rejected with the
+  /// old engine left serving.
+  std::uint64_t reloads_ok = 0;
+  std::uint64_t reloads_failed = 0;
 };
 
 /// The long-lived serving front end: accepts length-prefixed request frames
@@ -77,8 +91,12 @@ struct ServeStats {
 /// close. No in-flight reply is ever dropped.
 class Server {
  public:
-  /// `engine` must outlive the server.
+  /// `engine` must outlive the server (non-owning; the server wraps it in a
+  /// no-op-deleter shared_ptr for the registry). Reloads still work: the
+  /// replacement engines are owned by the registry normally.
   Server(const Adarts& engine, ServeOptions options);
+  /// Owning form: the server's registry keeps the engine alive.
+  Server(std::shared_ptr<const Adarts> engine, ServeOptions options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -104,6 +122,17 @@ class Server {
   /// (`recommend.latency`, per-stage spans) folded into one snapshot.
   StageMetrics MetricsSnapshot() const;
 
+  /// Queues an out-of-band reload (the SIGHUP path): load-validate the
+  /// snapshot at `path` (empty = ServeOptions::model_path), canary-check it,
+  /// swap on success. Returns once the job is queued — the outcome lands in
+  /// the swap log and `stats()`. kUnavailable if a reload is already
+  /// pending or the server is draining.
+  Status RequestReload(const std::string& path);
+
+  /// The registry holding the live engine; valid for the server's lifetime.
+  /// Exposed for swap-log inspection and version queries.
+  const EngineRegistry& registry() const { return registry_; }
+
  private:
   struct ConnState {
     Socket sock;
@@ -121,14 +150,28 @@ class Server {
     std::uint64_t enqueue_trace_ns = 0;
   };
 
+  /// One queued hot-swap attempt. `conn` is null for out-of-band (SIGHUP)
+  /// reloads, which report only through the swap log.
+  struct ReloadJob {
+    std::shared_ptr<ConnState> conn;
+    Request request;
+  };
+
   void AcceptLoop();
+  void RefuseConnection(Socket& sock);
   void ReaderLoop(std::shared_ptr<ConnState> conn);
   void WorkerLoop(std::size_t worker_index);
-  void Execute(ExecContext& ctx, const WorkItem& item, Response* response);
+  void ReloadLoop();
+  /// The whole reload pipeline: Load (header + checksum verified), canary
+  /// recommend on a synthetic series, registry swap. Any failure leaves the
+  /// active engine serving and returns the precise error.
+  Status DoReload(ExecContext& ctx, const std::string& requested_path);
+  void Execute(ExecContext& ctx, const Adarts& engine, const WorkItem& item,
+               Response* response);
   void SendResponse(const std::shared_ptr<ConnState>& conn,
                     const Response& response);
 
-  const Adarts& engine_;
+  EngineRegistry registry_;
   const ServeOptions options_;
   std::uint16_t port_ = 0;
   Socket listener_;
@@ -138,9 +181,13 @@ class Server {
   std::atomic<bool> started_{false};
 
   BoundedQueue<WorkItem> queue_;
+  /// Capacity 1: at most one reload in flight; a second request while one
+  /// runs is answered kUnavailable ("reload already in progress").
+  BoundedQueue<ReloadJob> reload_queue_;
   std::vector<std::unique_ptr<ExecContext>> worker_contexts_;
   std::vector<std::thread> workers_;
   std::thread accept_thread_;
+  std::thread reload_thread_;
   Status accept_status_;
 
   mutable std::mutex conns_mu_;
@@ -153,6 +200,7 @@ class Server {
 
   struct AtomicStats {
     std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_refused{0};
     std::atomic<std::uint64_t> requests_received{0};
     std::atomic<std::uint64_t> requests_ok{0};
     std::atomic<std::uint64_t> requests_error{0};
@@ -160,6 +208,8 @@ class Server {
     std::atomic<std::uint64_t> requests_deadline_exceeded{0};
     std::atomic<std::uint64_t> responses_sent{0};
     std::atomic<std::uint64_t> drained_in_flight{0};
+    std::atomic<std::uint64_t> reloads_ok{0};
+    std::atomic<std::uint64_t> reloads_failed{0};
   };
   AtomicStats stats_;
 };

@@ -20,6 +20,9 @@
 #include "common/thread_pool.h"
 #include "data/generators.h"
 #include "io/csv.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
 #include "tests/test_util.h"
 #include "ts/missing.h"
 
@@ -158,6 +161,20 @@ bool InPool(const Adarts& engine, impute::Algorithm algo) {
   return false;
 }
 
+/// One tolerant request/response round trip against a live server. With a
+/// net.* site armed, any clean failure is an acceptable outcome — a refusal
+/// frame, a dropped connection, a shed, a rejected reload — but never a
+/// hang (bounded by the receive timeout) and never a crash.
+void ServeRoundTrip(std::uint16_t port, const net::Request& request) {
+  auto sock = net::ConnectTcp("127.0.0.1", port);
+  if (!sock.ok()) return;
+  (void)sock->SetReceiveTimeout(2.0);
+  if (!net::WriteFrame(*sock, net::EncodeRequest(request)).ok()) return;
+  auto frame = net::ReadFrame(*sock);
+  if (!frame.ok()) return;
+  (void)net::DecodeResponse(*frame);
+}
+
 // ---------------------------------------------------------------------------
 // The sweep: every registered site is armed in turn and the whole public
 // surface is driven through it. Acceptance: each operation returns either
@@ -173,6 +190,10 @@ TEST(FaultInjectionSweepTest, EverySiteFailsCleanlyAcrossTheEngineSurface) {
   const ts::TimeSeries& faulty = faulty_set[0];
   const std::string bundle_path = ::testing::TempDir() + "fi_bundle.txt";
   const std::string csv_path = ::testing::TempDir() + "fi_series.csv";
+  // A valid snapshot saved while unarmed: the reload probe below must get
+  // past Load so the reload verify/swap sites see traffic.
+  const std::string reload_path = ::testing::TempDir() + "fi_reload.adarts";
+  ASSERT_TRUE(healthy->Save(reload_path).ok());
   RecommendBatchOptions degraded;
   degraded.fail_fast = false;
 
@@ -223,6 +244,34 @@ TEST(FaultInjectionSweepTest, EverySiteFailsCleanlyAcrossTheEngineSurface) {
       if (read.ok()) EXPECT_EQ(read->size(), faulty_set.size());
     }
 
+    // The serving front end: a ping, a recommend and a snapshot reload
+    // drive the net.* sites (accept, mid-frame read/write, queue push,
+    // reload verify/swap). Every injected outcome is acceptable — a refused
+    // connection, a dropped frame, a rejected reload — but the server must
+    // neither crash nor hang, and must still drain cleanly.
+    {
+      net::ServeOptions sopts;
+      sopts.queue_capacity = 4;
+      net::Server server(*healthy, sopts);
+      ASSERT_TRUE(server.Start().ok());
+      net::Request ping;
+      ping.type = net::MessageType::kPing;
+      ping.id = 1;
+      ServeRoundTrip(server.port(), ping);
+      net::Request recommend;
+      recommend.type = net::MessageType::kRecommend;
+      recommend.id = 2;
+      recommend.series.push_back(faulty);
+      ServeRoundTrip(server.port(), recommend);
+      net::Request reload;
+      reload.type = net::MessageType::kReload;
+      reload.id = 3;
+      reload.text = reload_path;
+      ServeRoundTrip(server.port(), reload);
+      server.RequestShutdown();
+      EXPECT_TRUE(server.Wait().ok());
+    }
+
     // Direct fits of the whole imputer family: the engine's pool covers
     // only a subset, and every impute.*.fit site must see traffic.
     for (impute::Algorithm a : impute::AllAlgorithms()) {
@@ -241,6 +290,7 @@ TEST(FaultInjectionSweepTest, EverySiteFailsCleanlyAcrossTheEngineSurface) {
   }
   std::remove(bundle_path.c_str());
   std::remove(csv_path.c_str());
+  std::remove(reload_path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -103,6 +103,17 @@ TEST(SerializationTest, LoadRejectsCorruptBundle) {
   std::remove(path.c_str());
 }
 
+/// Payload bytes of a V2 bundle: everything after the magic and header
+/// lines. The header carries a wall-clock `created_unix`, so determinism is
+/// a property of the payload (and its checksum), not the whole file.
+std::string PayloadOf(const std::string& bundle) {
+  const std::size_t magic_end = bundle.find('\n');
+  EXPECT_NE(magic_end, std::string::npos);
+  const std::size_t header_end = bundle.find('\n', magic_end + 1);
+  EXPECT_NE(header_end, std::string::npos);
+  return bundle.substr(header_end + 1);
+}
+
 TEST(SerializationTest, SaveIsDeterministic) {
   auto engine = TrainSmallEngine(31);
   ASSERT_TRUE(engine.ok());
@@ -115,8 +126,18 @@ TEST(SerializationTest, SaveIsDeterministic) {
                  std::istreambuf_iterator<char>());
   std::string cb((std::istreambuf_iterator<char>(fb)),
                  std::istreambuf_iterator<char>());
-  EXPECT_EQ(ca, cb);
-  EXPECT_FALSE(ca.empty());
+  EXPECT_EQ(PayloadOf(ca), PayloadOf(cb));
+  EXPECT_FALSE(PayloadOf(ca).empty());
+  // The headers agree on everything but the creation timestamp: same
+  // format, same engine version, same payload size, same content checksum.
+  auto ha = ReadSnapshotHeader(a);
+  auto hb = ReadSnapshotHeader(b);
+  ASSERT_TRUE(ha.ok()) << ha.status();
+  ASSERT_TRUE(hb.ok()) << hb.status();
+  EXPECT_EQ(ha->format_version, hb->format_version);
+  EXPECT_EQ(ha->engine_version, hb->engine_version);
+  EXPECT_EQ(ha->payload_bytes, hb->payload_bytes);
+  EXPECT_EQ(ha->checksum, hb->checksum);
   std::remove(a.c_str());
   std::remove(b.c_str());
 }
@@ -295,21 +316,107 @@ TEST(SerializationTest, TruncationSweepAtEveryTokenBoundary) {
 
   // Truncate the bundle at every whitespace (token) boundary: each prefix
   // is what a crash mid-write could have left behind in a world without the
-  // atomic publish. Load must fail cleanly on all of them — except the
-  // final boundary, which only strips the trailing newline after "end".
+  // atomic publish. The versioned header declares the exact payload length,
+  // so EVERY strict prefix — including the one that merely strips the final
+  // newline — is a torn snapshot and must be rejected.
   std::size_t boundaries = 0;
   for (std::size_t i = 0; i < good.size(); ++i) {
     if (good[i] != ' ' && good[i] != '\n') continue;
     ++boundaries;
     Status status =
         LoadContent(good.substr(0, i), "adarts_bundle_truncate.model");
-    if (i + 1 == good.size()) {
-      EXPECT_TRUE(status.ok()) << status;
-    } else {
-      EXPECT_FALSE(status.ok()) << "prefix of " << i << " bytes loaded";
-    }
+    EXPECT_FALSE(status.ok()) << "prefix of " << i << " bytes loaded";
   }
   EXPECT_GT(boundaries, 100u);  // the sweep really covered the bundle
+}
+
+// --- versioned snapshot header (DESIGN.md §12) ----------------------------
+
+TEST(SerializationTest, VersionedHeaderRoundTrip) {
+  auto engine = TrainSmallEngine(81);
+  ASSERT_TRUE(engine.ok());
+  engine->set_engine_version(42);
+  const std::string path = TempBundlePath("adarts_bundle_header.model");
+  ASSERT_TRUE(engine->Save(path).ok());
+
+  auto header = ReadSnapshotHeader(path);
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_EQ(header->format_version, 2u);
+  EXPECT_EQ(header->engine_version, 42u);
+  EXPECT_GT(header->created_unix, 0u);
+  EXPECT_GT(header->payload_bytes, 0u);
+  // The checksum is a real FNV-1a over exactly the payload bytes.
+  const std::string bundle = ReadAll(path);
+  const std::string payload = PayloadOf(bundle);
+  ASSERT_EQ(payload.size(), header->payload_bytes);
+  EXPECT_EQ(Fnv1a64(payload), header->checksum);
+
+  auto loaded = Adarts::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->engine_version(), 42u);
+  EXPECT_EQ(loaded->snapshot_created_unix(), header->created_unix);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ChecksumCatchesAnySingleFlippedPayloadByte) {
+  auto engine = TrainSmallEngine(82);
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempBundlePath("adarts_bundle_flip.model");
+  ASSERT_TRUE(engine->Save(path).ok());
+  const std::string good = ReadAll(path);
+  std::remove(path.c_str());
+  const std::size_t payload_start = good.size() - PayloadOf(good).size();
+
+  // Flip one byte at a stride across the whole payload (and the very first
+  // and last payload bytes explicitly): the checksum must catch every one
+  // BEFORE the parser ever sees the corrupted text.
+  std::vector<std::size_t> offsets = {payload_start, good.size() - 1};
+  for (std::size_t off = payload_start + 37; off < good.size(); off += 97) {
+    offsets.push_back(off);
+  }
+  for (std::size_t off : offsets) {
+    std::string corrupted = good;
+    corrupted[off] ^= 0x01;
+    Status status = LoadContent(corrupted, "adarts_bundle_flip.model");
+    ASSERT_FALSE(status.ok()) << "flip at byte " << off << " loaded";
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("checksum mismatch"), std::string::npos)
+        << "flip at byte " << off << " rejected for the wrong reason: "
+        << status.message();
+  }
+}
+
+TEST(SerializationTest, FormatVersionSkewIsRejectedWithDirection) {
+  auto engine = TrainSmallEngine(83);
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempBundlePath("adarts_bundle_skew.model");
+  ASSERT_TRUE(engine->Save(path).ok());
+  const std::string good = ReadAll(path);
+  std::remove(path.c_str());
+
+  // A snapshot from a future build must name the skew direction…
+  Status newer = LoadContent(ReplaceFirst(good, "\nheader 2 ", "\nheader 9 "),
+                             "adarts_bundle_skew.model");
+  ASSERT_FALSE(newer.ok());
+  EXPECT_NE(newer.message().find("newer than this build understands"),
+            std::string::npos)
+      << newer.message();
+
+  // …as must one from before the versioned format.
+  Status older = LoadContent(ReplaceFirst(good, "\nheader 2 ", "\nheader 1 "),
+                             "adarts_bundle_skew.model");
+  ASSERT_FALSE(older.ok());
+  EXPECT_NE(older.message().find("older than this build supports"),
+            std::string::npos)
+      << older.message();
+
+  // The pre-versioning V1 magic gets its own actionable rejection.
+  Status v1 = LoadContent("ADARTS_MODEL_V1\nextractor 1 1 3 0 24\n",
+                          "adarts_bundle_skew.model");
+  ASSERT_FALSE(v1.ok());
+  EXPECT_NE(v1.message().find("V1 snapshot no longer supported"),
+            std::string::npos)
+      << v1.message();
 }
 
 }  // namespace

@@ -4,7 +4,11 @@
 // the folded metrics export.
 
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -328,6 +332,192 @@ TEST(ServeTest, MetricsSnapshotFoldsServeAndEngineMetrics) {
   // …folded with the worker ExecContext's engine metrics.
   EXPECT_EQ(snapshot.Counter("recommend.requests"), 3u);
   EXPECT_EQ(snapshot.Histogram("recommend.latency").count, 3u);
+}
+
+// --- hot-swap and connection-cap behaviour (DESIGN.md §12) ----------------
+
+std::string TempSnapshotPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Saves a snapshot of the shared test engine stamped with `version`.
+/// Adarts is move-only (the committee owns fitted classifiers), so the
+/// stamped copy is made via a save/load round trip.
+std::string SaveEngineWithVersion(std::uint64_t version, const char* name) {
+  const std::string path = TempSnapshotPath(name);
+  EXPECT_TRUE(Engine().Save(path).ok());
+  auto copy = Adarts::Load(path);
+  EXPECT_TRUE(copy.ok()) << copy.status();
+  copy->set_engine_version(version);
+  EXPECT_TRUE(copy->Save(path).ok());
+  return path;
+}
+
+/// Sends a kReload frame and waits for the pipeline's verdict.
+Result<net::Response> ReloadViaFrame(std::uint16_t port,
+                                     const std::string& path,
+                                     std::uint64_t id) {
+  net::Request request;
+  request.type = net::MessageType::kReload;
+  request.id = id;
+  request.text = path;
+  return Call(port, request);
+}
+
+TEST(ServeTest, ReloadDuringBurstPartitionsRepliesAcrossExactlyTwoVersions) {
+  const std::string v2_path =
+      SaveEngineWithVersion(2, "adarts_serve_swap_v2.model");
+  net::ServeOptions options;
+  options.num_workers = 2;
+  net::Server server(Engine(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(server.registry().ActiveVersion(), 1u);
+
+  auto sock = net::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  constexpr std::uint64_t kBurst = 20;
+  // First half of the burst races the swap…
+  for (std::uint64_t id = 0; id < kBurst; ++id) {
+    ASSERT_TRUE(
+        net::WriteFrame(*sock, net::EncodeRequest(
+                                   MakeRequest(net::MessageType::kPing, id)))
+            .ok());
+  }
+  // …the reload reply only arrives after the registry published v2…
+  auto reload = ReloadViaFrame(server.port(), v2_path, 777);
+  ASSERT_TRUE(reload.ok()) << reload.status();
+  ASSERT_TRUE(reload->ok()) << reload->message;
+  EXPECT_EQ(reload->engine_version, 2u);
+  // …so the second half must be served by v2 exclusively.
+  for (std::uint64_t id = kBurst; id < 2 * kBurst; ++id) {
+    ASSERT_TRUE(
+        net::WriteFrame(*sock, net::EncodeRequest(
+                                   MakeRequest(net::MessageType::kPing, id)))
+            .ok());
+  }
+
+  std::set<std::uint64_t> versions;
+  std::vector<bool> answered(2 * kBurst, false);
+  for (std::uint64_t n = 0; n < 2 * kBurst; ++n) {
+    auto frame = net::ReadFrame(*sock);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    auto response = net::DecodeResponse(*frame);
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->ok()) << response->message;
+    ASSERT_LT(response->id, 2 * kBurst);
+    answered[response->id] = true;
+    versions.insert(response->engine_version);
+    if (response->id >= kBurst) {
+      EXPECT_EQ(response->engine_version, 2u)
+          << "request " << response->id << " sent after the swap was "
+          << "answered by the old engine";
+    }
+  }
+  // Parity: no burst request lost across the swap; every reply names
+  // exactly one of the two published versions.
+  for (std::uint64_t id = 0; id < 2 * kBurst; ++id) {
+    EXPECT_TRUE(answered[id]) << "request " << id << " lost across the swap";
+  }
+  for (std::uint64_t v : versions) {
+    EXPECT_TRUE(v == 1u || v == 2u) << "unpublished version " << v;
+  }
+  EXPECT_LE(versions.size(), 2u);
+  EXPECT_EQ(versions.count(2u), 1u);
+  Shutdown(&server);
+  EXPECT_EQ(server.stats().reloads_ok, 1u);
+  std::remove(v2_path.c_str());
+}
+
+TEST(ServeTest, CorruptSnapshotReloadLeavesOldEngineServing) {
+  const std::string path =
+      SaveEngineWithVersion(5, "adarts_serve_corrupt.model");
+  // Flip one payload byte: the reload must die on the checksum, not parse.
+  {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(0, std::ios::end);
+    const std::streampos size = file.tellg();
+    file.seekp(static_cast<std::streamoff>(size) / 2);
+    char byte = 0;
+    file.seekg(static_cast<std::streamoff>(size) / 2);
+    file.read(&byte, 1);
+    byte ^= 0x01;
+    file.seekp(static_cast<std::streamoff>(size) / 2);
+    file.write(&byte, 1);
+  }
+
+  net::Server server(Engine(), {});
+  ASSERT_TRUE(server.Start().ok());
+  auto reload = ReloadViaFrame(server.port(), path, 88);
+  ASSERT_TRUE(reload.ok()) << reload.status();
+  EXPECT_FALSE(reload->ok());
+  EXPECT_EQ(reload->code, StatusCode::kInvalidArgument);
+  EXPECT_NE(reload->message.find("checksum mismatch"), std::string::npos)
+      << reload->message;
+  // The failed reload reply itself names the version still serving…
+  EXPECT_EQ(reload->engine_version, 1u);
+  EXPECT_EQ(server.registry().ActiveVersion(), 1u);
+  // …and the old engine keeps answering real requests.
+  auto response =
+      Call(server.port(), MakeRequest(net::MessageType::kRecommend, 89));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->ok()) << response->message;
+  EXPECT_EQ(response->engine_version, 1u);
+  Shutdown(&server);
+  EXPECT_EQ(server.stats().reloads_failed, 1u);
+  EXPECT_EQ(server.stats().reloads_ok, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeTest, ConnectionCapRefusesWithExplicitUnavailable) {
+  net::ServeOptions options;
+  options.max_connections = 2;
+  net::Server server(Engine(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Fill the table with two held connections (ping round trip proves each
+  // is fully admitted, not just in the accept backlog).
+  std::vector<net::Socket> held;
+  for (std::uint64_t id = 0; id < 2; ++id) {
+    auto sock = net::ConnectTcp("127.0.0.1", server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(
+        net::WriteFrame(*sock, net::EncodeRequest(
+                                   MakeRequest(net::MessageType::kPing, id)))
+            .ok());
+    auto frame = net::ReadFrame(*sock);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    held.push_back(std::move(sock).value());
+  }
+
+  // The third connection is accepted, told kUnavailable, and closed —
+  // an explicit refusal the client can back off on, not a silent drop.
+  auto refused = net::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(refused.ok());
+  auto frame = net::ReadFrame(*refused);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  auto response = net::DecodeResponse(*frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kUnavailable);
+  EXPECT_FALSE(net::ReadFrame(*refused).ok());  // server closed it
+
+  // Releasing one slot lets a new connection in (poll until the reader
+  // unregisters the closed connection).
+  held.pop_back();
+  bool admitted = false;
+  for (int attempt = 0; attempt < 100 && !admitted; ++attempt) {
+    auto response2 = Call(server.port(),
+                          MakeRequest(net::MessageType::kPing, 50));
+    admitted = response2.ok() && response2->ok();
+    if (!admitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(admitted) << "slot never freed after closing a connection";
+  held.clear();
+  Shutdown(&server);
+  EXPECT_GE(server.stats().connections_refused, 1u);
 }
 
 TEST(ServeTest, StatsCountConnectionsAndRequests) {

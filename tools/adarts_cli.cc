@@ -66,7 +66,7 @@ int Usage() {
                "single_block|multi_block|blackout|tip_of_series]\n"
                "            [--seed N] --out FILE\n"
                "  label     --corpus FILE\n"
-               "  train     --corpus FILE --model FILE\n"
+               "  train     --corpus FILE --model FILE [--engine-version N]\n"
                "  recommend (--corpus FILE | --model FILE) --faulty FILE\n"
                "  repair    (--corpus FILE | --model FILE) --faulty FILE --out FILE\n"
                "  any subcommand also accepts --trace FILE to export a Chrome\n"
@@ -169,6 +169,13 @@ Result<Adarts> ObtainEngine(const Args& args) {
   TrainOptions options;
   options.seed = std::strtoull(GetArg(args, "seed", "17").c_str(), nullptr, 10);
   ADARTS_ASSIGN_OR_RETURN(Adarts engine, Adarts::Train(corpus, options));
+  // --engine-version stamps the snapshot for hot-swap publishing: a serving
+  // daemon's registry only accepts monotonically non-decreasing versions.
+  const std::string version = GetArg(args, "engine-version", "");
+  if (!version.empty()) {
+    engine.set_engine_version(
+        std::strtoull(version.c_str(), nullptr, 10));
+  }
   if (!model.empty()) {
     ADARTS_RETURN_NOT_OK(engine.Save(model));
   }

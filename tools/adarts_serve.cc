@@ -13,6 +13,12 @@
 // SIGTERM/SIGINT begin a graceful drain: accepting stops, every request
 // already admitted to the queue is executed and answered, metrics are
 // flushed, and the process exits 0. No in-flight reply is dropped.
+//
+// SIGHUP (or a kReload protocol frame) hot-swaps the engine: the snapshot
+// at --model is re-loaded into a staging engine, checksum-verified and
+// canary-checked, and only then atomically published — under full traffic,
+// with zero dropped requests. A bad snapshot is rejected and the running
+// engine keeps serving (DESIGN.md §12).
 
 #include <poll.h>
 #include <unistd.h>
@@ -61,7 +67,7 @@ int Usage() {
       stderr,
       "usage: adarts_serve --model FILE [--port N] [--port-file FILE]\n"
       "                    [--workers N] [--threads-per-worker N]\n"
-      "                    [--queue N] [--max-connections N]\n"
+      "                    [--queue N] [--max-conns N]\n"
       "                    [--deadline-ms F] [--metrics-json FILE]\n"
       "                    [--trace FILE]\n"
       "  --model          engine snapshot written by `adarts_cli train`\n"
@@ -70,11 +76,16 @@ int Usage() {
       "  --workers        request executor threads (default 1)\n"
       "  --queue          admission queue bound; excess requests are shed\n"
       "                   with an Unavailable response (default 64)\n"
+      "  --max-conns      concurrent connection cap; excess connections\n"
+      "                   are refused with Unavailable (default 256)\n"
       "  --deadline-ms    default per-request deadline (0 = none)\n"
       "  --metrics-json   write the folded StageMetrics JSON here on exit\n"
       "  --trace          export a Chrome trace-event timeline on exit\n"
       "SIGTERM/SIGINT drain gracefully: in-flight requests are answered,\n"
-      "metrics flushed, exit code 0.\n");
+      "metrics flushed, exit code 0.\n"
+      "SIGHUP reloads the snapshot at --model and hot-swaps the engine\n"
+      "without dropping traffic; a bad snapshot is rejected and the\n"
+      "running engine keeps serving.\n");
   return 2;
 }
 
@@ -103,12 +114,18 @@ int Main(int argc, char** argv) {
       std::atol(GetArg(args, "threads-per-worker", "1").c_str()));
   options.queue_capacity = static_cast<std::size_t>(
       std::atol(GetArg(args, "queue", "64").c_str()));
-  options.max_connections = static_cast<std::size_t>(
-      std::atol(GetArg(args, "max-connections", "256").c_str()));
+  // --max-conns is the documented short form; --max-connections stays for
+  // compatibility with existing scripts.
+  options.max_connections = static_cast<std::size_t>(std::atol(
+      GetArg(args, "max-conns", GetArg(args, "max-connections", "256"))
+          .c_str()));
   options.default_deadline_ms =
       std::atof(GetArg(args, "deadline-ms", "0").c_str());
+  options.model_path = model;
 
   Status installed = InstallShutdownHandler();
+  if (!installed.ok()) return Fail(installed);
+  installed = InstallReloadHandler();
   if (!installed.ok()) return Fail(installed);
 
   net::Server server(*engine, options);
@@ -127,9 +144,10 @@ int Main(int argc, char** argv) {
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 
-  // Block until SIGTERM/SIGINT trips the process latch, then hand the
-  // drain to the server. The handler itself only stores a flag and writes
-  // the self-pipe; everything below runs in normal code.
+  // Block until SIGTERM/SIGINT trips the process latch; each SIGHUP wake
+  // in between queues an engine reload. The handlers themselves only
+  // store a flag / bump a counter and write the shared self-pipe;
+  // everything below runs in normal code.
   while (!ShutdownRequested()) {
     pollfd pfd;
     pfd.fd = ShutdownWakeFd();
@@ -137,6 +155,21 @@ int Main(int argc, char** argv) {
     pfd.revents = 0;
     if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
       return Fail(Status::Internal("poll on shutdown pipe failed"));
+    }
+    if ((pfd.revents & POLLIN) != 0) {
+      // Drain the pipe so repeated SIGHUPs cannot leave it permanently
+      // readable and spin this loop; the atomic latch/counter, not the
+      // pipe contents, carry the actual requests.
+      char buf[16];
+      while (::read(pfd.fd, buf, sizeof(buf)) > 0) {
+      }
+    }
+    while (ConsumeReloadRequest()) {
+      LogInfo("serve: SIGHUP received, reloading " + model);
+      Status queued = server.RequestReload("");
+      if (!queued.ok()) {
+        LogWarn("serve: reload not queued: " + queued.ToString());
+      }
     }
   }
   LogInfo("serve: shutdown requested, draining");
@@ -148,7 +181,9 @@ int Main(int argc, char** argv) {
           " requests, " + std::to_string(stats.requests_ok) + " ok, " +
           std::to_string(stats.requests_shed) + " shed, " +
           std::to_string(stats.drained_in_flight) +
-          " answered from the queue during drain)");
+          " answered from the queue during drain, " +
+          std::to_string(stats.reloads_ok) + " reloads ok, " +
+          std::to_string(stats.reloads_failed) + " reloads rejected)");
 
   const std::string metrics_path = GetArg(args, "metrics-json", "");
   if (!metrics_path.empty()) {

@@ -3,34 +3,44 @@
 //   serve_loadgen (--port N | --port-file FILE) [--qps F] [--requests N]
 //                 [--connections N] [--type ping|recommend|batch|repair]
 //                 [--batch-size N] [--length N] [--missing F] [--seed N]
-//                 [--deadline-ms F] [--timeout-s F] [--json FILE]
+//                 [--deadline-ms F] [--timeout-s F] [--retries N]
+//                 [--retry-base-ms F] [--json FILE]
 //
 // Open loop: every request has a scheduled send time on a fixed-QPS grid
 // (request i fires at start + i/qps), independent of when responses come
 // back — so a slow server accumulates queueing delay instead of silently
 // throttling the generator, which is the point of measuring an admission
 // queue. Requests round-robin over N connections; each connection runs an
-// independent writer (paced sends) and reader (response matching by echoed
-// id) thread.
+// independent writer (paced sends + due retries) and reader (response
+// matching by echoed id) thread.
 //
-// Emits one JSON line per run (the BENCH_serve.json record):
+// A shed (kUnavailable) reply is not terminal: the request is retried up
+// to --retries more times with jittered exponential backoff
+// (retry-base-ms * 2^attempt, jittered ±50%), the way a well-behaved
+// client treats explicit admission-control pushback. Only a shed that
+// survives every attempt counts in the `shed` total.
 //
-//   {"bench":"serve.loadgen","params":{...},"seconds":...,
-//    "p50_ms":...,"p90_ms":...,"p99_ms":...,"throughput_rps":...,
-//    "requests":N,"ok":N,"shed":N,"errors":N,"lost":N}
+// Emits one JSON line per run (the BENCH_serve.json record), readable by
+// tools/bench_compare: `metrics` carries the direction-aware counters
+// (shed/errors/lost/retries lower-better, throughput_rps higher-better)
+// and `stages.histograms["serve.latency"]` the p50/p90/p99 perf surface
+// for --check-perf. The flat legacy fields stay for scripts.
 //
-// Exit status: 0 when every request was answered (ok, shed and error
-// responses all count as answered — shedding is correct behaviour under
-// overload); nonzero when replies were lost or a connection failed.
+// Exit status: 0 when every request was answered (ok, terminally-shed and
+// error responses all count as answered — shedding is correct behaviour
+// under overload); nonzero when replies were lost or a connection failed.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -77,6 +87,7 @@ int Usage() {
       "                     [--type ping|recommend|batch|repair]\n"
       "                     [--batch-size N] [--length N] [--missing F]\n"
       "                     [--seed N] [--deadline-ms F] [--timeout-s F]\n"
+      "                     [--retries N] [--retry-base-ms F]\n"
       "                     [--json FILE]\n");
   return 2;
 }
@@ -108,6 +119,26 @@ struct Totals {
   std::atomic<std::uint64_t> shed{0};
   std::atomic<std::uint64_t> errors{0};
   std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> retries{0};
+};
+
+/// One request awaiting a backed-off re-send.
+struct RetryItem {
+  std::uint64_t due_ns = 0;
+  std::uint64_t id = 0;
+};
+
+/// Writer/reader rendezvous for one connection: the reader schedules
+/// retries here and flips `done` when every id assigned to the connection
+/// reached a terminal outcome; the writer interleaves due retries with its
+/// paced initial sends.
+struct ConnChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<RetryItem> retries;
+  std::size_t terminal = 0;
+  std::size_t share = 0;
+  bool done = false;
 };
 
 int Main(int argc, char** argv) {
@@ -140,6 +171,11 @@ int Main(int argc, char** argv) {
       std::atof(GetArg(args, "deadline-ms", "0").c_str());
   const double timeout_s =
       std::atof(GetArg(args, "timeout-s", "15").c_str());
+  // Bounded extra attempts after a shed; 0 restores shed-is-terminal.
+  const std::uint64_t max_retries = static_cast<std::uint64_t>(
+      std::atoll(GetArg(args, "retries", "3").c_str()));
+  const double retry_base_ms =
+      std::atof(GetArg(args, "retry-base-ms", "2").c_str());
 
   net::MessageType type;
   if (type_name == "ping") {
@@ -192,12 +228,21 @@ int Main(int argc, char** argv) {
   // connection, so each slot has one writer and a happens-after reader.
   std::vector<std::atomic<std::uint64_t>> send_ns(requests);
   std::vector<std::atomic<std::uint64_t>> latency_ns(requests);
+  std::vector<std::atomic<std::uint64_t>> retries_used(requests);
   for (std::size_t i = 0; i < requests; ++i) {
     send_ns[i].store(0, std::memory_order_relaxed);
     latency_ns[i].store(0, std::memory_order_relaxed);
+    retries_used[i].store(0, std::memory_order_relaxed);
   }
   Totals totals;
   std::atomic<bool> failed{false};
+
+  std::vector<std::unique_ptr<ConnChannel>> channels;
+  for (std::size_t c = 0; c < connections; ++c) {
+    auto chan = std::make_unique<ConnChannel>();
+    chan->share = requests / connections + (c < requests % connections ? 1 : 0);
+    channels.push_back(std::move(chan));
+  }
 
   const Clock::time_point start = Clock::now();
   const auto NowNs = [&start]() {
@@ -209,48 +254,124 @@ int Main(int argc, char** argv) {
 
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < connections; ++c) {
-    // Writer: open-loop paced sends for this connection's share.
+    // Writer: open-loop paced initial sends, interleaved with due retries
+    // the reader scheduled. Runs until every id on this connection reached
+    // a terminal outcome (chan.done).
     threads.emplace_back([&, c] {
-      for (std::size_t i = c; i < requests; i += connections) {
-        const auto due =
-            start + std::chrono::duration_cast<Clock::duration>(
-                        std::chrono::duration<double>(
-                            static_cast<double>(i) / qps));
-        std::this_thread::sleep_until(due);
-        // Patch the id (bytes 1..8 of the body, little-endian).
-        std::string body = bodies[i % bodies.size()];
-        for (int b = 0; b < 8; ++b) {
-          body[1 + b] =
-              static_cast<char>((static_cast<std::uint64_t>(i) >> (8 * b)) &
-                                0xff);
+      ConnChannel& chan = *channels[c];
+      std::size_t next = c;  // next unsent initial id on this connection
+      for (;;) {
+        std::uint64_t id = 0;
+        std::uint64_t due_ns = 0;
+        {
+          std::unique_lock<std::mutex> lock(chan.mu);
+          for (;;) {
+            if (chan.done) return;
+            std::size_t best = chan.retries.size();
+            for (std::size_t r = 0; r < chan.retries.size(); ++r) {
+              if (best == chan.retries.size() ||
+                  chan.retries[r].due_ns < chan.retries[best].due_ns) {
+                best = r;
+              }
+            }
+            const std::uint64_t initial_due_ns =
+                next < requests
+                    ? static_cast<std::uint64_t>(
+                          static_cast<double>(next) / qps * 1e9)
+                    : UINT64_MAX;
+            const std::uint64_t retry_due_ns = best < chan.retries.size()
+                                                   ? chan.retries[best].due_ns
+                                                   : UINT64_MAX;
+            if (initial_due_ns == UINT64_MAX && retry_due_ns == UINT64_MAX) {
+              // All sent; sleep until the reader schedules a retry or
+              // declares the connection done.
+              chan.cv.wait(lock);
+              continue;
+            }
+            if (retry_due_ns <= initial_due_ns) {
+              id = chan.retries[best].id;
+              due_ns = retry_due_ns;
+              chan.retries.erase(chan.retries.begin() +
+                                 static_cast<std::ptrdiff_t>(best));
+            } else {
+              id = next;
+              due_ns = initial_due_ns;
+              next += connections;
+            }
+            break;
+          }
         }
-        send_ns[i].store(NowNs(), std::memory_order_release);
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::nanoseconds(due_ns)));
+        // Patch the id (bytes 1..8 of the body, little-endian).
+        std::string body = bodies[id % bodies.size()];
+        for (int b = 0; b < 8; ++b) {
+          body[1 + b] = static_cast<char>((id >> (8 * b)) & 0xff);
+        }
+        send_ns[id].store(NowNs(), std::memory_order_release);
         Status written = WriteFrame(socks[c], body);
         if (!written.ok()) {
           failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(chan.mu);
+          chan.done = true;
           return;
         }
       }
     });
-    // Reader: match responses by echoed id, classify, record latency.
+    // Reader: match responses by echoed id; a retryable shed goes back to
+    // the writer with jittered exponential backoff, everything else is
+    // terminal (classified + latency recorded from its last send).
     threads.emplace_back([&, c] {
-      const std::size_t share =
-          requests / connections + (c < requests % connections ? 1 : 0);
-      for (std::size_t n = 0; n < share; ++n) {
+      ConnChannel& chan = *channels[c];
+      const auto finish = [&chan] {
+        std::lock_guard<std::mutex> lock(chan.mu);
+        chan.done = true;
+        chan.cv.notify_all();
+      };
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lock(chan.mu);
+          if (chan.terminal >= chan.share) break;
+        }
         auto frame = ReadFrame(socks[c]);
         if (!frame.ok()) {
           failed.store(true, std::memory_order_relaxed);
-          return;
+          break;
         }
         auto response = net::DecodeResponse(*frame);
         if (!response.ok() || response->id >= requests) {
           failed.store(true, std::memory_order_relaxed);
-          return;
+          break;
         }
-        const std::uint64_t sent =
-            send_ns[response->id].load(std::memory_order_acquire);
-        latency_ns[response->id].store(
-            NowNs() > sent ? NowNs() - sent : 1, std::memory_order_relaxed);
+        const std::uint64_t id = response->id;
+        if (response->code == StatusCode::kUnavailable &&
+            retries_used[id].load(std::memory_order_relaxed) < max_retries) {
+          // Explicit admission-control pushback: back off and retry.
+          // Deterministic jitter in [0.5, 1.5) decorrelates clients without
+          // an RNG on the hot path.
+          const std::uint64_t attempt =
+              retries_used[id].fetch_add(1, std::memory_order_relaxed) + 1;
+          totals.retries.fetch_add(1, std::memory_order_relaxed);
+          const double jitter =
+              0.5 + static_cast<double>(
+                        (id * 2654435761ULL + attempt * 40503ULL) % 1024) /
+                        1024.0;
+          const double delay_ms =
+              retry_base_ms *
+              std::ldexp(1.0, static_cast<int>(attempt) - 1) * jitter;
+          RetryItem item;
+          item.id = id;
+          item.due_ns =
+              NowNs() + static_cast<std::uint64_t>(delay_ms * 1e6);
+          std::lock_guard<std::mutex> lock(chan.mu);
+          chan.retries.push_back(item);
+          chan.cv.notify_all();
+          continue;
+        }
+        const std::uint64_t sent = send_ns[id].load(std::memory_order_acquire);
+        latency_ns[id].store(NowNs() > sent ? NowNs() - sent : 1,
+                             std::memory_order_relaxed);
         totals.answered.fetch_add(1, std::memory_order_relaxed);
         if (response->code == StatusCode::kOk) {
           totals.ok.fetch_add(1, std::memory_order_relaxed);
@@ -259,7 +380,10 @@ int Main(int argc, char** argv) {
         } else {
           totals.errors.fetch_add(1, std::memory_order_relaxed);
         }
+        std::lock_guard<std::mutex> lock(chan.mu);
+        ++chan.terminal;
       }
+      finish();
     });
   }
   for (std::thread& t : threads) t.join();
@@ -270,6 +394,7 @@ int Main(int argc, char** argv) {
   const std::uint64_t shed = totals.shed.load();
   const std::uint64_t errors = totals.errors.load();
   const std::uint64_t answered = totals.answered.load();
+  const std::uint64_t retries = totals.retries.load();
   const std::uint64_t lost = requests - answered;
 
   // Percentiles over successfully served requests (shed replies return in
@@ -294,32 +419,48 @@ int Main(int argc, char** argv) {
 
   std::printf(
       "serve_loadgen: %zu requests @ %.0f qps over %zu connections: "
-      "%llu ok, %llu shed, %llu errors, %llu lost; "
+      "%llu ok, %llu shed, %llu errors, %llu lost, %llu retries; "
       "p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, %.1f rps\n",
       requests, qps, connections, static_cast<unsigned long long>(ok),
       static_cast<unsigned long long>(shed),
       static_cast<unsigned long long>(errors),
-      static_cast<unsigned long long>(lost), p50_ms, p90_ms, p99_ms,
+      static_cast<unsigned long long>(lost),
+      static_cast<unsigned long long>(retries), p50_ms, p90_ms, p99_ms,
       throughput);
 
   const std::string json_path = GetArg(args, "json", "");
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::app);
-    char line[1024];
+    char line[2048];
+    // One bench_compare-readable record: `checksum` is a fixed 0 (a load
+    // test has no result digest), `metrics` carries the direction-aware
+    // counters, `stages.histograms` the latency percentiles that
+    // --check-perf gates. The flat fields repeat the counters for scripts
+    // that predate the record schema.
     std::snprintf(
         line, sizeof(line),
         "{\"bench\":\"serve.loadgen\",\"params\":{\"qps\":\"%.0f\","
         "\"requests\":\"%zu\",\"connections\":\"%zu\",\"type\":\"%s\","
-        "\"seed\":\"%llu\"},\"seconds\":%.6f,\"p50_ms\":%.3f,"
-        "\"p90_ms\":%.3f,\"p99_ms\":%.3f,\"throughput_rps\":%.1f,"
-        "\"requests\":%zu,\"ok\":%llu,\"shed\":%llu,\"errors\":%llu,"
-        "\"lost\":%llu}",
+        "\"seed\":\"%llu\"},\"seconds\":%.6f,\"checksum\":0,"
+        "\"metrics\":{\"shed\":%llu,\"errors\":%llu,\"lost\":%llu,"
+        "\"retries\":%llu,\"throughput_rps\":%.1f},"
+        "\"stages\":{\"histograms\":{\"serve.latency\":{"
+        "\"p50_ns\":%.0f,\"p90_ns\":%.0f,\"p99_ns\":%.0f}}},"
+        "\"p50_ms\":%.3f,\"p90_ms\":%.3f,\"p99_ms\":%.3f,"
+        "\"throughput_rps\":%.1f,\"requests\":%zu,\"ok\":%llu,"
+        "\"shed\":%llu,\"errors\":%llu,\"lost\":%llu,\"retries\":%llu}",
         qps, requests, connections, type_name.c_str(),
-        static_cast<unsigned long long>(seed), elapsed_s, p50_ms, p90_ms,
-        p99_ms, throughput, requests, static_cast<unsigned long long>(ok),
+        static_cast<unsigned long long>(seed), elapsed_s,
         static_cast<unsigned long long>(shed),
         static_cast<unsigned long long>(errors),
-        static_cast<unsigned long long>(lost));
+        static_cast<unsigned long long>(lost),
+        static_cast<unsigned long long>(retries), throughput, p50_ms * 1e6,
+        p90_ms * 1e6, p99_ms * 1e6, p50_ms, p90_ms, p99_ms, throughput,
+        requests, static_cast<unsigned long long>(ok),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(lost),
+        static_cast<unsigned long long>(retries));
     out << line << "\n";
     if (!out.good()) {
       return Fail(Status::Internal("cannot write json: " + json_path));
