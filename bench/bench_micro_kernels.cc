@@ -1,8 +1,16 @@
 // Micro-benchmarks (google-benchmark) of the numeric kernels underlying the
-// imputation algorithms and the feature extractor.
+// imputation algorithms and the feature extractor. `--json <path>` mirrors
+// every per-iteration run into the repo-wide BenchJsonWriter JSONL format so
+// tools/bench_compare can gate kernel regressions against
+// bench/baselines/BENCH_kernels.json like any other bench.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "features/feature_extractor.h"
 #include "impute/cdrec.h"
@@ -122,4 +130,57 @@ BENCHMARK(BM_Imputer)->DenseRange(0, impute::kNumAlgorithms - 1);
 }  // namespace
 }  // namespace adarts
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console output as usual, plus one BenchJsonWriter record per completed
+/// run. `seconds` is the per-iteration real time; the checksum slot is 0
+/// (kernel benches measure time, not result quality).
+class JsonBridgeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonBridgeReporter(adarts::bench::BenchJsonWriter writer)
+      : writer_(std::move(writer)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    if (!writer_.enabled()) return;
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double seconds =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      writer_.Record("kernels." + run.benchmark_name(), {}, seconds, 0.0);
+    }
+  }
+
+ private:
+  adarts::bench::BenchJsonWriter writer_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // google-benchmark rejects flags it does not recognise, so --json is
+  // peeled out of argv before Initialize sees it.
+  const std::string json_path = adarts::bench::JsonPathFromArgs(argc, argv);
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) continue;
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  filtered.push_back(nullptr);
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, filtered.data())) {
+    return 1;
+  }
+  JsonBridgeReporter reporter{adarts::bench::BenchJsonWriter(json_path)};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

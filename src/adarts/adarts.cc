@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "adarts/stages.h"
 #include "common/cancellation.h"
 #include "common/exec_context.h"
 #include "common/failpoint.h"
@@ -25,9 +26,14 @@ Adarts::Adarts(features::FeatureExtractor extractor,
       race_report_(std::move(report)),
       pool_(std::move(pool)),
       training_data_(std::move(training_data)) {
+  RecomputeDefaultClass();
+}
+
+void Adarts::RecomputeDefaultClass() {
   // Majority training label = the last rung of the degradation ladder. The
   // scan keeps the first (smallest) label on ties, so the choice is
   // deterministic and independent of label order.
+  default_class_ = 0;
   std::vector<std::size_t> counts(pool_.size(), 0);
   for (int label : training_data_.labels) {
     if (label >= 0 && static_cast<std::size_t>(label) < counts.size()) {
@@ -71,88 +77,235 @@ Result<Adarts> Adarts::Train(const std::vector<ts::TimeSeries>& corpus,
   }
   Rng rng(options.seed);
 
-  // --- (1) Labeling, via clusters (fast) or exhaustively. Every phase runs
-  // on the context's one shared pool.
-  labeling::LabelingResult labels;
+  // Train is a thin composition of the pipeline stages (stages.h); each
+  // stage runs on the context's one shared pool and consumes `rng` exactly
+  // as the pre-decomposition monolith did, so the trained engine is
+  // bit-identical to earlier builds.
+
+  // --- (1) Clustering (fast path only), then labeling + feature extraction.
+  ClusterStageState clusters;
+  const cluster::Clustering* clustering = nullptr;
+  if (options.use_cluster_labeling) {
+    ADARTS_ASSIGN_OR_RETURN(clusters, ClusterStage(corpus, options, ctx));
+    clustering = &clusters.clustering;
+  }
+  ADARTS_ASSIGN_OR_RETURN(LabelStageState labeled,
+                          LabelStage(corpus, clustering, options, &rng, ctx));
+
+  // --- (2) ModelRace over the labeled data, then the voting committee.
+  ADARTS_ASSIGN_OR_RETURN(
+      RaceStageState race,
+      RaceStage(labeled.labeled, options.race, options.race_train_fraction,
+                nullptr, &rng, ctx));
+  ADARTS_ASSIGN_OR_RETURN(CommitteeStageState committee,
+                          CommitteeStage(race.report, labeled.labeled, ctx));
+
+  // --- (3) Growth bookkeeping for AppendSeries: each cluster's label and
+  // representative series, plus the surviving elites that warm-start the
+  // next race. Only the cluster path records it — exhaustive labeling has
+  // no clusters to assign new series against.
+  GrowthState growth;
+  if (options.use_cluster_labeling) {
+    growth.present = true;
+    const auto& cluster_lists = clusters.clustering.clusters;
+    growth.clusters.reserve(cluster_lists.size());
+    for (std::size_t k = 0; k < cluster_lists.size(); ++k) {
+      const std::vector<std::size_t>& members = cluster_lists[k];
+      if (members.empty()) continue;
+      ClusterGrowthState c;
+      c.label = labeled.labels.labels[members[0]];
+      c.member_count = members.size();
+      const std::vector<std::size_t>& reps =
+          labeled.labels.cluster_representatives[k];
+      c.representatives.reserve(reps.size());
+      for (std::size_t idx : reps) c.representatives.push_back(corpus[idx]);
+      growth.clusters.push_back(std::move(c));
+    }
+    growth.warm_start.elites = race.report.elites;
+  }
+
+  Adarts engine(std::move(labeled.extractor), std::move(committee.recommender),
+                std::move(race.report), labeled.labels.algorithms,
+                std::move(labeled.labeled));
+  engine.growth_ = std::move(growth);
+  engine.train_report_.stages = ctx.metrics().Snapshot();
+  return engine;
+}
+
+Status Adarts::AppendSeries(const std::vector<ts::TimeSeries>& delta,
+                            const UpdateOptions& options) {
+  ExecContext ctx;
+  return AppendSeries(delta, options, ctx);
+}
+
+Status Adarts::AppendSeries(const std::vector<ts::TimeSeries>& delta,
+                            const UpdateOptions& options, ExecContext& ctx) {
+  ADARTS_FAILPOINT("adarts.update.start");
+  if (delta.empty()) {
+    return Status::InvalidArgument("AppendSeries: empty delta");
+  }
+  if (!growth_.present) {
+    return Status::FailedPrecondition(
+        "AppendSeries requires growth state: the engine must come from "
+        "cluster-labeled Train (or a snapshot that persisted it), not "
+        "TrainFromLabeled, exhaustive labeling, or a pre-growth snapshot");
+  }
+  if (!options.labeling.algorithms.empty() &&
+      options.labeling.algorithms != pool_) {
+    return Status::InvalidArgument(
+        "AppendSeries: labeling pool must be empty (engine pool is used) or "
+        "equal to the engine's pool");
+  }
+  labeling::LabelingOptions label_options = options.labeling;
+  label_options.algorithms = pool_;
+
+  Rng rng(options.seed);
+  // Transactional: every mutation below lands on copies; the engine commits
+  // only after the last fallible step, so a failed append leaves it exactly
+  // as it was.
+  GrowthState new_growth = growth_;
+
+  // --- (1) Assign each new series to an existing cluster or split it off.
+  // Splits append the series as a fresh singleton representative group, so
+  // later delta series can join the new cluster.
+  std::vector<std::vector<ts::TimeSeries>> reps;
+  reps.reserve(new_growth.clusters.size());
+  for (const ClusterGrowthState& c : new_growth.clusters) {
+    reps.push_back(c.representatives);
+  }
+  const std::size_t original_clusters = reps.size();
+  std::vector<int> delta_labels(delta.size(), 0);
+  // Delta indices per freshly opened cluster, in creation order (cluster
+  // index = original_clusters + position).
+  std::vector<std::vector<std::size_t>> new_cluster_members;
+  std::uint64_t assigned_count = 0;
   {
-    StageTimer labeling_timer(&ctx.metrics(), "train.labeling_seconds");
-    if (options.use_cluster_labeling) {
-      cluster::Clustering clustering;
-      {
-        StageTimer clustering_timer(&ctx.metrics(),
-                                    "train.clustering_seconds");
-        ADARTS_ASSIGN_OR_RETURN(
-            clustering,
-            cluster::IncrementalClustering(corpus, options.clustering, ctx));
+    StageTimer assign_timer(&ctx.metrics(), "update.assign_seconds");
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      ADARTS_FAILPOINT("adarts.update.assign");
+      Result<cluster::SeriesAssignment> assignment =
+          cluster::AssignSeriesToClusters(delta[i], reps, options.clustering,
+                                          ctx);
+      if (!assignment.ok()) {
+        return Status(assignment.status().code(),
+                      "AppendSeries: delta series " + std::to_string(i) +
+                          ": " + assignment.status().message());
       }
-      ADARTS_ASSIGN_OR_RETURN(
-          labels, labeling::LabelByClusters(corpus, clustering,
-                                            options.labeling, ctx));
-    } else {
-      ADARTS_ASSIGN_OR_RETURN(
-          labels, labeling::LabelSeriesFull(corpus, options.labeling, ctx));
+      if (assignment->split) {
+        new_cluster_members.push_back({i});
+        reps.push_back({delta[i]});
+        continue;
+      }
+      ++assigned_count;
+      const std::size_t j = assignment->cluster;
+      if (j < original_clusters) {
+        delta_labels[i] = new_growth.clusters[j].label;
+        ++new_growth.clusters[j].member_count;
+      } else {
+        // Joined a cluster opened earlier in this append; it is labeled as
+        // one unit in the next phase.
+        new_cluster_members[j - original_clusters].push_back(i);
+      }
     }
   }
-  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("Train after labeling"));
 
-  // --- (2) Feature extraction from faulty copies of the corpus: inference
-  // sees incomplete series, so training features must too. Each series masks
-  // with its own Rng, forked up front in index order on this thread, so the
-  // extracted features are bit-identical regardless of thread count.
-  features::FeatureExtractor extractor(options.features);
-  ml::Dataset labeled;
-  labeled.num_classes = static_cast<int>(labels.algorithms.size());
-  labeled.labels = labels.labels;
-  labeled.features.resize(corpus.size());
-  std::vector<Rng> series_rngs = ExecContext::ForkRngs(&rng, corpus.size());
-  std::vector<Status> extract_status(corpus.size());
+  // --- (2) Label the freshly opened clusters in isolation — the only
+  // imputation benchmarking an append pays for. Assigned series inherited
+  // their cluster's label at zero cost above.
+  ADARTS_FAILPOINT("adarts.update.label");
   {
-    StageTimer features_timer(&ctx.metrics(), "train.features_seconds");
-    ParallelFor(ctx, corpus.size(), [&](std::size_t i) {
-      ts::TimeSeries masked = corpus[i];
-      Status injected = ts::InjectPattern(options.labeling.pattern,
-                                          options.labeling.missing_fraction,
+    StageTimer label_timer(&ctx.metrics(), "update.label_seconds");
+    for (const std::vector<std::size_t>& members : new_cluster_members) {
+      std::vector<ts::TimeSeries> cluster_set;
+      cluster_set.reserve(members.size());
+      for (std::size_t i : members) cluster_set.push_back(delta[i]);
+      ADARTS_ASSIGN_OR_RETURN(
+          labeling::ClusterLabel labeled,
+          labeling::LabelSingleCluster(cluster_set, label_options, ctx));
+      ClusterGrowthState c;
+      c.label = labeled.label;
+      c.member_count = members.size();
+      c.representatives.reserve(labeled.representatives.size());
+      for (std::size_t idx : labeled.representatives) {
+        c.representatives.push_back(cluster_set[idx]);
+      }
+      new_growth.clusters.push_back(std::move(c));
+      for (std::size_t i : members) delta_labels[i] = labeled.label;
+    }
+  }
+
+  // --- (3) Features for the delta only, masked exactly like training
+  // (forked Rngs in index order — bit-identical across thread counts).
+  ml::Dataset grown = training_data_;
+  {
+    StageTimer features_timer(&ctx.metrics(), "update.features_seconds");
+    std::vector<Rng> series_rngs = ExecContext::ForkRngs(&rng, delta.size());
+    std::vector<la::Vector> extracted(delta.size());
+    std::vector<Status> extract_status(delta.size());
+    ParallelFor(ctx, delta.size(), [&](std::size_t i) {
+      ts::TimeSeries masked = delta[i];
+      Status injected = ts::InjectPattern(label_options.pattern,
+                                          label_options.missing_fraction,
                                           &series_rngs[i], &masked);
       if (!injected.ok()) {
         extract_status[i] = std::move(injected);
         return;
       }
-      Result<la::Vector> f = extractor.Extract(masked);
+      Result<la::Vector> f = extractor_.Extract(masked);
       if (!f.ok()) {
         extract_status[i] = f.status();
         return;
       }
-      labeled.features[i] = std::move(*f);
+      extracted[i] = std::move(*f);
     });
-  }
-  // Cancellation skips iterations, leaving empty feature slots — bail out
-  // before the dataset is read.
-  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("Train feature extraction"));
-  for (const Status& s : extract_status) {
-    ADARTS_RETURN_NOT_OK(s);
+    ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("AppendSeries features"));
+    for (const Status& s : extract_status) {
+      ADARTS_RETURN_NOT_OK(s);
+    }
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      grown.features.push_back(std::move(extracted[i]));
+      grown.labels.push_back(delta_labels[i]);
+    }
   }
 
-  // --- (3)-(5) ModelRace over the labeled data, then the voting committee.
-  automl::ModelRaceOptions race_options = options.race;
-  race_options.seed = rng.NextU64();
-  ADARTS_ASSIGN_OR_RETURN(ml::TrainTestSplit split,
-                          ml::StratifiedSplit(labeled,
-                                              options.race_train_fraction,
-                                              &rng));
-  automl::ModelRaceReport report;
-  {
-    StageTimer race_timer(&ctx.metrics(), "train.race_seconds");
-    ADARTS_ASSIGN_OR_RETURN(
-        report, automl::RunModelRace(split.train, split.test, race_options,
-                                     ctx));
-  }
+  // --- (4) Re-race over the grown dataset, warm-started from the engine's
+  // surviving elites, then refit the committee.
+  ADARTS_FAILPOINT("adarts.update.race");
+  const automl::RaceWarmStart* warm =
+      options.warm_start && !growth_.warm_start.empty() ? &growth_.warm_start
+                                                        : nullptr;
   ADARTS_ASSIGN_OR_RETURN(
-      automl::VotingRecommender recommender,
-      automl::VotingRecommender::FromRace(report, labeled, ctx));
-  Adarts engine(std::move(extractor), std::move(recommender),
-                std::move(report), labels.algorithms, std::move(labeled));
-  engine.train_report_.stages = ctx.metrics().Snapshot();
-  return engine;
+      RaceStageState race,
+      RaceStage(grown, options.race, options.race_train_fraction, warm, &rng,
+                ctx, "update.race_seconds"));
+  std::uint64_t warm_hits = 0;
+  if (warm != nullptr) {
+    for (const automl::RacedPipeline& elite : race.report.elites) {
+      for (const automl::RacedPipeline& seeded : warm->elites) {
+        if (elite.spec.ToString() == seeded.spec.ToString()) {
+          ++warm_hits;
+          break;
+        }
+      }
+    }
+  }
+  ADARTS_ASSIGN_OR_RETURN(CommitteeStageState committee,
+                          CommitteeStage(race.report, grown, ctx));
+
+  // --- Commit. Nothing below can fail.
+  new_growth.warm_start.elites = race.report.elites;
+  training_data_ = std::move(grown);
+  race_report_ = std::move(race.report);
+  recommender_ = std::move(committee.recommender);
+  growth_ = std::move(new_growth);
+  RecomputeDefaultClass();
+  ++engine_version_;
+  Metrics& metrics = ctx.metrics();
+  metrics.Increment("update.assigned", assigned_count);
+  metrics.Increment("update.splits", new_cluster_members.size());
+  metrics.Increment("update.race_warm_hits", warm_hits);
+  train_report_.stages = metrics.Snapshot();
+  return Status::OK();
 }
 
 Result<Adarts> Adarts::TrainFromLabeled(

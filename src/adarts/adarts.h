@@ -61,6 +61,62 @@ struct TrainOptions {
 #pragma GCC diagnostic pop
 };
 
+/// Configuration for incremental corpus growth (`Adarts::AppendSeries`).
+/// Defaults to a cheaper ModelRace than full training: the race starts from
+/// the engine's surviving elites (warm start), so a small refresh population
+/// suffices — that economy is where the append-vs-retrain speedup comes
+/// from.
+struct UpdateOptions {
+  /// Assignment thresholds for placing new series against the stored
+  /// cluster representatives (same admissibility floor as training's
+  /// refinement phase).
+  cluster::IncrementalOptions clustering;
+  /// Masking pattern/fraction for labeling freshly split clusters and for
+  /// the appended series' training features. `algorithms` must be empty
+  /// (the engine's pool is used) or equal to the engine's pool.
+  labeling::LabelingOptions labeling;
+  /// Re-race configuration; the constructor shrinks the population relative
+  /// to `ModelRaceOptions` defaults because the warm-started race refines
+  /// known-good elites instead of exploring from scratch.
+  automl::ModelRaceOptions race;
+  double race_train_fraction = 0.9;
+  std::uint64_t seed = 17;
+  /// Seed the re-race from the engine's surviving elites. Disable to force
+  /// a cold race over the grown dataset (the bench's control arm).
+  bool warm_start = true;
+
+  UpdateOptions() {
+    race.num_seed_pipelines = 12;
+    race.num_partial_sets = 2;
+    race.num_folds = 2;
+    race.synth_per_elite = 1;
+  }
+};
+
+/// One cluster's growth bookkeeping: everything `AppendSeries` needs to
+/// place and label new series without the original corpus.
+struct ClusterGrowthState {
+  /// The cluster's winning algorithm (index into the engine's pool).
+  int label = 0;
+  /// Series assigned to this cluster so far (training + appended).
+  std::uint64_t member_count = 0;
+  /// The correlation-medoid representative series benchmarked for this
+  /// cluster; new series are assigned by mean |corr| against these.
+  std::vector<ts::TimeSeries> representatives;
+};
+
+/// Incremental-growth state persisted in the snapshot (optional blocks, see
+/// DESIGN.md §13): per-cluster representatives + labels, and the race
+/// elites (with fold scores) that warm-start the next `AppendSeries`.
+/// `present` is false for engines trained via `TrainFromLabeled`, via the
+/// exhaustive labeling path, or loaded from pre-growth snapshots — those
+/// engines reject `AppendSeries` with FailedPrecondition.
+struct GrowthState {
+  std::vector<ClusterGrowthState> clusters;
+  automl::RaceWarmStart warm_start;
+  bool present = false;
+};
+
 /// Where training time went: a `StageMetrics` snapshot of the run's
 /// `ExecContext` taken when `Train`/`TrainFromLabeled` returns —
 /// `train.clustering_seconds`, `train.labeling_seconds`,
@@ -155,6 +211,36 @@ class Adarts {
       const features::FeatureExtractorOptions& feature_options,
       const automl::ModelRaceOptions& race_options, std::uint64_t seed,
       ExecContext& ctx);
+
+  /// Incrementally grows the training corpus: each series of `delta` is
+  /// assigned to an existing cluster (inheriting its label at zero
+  /// imputation cost) or split off into a fresh cluster labeled in
+  /// isolation; features are extracted for the delta only; and the
+  /// committee is rebuilt by a ModelRace warm-started from the engine's
+  /// surviving elites. Orders of magnitude cheaper than a full retrain —
+  /// the bench records the speedup and labeling agreement in
+  /// EXPERIMENTS.md. On success the engine's version bumps by one (so a
+  /// subsequent Save + SIGHUP hot-swaps cleanly) and `train_report()` holds
+  /// the update's `update.*` spans and counters (`update.assigned`,
+  /// `update.splits`, `update.race_warm_hits`). On failure the engine is
+  /// unchanged: every mutation happens on copies committed only after the
+  /// last fallible step. Requires growth state
+  /// (`has_growth_state()`) — engines from `TrainFromLabeled`, exhaustive
+  /// labeling, or pre-growth snapshots are rejected with
+  /// FailedPrecondition.
+  Status AppendSeries(const std::vector<ts::TimeSeries>& delta,
+                      const UpdateOptions& options = {});
+
+  /// Context variant — preferred: assignment, labeling, feature extraction
+  /// and the warm-started race share `ctx`'s pool and token, and the
+  /// `update.*` metrics accumulate in `ctx`'s registry.
+  Status AppendSeries(const std::vector<ts::TimeSeries>& delta,
+                      const UpdateOptions& options, ExecContext& ctx);
+
+  /// Incremental-growth bookkeeping (clusters + warm-start elites);
+  /// `has_growth_state()` is false for engines that cannot AppendSeries.
+  const GrowthState& growth_state() const { return growth_; }
+  bool has_growth_state() const { return growth_.present; }
 
   /// Best imputation algorithm for a faulty series. Degrades gracefully:
   /// committee members that emit malformed probabilities are skipped, and
@@ -309,12 +395,19 @@ class Adarts {
          automl::ModelRaceReport report, std::vector<impute::Algorithm> pool,
          ml::Dataset training_data);
 
+  /// Majority training label over `training_data_` (first/smallest label on
+  /// ties); called from the constructor and after AppendSeries commits.
+  void RecomputeDefaultClass();
+
   features::FeatureExtractor extractor_;
   automl::VotingRecommender recommender_;
   automl::ModelRaceReport race_report_;
   TrainReport train_report_;
   std::vector<impute::Algorithm> pool_;
   ml::Dataset training_data_;
+  /// Incremental-growth bookkeeping; `present` only for cluster-labeled
+  /// Train engines and snapshots that persisted it.
+  GrowthState growth_;
   /// Majority training label; computed in the constructor so Save/Load
   /// needs no bundle-format change. 0 when labels are absent.
   int default_class_ = 0;

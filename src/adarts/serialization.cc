@@ -45,6 +45,10 @@ constexpr std::size_t kMaxPipelineParams = 1024;
 constexpr std::size_t kMaxFeatureDim = std::size_t{1} << 20;
 // Total feature values (samples * dim) — caps the dataset block at 512 MiB.
 constexpr std::size_t kMaxDatasetValues = std::size_t{1} << 26;
+// Bounds for the optional growth blocks (DESIGN.md §13).
+constexpr std::size_t kMaxClusterReps = 64;
+constexpr std::size_t kMaxSeriesLength = std::size_t{1} << 20;
+constexpr std::size_t kMaxFoldScores = 4096;
 
 Status Expect(std::istream& in, const std::string& token) {
   std::string got;
@@ -53,6 +57,51 @@ Status Expect(std::istream& in, const std::string& token) {
                                    "', got '" + got + "'");
   }
   return Status::OK();
+}
+
+// One pipeline spec as whitespace-separated fields — the shape shared by
+// the committee's `pipeline` lines and the warm-start block's `elite`
+// lines (which append race statistics after these fields).
+void WritePipelineSpec(std::ostream& out, const automl::Pipeline& spec) {
+  out << ml::ClassifierKindToString(spec.classifier) << ' '
+      << ml::ScalerKindToString(spec.scaler) << ' ' << spec.scaler_param << ' '
+      << spec.id << ' ' << spec.params.size();
+  for (const auto& [key, value] : spec.params) {
+    out << ' ' << key << ' ' << value;
+  }
+}
+
+Result<automl::Pipeline> ParsePipelineSpec(std::istream& in) {
+  automl::Pipeline spec;
+  std::string classifier_name;
+  std::string scaler_name;
+  std::size_t num_params = 0;
+  if (!(in >> classifier_name >> scaler_name >> spec.scaler_param >> spec.id >>
+        num_params) ||
+      num_params > kMaxPipelineParams) {
+    return Status::InvalidArgument("model bundle: bad pipeline header");
+  }
+  ADARTS_ASSIGN_OR_RETURN(spec.classifier,
+                          ml::ClassifierKindFromString(classifier_name));
+  bool found_scaler = false;
+  for (ml::ScalerKind kind : ml::AllScalerKinds()) {
+    if (ml::ScalerKindToString(kind) == scaler_name) {
+      spec.scaler = kind;
+      found_scaler = true;
+    }
+  }
+  if (!found_scaler) {
+    return Status::NotFound("model bundle: unknown scaler " + scaler_name);
+  }
+  for (std::size_t p = 0; p < num_params; ++p) {
+    std::string key;
+    double value = 0.0;
+    if (!(in >> key >> value)) {
+      return Status::InvalidArgument("model bundle: truncated params");
+    }
+    spec.params[key] = value;
+  }
+  return spec;
 }
 
 std::string ChecksumHex(std::uint64_t checksum) {
@@ -166,13 +215,8 @@ Status Adarts::Save(const std::string& path) const {
 
   out << "committee " << committee().size() << '\n';
   for (const automl::TrainedPipeline& member : committee()) {
-    const automl::Pipeline& spec = member.spec;
-    out << "pipeline " << ml::ClassifierKindToString(spec.classifier) << ' '
-        << ml::ScalerKindToString(spec.scaler) << ' ' << spec.scaler_param
-        << ' ' << spec.id << ' ' << spec.params.size();
-    for (const auto& [key, value] : spec.params) {
-      out << ' ' << key << ' ' << value;
-    }
+    out << "pipeline ";
+    WritePipelineSpec(out, member.spec);
     out << '\n';
   }
 
@@ -184,6 +228,44 @@ Status Adarts::Save(const std::string& path) const {
       out << ' ' << v;
     }
     out << '\n';
+  }
+
+  // Optional growth blocks, only for engines that can AppendSeries.
+  // Engines without growth state (TrainFromLabeled, exhaustive labeling)
+  // write exactly the pre-growth payload, and Load accepts bundles that go
+  // straight from the dataset rows to `end` — pre-growth snapshots keep
+  // loading unchanged.
+  if (growth_.present) {
+    out << "clusters " << growth_.clusters.size() << '\n';
+    for (const ClusterGrowthState& c : growth_.clusters) {
+      out << "cluster " << c.label << ' ' << c.member_count << ' '
+          << c.representatives.size() << '\n';
+      for (const ts::TimeSeries& rep : c.representatives) {
+        // Masked positions write 0 (their in-memory placeholder may be
+        // anything, including NaN, which would not round-trip as text);
+        // the mask itself is stored as explicit indices.
+        out << "rep " << rep.length() << ' ' << rep.MissingCount();
+        for (std::size_t i = 0; i < rep.length(); ++i) {
+          out << ' ' << (rep.IsMissing(i) ? 0.0 : rep.values()[i]);
+        }
+        for (std::size_t i : rep.MissingIndices()) {
+          out << ' ' << i;
+        }
+        out << '\n';
+      }
+    }
+    out << "warmstart " << growth_.warm_start.elites.size() << '\n';
+    for (const automl::RacedPipeline& elite : growth_.warm_start.elites) {
+      out << "elite ";
+      WritePipelineSpec(out, elite.spec);
+      out << ' ' << elite.mean_score << ' ' << elite.mean_f1 << ' '
+          << elite.mean_recall_at3 << ' ' << elite.mean_time_seconds << ' '
+          << elite.scores.size();
+      for (double s : elite.scores) {
+        out << ' ' << s;
+      }
+      out << '\n';
+    }
   }
   out << "end\n";
 
@@ -315,35 +397,7 @@ Result<Adarts> Adarts::Load(const std::string& path) {
   specs.reserve(committee_size);
   for (std::size_t i = 0; i < committee_size; ++i) {
     ADARTS_RETURN_NOT_OK(Expect(in, "pipeline"));
-    automl::Pipeline spec;
-    std::string classifier_name;
-    std::string scaler_name;
-    std::size_t num_params = 0;
-    if (!(in >> classifier_name >> scaler_name >> spec.scaler_param >>
-          spec.id >> num_params) ||
-        num_params > kMaxPipelineParams) {
-      return Status::InvalidArgument("model bundle: bad pipeline header");
-    }
-    ADARTS_ASSIGN_OR_RETURN(spec.classifier,
-                            ml::ClassifierKindFromString(classifier_name));
-    bool found_scaler = false;
-    for (ml::ScalerKind kind : ml::AllScalerKinds()) {
-      if (ml::ScalerKindToString(kind) == scaler_name) {
-        spec.scaler = kind;
-        found_scaler = true;
-      }
-    }
-    if (!found_scaler) {
-      return Status::NotFound("model bundle: unknown scaler " + scaler_name);
-    }
-    for (std::size_t p = 0; p < num_params; ++p) {
-      std::string key;
-      double value = 0.0;
-      if (!(in >> key >> value)) {
-        return Status::InvalidArgument("model bundle: truncated params");
-      }
-      spec.params[key] = value;
-    }
+    ADARTS_ASSIGN_OR_RETURN(automl::Pipeline spec, ParsePipelineSpec(in));
     specs.push_back(std::move(spec));
   }
 
@@ -377,7 +431,103 @@ Result<Adarts> Adarts::Load(const std::string& path) {
     labeled.labels.push_back(label);
     labeled.features.push_back(std::move(f));
   }
-  ADARTS_RETURN_NOT_OK(Expect(in, "end"));
+  // The growth blocks are optional: pre-growth snapshots (and engines
+  // without growth state) go straight from the dataset rows to `end`.
+  std::string token;
+  if (!(in >> token)) {
+    return Status::InvalidArgument("model bundle: missing end marker");
+  }
+  GrowthState growth;
+  if (token == "clusters") {
+    std::size_t num_clusters = 0;
+    if (!(in >> num_clusters) || num_clusters == 0 || num_clusters > samples) {
+      return Status::InvalidArgument("model bundle: bad cluster count " +
+                                     std::to_string(num_clusters) + " (max " +
+                                     std::to_string(samples) + ")");
+    }
+    growth.clusters.reserve(num_clusters);
+    for (std::size_t k = 0; k < num_clusters; ++k) {
+      ADARTS_RETURN_NOT_OK(Expect(in, "cluster"));
+      ClusterGrowthState c;
+      std::size_t num_reps = 0;
+      if (!(in >> c.label >> c.member_count >> num_reps) || c.label < 0 ||
+          static_cast<std::size_t>(c.label) >= pool.size() ||
+          c.member_count == 0 || num_reps == 0 || num_reps > kMaxClusterReps) {
+        return Status::InvalidArgument("model bundle: bad cluster header");
+      }
+      c.representatives.reserve(num_reps);
+      for (std::size_t r = 0; r < num_reps; ++r) {
+        ADARTS_RETURN_NOT_OK(Expect(in, "rep"));
+        std::size_t length = 0;
+        std::size_t num_missing = 0;
+        if (!(in >> length >> num_missing) || length == 0 ||
+            length > kMaxSeriesLength || num_missing > length) {
+          return Status::InvalidArgument(
+              "model bundle: bad representative header");
+        }
+        la::Vector values(length);
+        for (std::size_t i = 0; i < length; ++i) {
+          if (!(in >> values[i])) {
+            return Status::InvalidArgument(
+                "model bundle: truncated representative values");
+          }
+        }
+        std::vector<bool> missing(length, false);
+        for (std::size_t m = 0; m < num_missing; ++m) {
+          std::size_t idx = 0;
+          if (!(in >> idx) || idx >= length) {
+            return Status::InvalidArgument(
+                "model bundle: bad representative missing index");
+          }
+          missing[idx] = true;
+        }
+        ADARTS_ASSIGN_OR_RETURN(
+            ts::TimeSeries rep,
+            ts::TimeSeries::Create(std::move(values), std::move(missing)));
+        c.representatives.push_back(std::move(rep));
+      }
+      growth.clusters.push_back(std::move(c));
+    }
+    growth.present = true;
+    if (!(in >> token)) {
+      return Status::InvalidArgument("model bundle: missing end marker");
+    }
+  }
+  if (token == "warmstart") {
+    std::size_t num_elites = 0;
+    if (!(in >> num_elites) || num_elites > kMaxCommitteeSize) {
+      return Status::InvalidArgument("model bundle: bad warm-start size " +
+                                     std::to_string(num_elites) + " (max " +
+                                     std::to_string(kMaxCommitteeSize) + ")");
+    }
+    growth.warm_start.elites.reserve(num_elites);
+    for (std::size_t e = 0; e < num_elites; ++e) {
+      ADARTS_RETURN_NOT_OK(Expect(in, "elite"));
+      automl::RacedPipeline elite;
+      ADARTS_ASSIGN_OR_RETURN(elite.spec, ParsePipelineSpec(in));
+      std::size_t num_scores = 0;
+      if (!(in >> elite.mean_score >> elite.mean_f1 >> elite.mean_recall_at3 >>
+            elite.mean_time_seconds >> num_scores) ||
+          num_scores > kMaxFoldScores) {
+        return Status::InvalidArgument("model bundle: bad elite statistics");
+      }
+      elite.scores = la::Vector(num_scores);
+      for (std::size_t s = 0; s < num_scores; ++s) {
+        if (!(in >> elite.scores[s])) {
+          return Status::InvalidArgument(
+              "model bundle: truncated elite scores");
+        }
+      }
+      growth.warm_start.elites.push_back(std::move(elite));
+    }
+    if (!(in >> token)) {
+      return Status::InvalidArgument("model bundle: missing end marker");
+    }
+  }
+  if (token != "end") {
+    return Status::InvalidArgument("model bundle: expected 'end', got '" +
+                                   token + "'");
+  }
   ADARTS_RETURN_NOT_OK(labeled.Validate());
   if (static_cast<int>(pool.size()) != labeled.num_classes) {
     return Status::InvalidArgument("model bundle: pool/classes mismatch");
@@ -399,6 +549,7 @@ Result<Adarts> Adarts::Load(const std::string& path) {
                                                labeled.num_classes));
   Adarts engine(features::FeatureExtractor(fopts), std::move(recommender),
                 std::move(report), std::move(pool), std::move(labeled));
+  engine.growth_ = std::move(growth);
   engine.engine_version_ = header.engine_version;
   engine.created_unix_ = header.created_unix;
   return engine;

@@ -1,0 +1,114 @@
+#include "adarts/stages.h"
+
+#include <utility>
+
+#include "cluster/incremental.h"
+#include "common/exec_context.h"
+#include "common/thread_pool.h"
+#include "ts/missing.h"
+
+namespace adarts {
+
+Result<ClusterStageState> ClusterStage(
+    const std::vector<ts::TimeSeries>& corpus, const TrainOptions& options,
+    ExecContext& ctx) {
+  ClusterStageState state;
+  StageTimer timer(&ctx.metrics(), "train.clustering_seconds");
+  ADARTS_ASSIGN_OR_RETURN(
+      state.clustering,
+      cluster::IncrementalClustering(corpus, options.clustering, ctx));
+  return state;
+}
+
+Result<LabelStageState> LabelStage(const std::vector<ts::TimeSeries>& corpus,
+                                   const cluster::Clustering* clustering,
+                                   const TrainOptions& options, Rng* rng,
+                                   ExecContext& ctx) {
+  LabelStageState state;
+  {
+    StageTimer labeling_timer(&ctx.metrics(), "train.labeling_seconds");
+    if (clustering != nullptr) {
+      ADARTS_ASSIGN_OR_RETURN(
+          state.labels, labeling::LabelByClusters(corpus, *clustering,
+                                                  options.labeling, ctx));
+    } else {
+      ADARTS_ASSIGN_OR_RETURN(
+          state.labels,
+          labeling::LabelSeriesFull(corpus, options.labeling, ctx));
+    }
+  }
+  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("LabelStage after labeling"));
+
+  // Feature extraction from faulty copies of the corpus. Each series masks
+  // with its own Rng, forked up front in index order on this thread, so the
+  // extracted features are bit-identical regardless of thread count.
+  state.extractor = features::FeatureExtractor(options.features);
+  state.labeled.num_classes = static_cast<int>(state.labels.algorithms.size());
+  state.labeled.labels = state.labels.labels;
+  state.labeled.features.resize(corpus.size());
+  std::vector<Rng> series_rngs = ExecContext::ForkRngs(rng, corpus.size());
+  std::vector<Status> extract_status(corpus.size());
+  {
+    StageTimer features_timer(&ctx.metrics(), "train.features_seconds");
+    ParallelFor(ctx, corpus.size(), [&](std::size_t i) {
+      ts::TimeSeries masked = corpus[i];
+      Status injected = ts::InjectPattern(options.labeling.pattern,
+                                          options.labeling.missing_fraction,
+                                          &series_rngs[i], &masked);
+      if (!injected.ok()) {
+        extract_status[i] = std::move(injected);
+        return;
+      }
+      Result<la::Vector> f = state.extractor.Extract(masked);
+      if (!f.ok()) {
+        extract_status[i] = f.status();
+        return;
+      }
+      state.labeled.features[i] = std::move(*f);
+    });
+  }
+  // Cancellation skips iterations, leaving empty feature slots — bail out
+  // before the dataset is read.
+  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("LabelStage feature extraction"));
+  for (const Status& s : extract_status) {
+    ADARTS_RETURN_NOT_OK(s);
+  }
+  return state;
+}
+
+Result<RaceStageState> RaceStage(const ml::Dataset& labeled,
+                                 const automl::ModelRaceOptions& race_options,
+                                 double race_train_fraction,
+                                 const automl::RaceWarmStart* warm_start,
+                                 Rng* rng, ExecContext& ctx,
+                                 const char* span_name) {
+  automl::ModelRaceOptions seeded = race_options;
+  seeded.seed = rng->NextU64();
+  ADARTS_ASSIGN_OR_RETURN(
+      ml::TrainTestSplit split,
+      ml::StratifiedSplit(labeled, race_train_fraction, rng));
+  RaceStageState state;
+  StageTimer race_timer(&ctx.metrics(), span_name);
+  if (warm_start != nullptr && !warm_start->empty()) {
+    ADARTS_ASSIGN_OR_RETURN(
+        state.report, automl::RunModelRace(split.train, split.test, seeded,
+                                           *warm_start, ctx));
+  } else {
+    ADARTS_ASSIGN_OR_RETURN(
+        state.report,
+        automl::RunModelRace(split.train, split.test, seeded, ctx));
+  }
+  return state;
+}
+
+Result<CommitteeStageState> CommitteeStage(
+    const automl::ModelRaceReport& report, const ml::Dataset& labeled,
+    ExecContext& ctx) {
+  CommitteeStageState state;
+  ADARTS_ASSIGN_OR_RETURN(
+      state.recommender,
+      automl::VotingRecommender::FromRace(report, labeled, ctx));
+  return state;
+}
+
+}  // namespace adarts

@@ -104,22 +104,14 @@ void Refresh(RacedPipeline* rp) {
   rp->mean_score = num / den;
 }
 
-}  // namespace
-
-Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
-                                     const ml::Dataset& test,
-                                     const ModelRaceOptions& options) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ExecContext ctx(options.num_threads, options.cancel);
-#pragma GCC diagnostic pop
-  return RunModelRace(train, test, options, ctx);
-}
-
-Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
-                                     const ml::Dataset& test,
-                                     const ModelRaceOptions& options,
-                                     ExecContext& ctx) {
+/// The shared race body. `warm_start` (nullable) seeds the elite set so the
+/// first iteration races incumbents + children instead of the seed grid;
+/// a null or empty warm start reproduces the cold race bit-for-bit.
+Result<ModelRaceReport> RunModelRaceImpl(const ml::Dataset& train,
+                                         const ml::Dataset& test,
+                                         const ModelRaceOptions& options,
+                                         const RaceWarmStart* warm_start,
+                                         ExecContext& ctx) {
   ADARTS_RETURN_NOT_OK(train.Validate());
   ADARTS_RETURN_NOT_OK(test.Validate());
   if (options.num_partial_sets == 0 || options.num_folds < 2) {
@@ -150,6 +142,15 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
       ml::GrowingPartialSets(train, options.num_partial_sets, &rng));
 
   std::vector<RacedPipeline> elites;
+  if (warm_start != nullptr && !warm_start->elites.empty()) {
+    // Incumbents enter with their accumulated fold-score history; the
+    // max_survivors cap applies here too so a hand-assembled warm start
+    // cannot inflate the candidate pool beyond what the race would keep.
+    for (const RacedPipeline& e : warm_start->elites) {
+      if (elites.size() >= options.max_survivors) break;
+      elites.push_back(e);
+    }
+  }
   std::size_t iterations_raced = 0;
 
   for (std::size_t iter = 0; iter < partials.size(); ++iter) {
@@ -397,6 +398,33 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
   metrics.Increment("race.pipelines_eliminated", report.eliminations.size());
   metrics.Increment("race.pipelines_timed_out", report.pipelines_timed_out);
   return report;
+}
+
+}  // namespace
+
+Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
+                                     const ml::Dataset& test,
+                                     const ModelRaceOptions& options) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecContext ctx(options.num_threads, options.cancel);
+#pragma GCC diagnostic pop
+  return RunModelRace(train, test, options, ctx);
+}
+
+Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
+                                     const ml::Dataset& test,
+                                     const ModelRaceOptions& options,
+                                     ExecContext& ctx) {
+  return RunModelRaceImpl(train, test, options, nullptr, ctx);
+}
+
+Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
+                                     const ml::Dataset& test,
+                                     const ModelRaceOptions& options,
+                                     const RaceWarmStart& warm_start,
+                                     ExecContext& ctx) {
+  return RunModelRaceImpl(train, test, options, &warm_start, ctx);
 }
 
 }  // namespace adarts::automl

@@ -103,6 +103,21 @@ struct Elimination {
   EliminationReason reason = EliminationReason::kFailedFit;
 };
 
+/// Prior knowledge carried into an incremental re-race: the surviving
+/// elites of an earlier race, with their full fold-score histories. A race
+/// seeded from a warm start skips the seed grid entirely — its first
+/// iteration races the incumbents plus their synthesized children — while
+/// the incumbents stay subject to the normal elimination machinery
+/// (early-termination margins, t-test pruning, failed fits), so a stale
+/// elite that stops winning on the grown data leaves the race like any
+/// other candidate. The carried score history feeds the recency-weighted
+/// mean, so fresh folds on the new data dominate an incumbent's ranking.
+struct RaceWarmStart {
+  std::vector<RacedPipeline> elites;
+
+  bool empty() const { return elites.empty(); }
+};
+
 /// Outcome of one ModelRace run.
 struct ModelRaceReport {
   /// Theta-elite: the surviving pipelines, best mean score first.
@@ -136,6 +151,18 @@ Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
 Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
                                      const ml::Dataset& test,
                                      const ModelRaceOptions& options,
+                                     ExecContext& ctx);
+
+/// Warm-started variant: the race's elite set is initialised from
+/// `warm_start` instead of starting empty, so the first iteration synthesizes
+/// children of the incumbents rather than racing the full seed grid. With an
+/// empty warm start this is bit-identical to the cold overload. The returned
+/// report's elites are the natural warm start for the *next* incremental
+/// race (Adarts::AppendSeries persists them in the snapshot).
+Result<ModelRaceReport> RunModelRace(const ml::Dataset& train,
+                                     const ml::Dataset& test,
+                                     const ModelRaceOptions& options,
+                                     const RaceWarmStart& warm_start,
                                      ExecContext& ctx);
 
 }  // namespace adarts::automl

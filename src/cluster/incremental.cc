@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "la/vector_ops.h"
+#include "ts/correlation.h"
 
 namespace adarts::cluster {
 
@@ -186,6 +187,57 @@ Result<Clustering> IncrementalClustering(
   std::erase_if(clusters,
                 [](const std::vector<std::size_t>& c) { return c.empty(); });
   return result;
+}
+
+Result<SeriesAssignment> AssignSeriesToClusters(
+    const ts::TimeSeries& series,
+    const std::vector<std::vector<ts::TimeSeries>>& representatives,
+    const IncrementalOptions& options, ExecContext& ctx) {
+  if (representatives.empty()) {
+    return Status::InvalidArgument("no clusters to assign against");
+  }
+  ADARTS_RETURN_NOT_OK(series.ValidateObservedFinite());
+  for (const auto& reps : representatives) {
+    for (const ts::TimeSeries& rep : reps) {
+      if (rep.length() != series.length()) {
+        return Status::InvalidArgument(
+            "series length " + std::to_string(series.length()) +
+            " does not match cluster representative length " +
+            std::to_string(rep.length()));
+      }
+    }
+  }
+  // Mean |corr| to each cluster's representatives, one slot per cluster on
+  // the shared pool; a constant series correlates 0 with everything and
+  // therefore always splits.
+  std::vector<double> affinity(representatives.size(), 0.0);
+  ParallelFor(ctx, representatives.size(), [&](std::size_t j) {
+    const auto& reps = representatives[j];
+    if (reps.empty()) return;  // never admissible
+    TraceSpan span("cluster.candidate");
+    double total = 0.0;
+    for (const ts::TimeSeries& rep : reps) {
+      total += std::fabs(ts::Pearson(series, rep));
+    }
+    affinity[j] = total / static_cast<double>(reps.size());
+  });
+  ADARTS_RETURN_NOT_OK(ctx.CheckCancelled("AssignSeriesToClusters"));
+
+  // Same admissibility floor as the refinement phase's merges; the serial
+  // index-order argmax keeps the winner bit-identical to a serial scan.
+  const double floor =
+      options.merge_correlation_slack * options.correlation_threshold;
+  SeriesAssignment out;
+  out.split = true;
+  for (std::size_t j = 0; j < representatives.size(); ++j) {
+    if (representatives[j].empty() || affinity[j] < floor) continue;
+    if (out.split || affinity[j] > out.correlation) {
+      out.split = false;
+      out.cluster = j;
+      out.correlation = affinity[j];
+    }
+  }
+  return out;
 }
 
 }  // namespace adarts::cluster

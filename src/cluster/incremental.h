@@ -63,6 +63,34 @@ Result<Clustering> IncrementalClustering(
     const std::vector<ts::TimeSeries>& series,
     const IncrementalOptions& options, ExecContext& ctx);
 
+/// Where one new series landed during incremental corpus growth.
+struct SeriesAssignment {
+  /// Index of the winning cluster in the representative list, or — when
+  /// `split` is true — unset (the caller opens a fresh cluster).
+  std::size_t cluster = 0;
+  /// True when no existing cluster was admissible: the series splits off
+  /// into a new singleton cluster (the append-path analogue of Algorithm
+  /// 2's phase-1 split).
+  bool split = false;
+  /// Mean absolute correlation between the series and the winning
+  /// cluster's representatives; 0 for a split.
+  double correlation = 0.0;
+};
+
+/// Places one new series against the existing clusters without re-running
+/// the full clustering: each cluster is summarised by its stored
+/// representative series (correlation medoids), the series' mean absolute
+/// correlation to every cluster's representatives is evaluated on `ctx`'s
+/// pool (one slot per cluster), and the argmax reduction runs serially in
+/// index order — bit-identical across thread counts. The winner must pass
+/// the same admissibility floor the refinement phase of
+/// `IncrementalClustering` uses for merges (`merge_correlation_slack *
+/// correlation_threshold`); when no cluster passes, the series splits off.
+Result<SeriesAssignment> AssignSeriesToClusters(
+    const ts::TimeSeries& series,
+    const std::vector<std::vector<ts::TimeSeries>>& representatives,
+    const IncrementalOptions& options, ExecContext& ctx);
+
 }  // namespace adarts::cluster
 
 #endif  // ADARTS_CLUSTER_INCREMENTAL_H_

@@ -179,6 +179,10 @@ const std::vector<std::string_view>& AllFailpointSites() {
           "adarts.save.commit",
           "adarts.save.write",
           "adarts.train.start",
+          "adarts.update.assign",
+          "adarts.update.label",
+          "adarts.update.race",
+          "adarts.update.start",
           "automl.pipeline.fit",
           "automl.race.iteration",
           "automl.vote.member",

@@ -58,6 +58,11 @@ struct LabelingResult {
   std::size_t imputation_runs = 0;
   /// The algorithm pool the label indices refer to.
   std::vector<impute::Algorithm> algorithms;
+  /// Cluster path only: the representative series indices benchmarked for
+  /// each cluster, parallel to the clustering's cluster list (empty in the
+  /// exhaustive path). The engine persists the representatives so appended
+  /// series can be assigned to clusters without the original corpus.
+  std::vector<std::vector<std::size_t>> cluster_representatives;
 };
 
 /// Ground-truth labeling: injects one missing pattern into every series,
@@ -95,6 +100,31 @@ Result<LabelingResult> LabelByClusters(const std::vector<ts::TimeSeries>& series
 std::vector<std::size_t> ClusterRepresentatives(
     const std::vector<std::size_t>& members, const la::Matrix& corr,
     std::size_t count);
+
+/// Label of one cluster benchmarked in isolation (the incremental append
+/// path: a freshly split cluster is labeled without touching the rest of
+/// the corpus).
+struct ClusterLabel {
+  /// Index into the resolved pool of the winning algorithm.
+  int label = 0;
+  /// Mean RMSE of each pool algorithm across the representatives.
+  la::Vector mean_rmse;
+  /// The representative indices (into the cluster set) that were scored.
+  std::vector<std::size_t> representatives;
+  /// Algorithm executions this labeling cost.
+  std::size_t imputation_runs = 0;
+};
+
+/// Labels a standalone cluster exactly as one iteration of
+/// `LabelByClusters` would: representatives are selected by correlation
+/// medoid within `cluster_set`, masked with the configured pattern, scored
+/// against the pool, and the argmin-mean-RMSE algorithm wins. Singleton
+/// clusters score their only member. Used by `Adarts::AppendSeries` to
+/// label freshly split clusters — cost is `reps * |algorithms|` runs,
+/// independent of the corpus size.
+Result<ClusterLabel> LabelSingleCluster(
+    const std::vector<ts::TimeSeries>& cluster_set,
+    const LabelingOptions& options, ExecContext& ctx);
 
 }  // namespace adarts::labeling
 

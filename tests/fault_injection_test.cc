@@ -237,6 +237,33 @@ TEST(FaultInjectionSweepTest, EverySiteFailsCleanlyAcrossTheEngineSurface) {
                                  healthy->committee_size());
     }
 
+    // Incremental growth through the adarts.update.* sites, on a freshly
+    // loaded engine so the shared healthy fixture stays fixed across
+    // iterations. A clean failure must leave the engine untouched
+    // (version and corpus unchanged); success bumps the version.
+    {
+      auto loaded = Adarts::Load(reload_path);
+      if (loaded.ok() && loaded->has_growth_state()) {
+        data::GeneratorOptions gopts;
+        gopts.num_series = 2;
+        gopts.length = 160;
+        gopts.seed = 21;
+        auto delta = data::GenerateCategory(data::Category::kClimate, gopts);
+        const std::uint64_t version = loaded->engine_version();
+        const std::size_t corpus_size = loaded->training_data().size();
+        Status appended = loaded->AppendSeries(delta);
+        if (appended.ok()) {
+          EXPECT_EQ(loaded->engine_version(), version + 1);
+          EXPECT_EQ(loaded->training_data().size(),
+                    corpus_size + delta.size());
+        } else {
+          EXPECT_FALSE(appended.message().empty());
+          EXPECT_EQ(loaded->engine_version(), version);
+          EXPECT_EQ(loaded->training_data().size(), corpus_size);
+        }
+      }
+    }
+
     // CSV I/O.
     Status wrote = io::WriteSeriesCsv(csv_path, faulty_set);
     if (wrote.ok()) {

@@ -56,8 +56,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: adarts_cli <generate|inject|label|train|recommend|repair> "
-               "[--key value]...\n"
+               "usage: adarts_cli <generate|inject|label|train|append|info|"
+               "recommend|repair> [--key value]...\n"
                "  generate  --category <Power|Water|Motion|Climate|Lightning|"
                "Medical>\n"
                "            [--series N] [--length N] [--variant N] "
@@ -67,6 +67,11 @@ int Usage() {
                "            [--seed N] --out FILE\n"
                "  label     --corpus FILE\n"
                "  train     --corpus FILE --model FILE [--engine-version N]\n"
+               "  append    --model FILE --delta FILE [--seed N] [--cold 1]\n"
+               "            (incrementally grows the snapshot in place and\n"
+               "             bumps engine_version — follow with kill -HUP on\n"
+               "             adarts_serve for a zero-downtime rollout)\n"
+               "  info      --model FILE\n"
                "  recommend (--corpus FILE | --model FILE) --faulty FILE\n"
                "  repair    (--corpus FILE | --model FILE) --faulty FILE --out FILE\n"
                "  any subcommand also accepts --trace FILE to export a Chrome\n"
@@ -201,6 +206,79 @@ int CmdTrain(const Args& args) {
   return 0;
 }
 
+int CmdAppend(const Args& args) {
+  const std::string model = GetArg(args, "model", "");
+  const std::string delta_path = GetArg(args, "delta", "");
+  if (model.empty() || delta_path.empty()) return Usage();
+  auto engine = Adarts::Load(model);
+  if (!engine.ok()) return Fail(engine.status());
+  auto delta = io::ReadSeriesCsv(delta_path);
+  if (!delta.ok()) return Fail(delta.status());
+  UpdateOptions options;
+  options.seed = std::strtoull(GetArg(args, "seed", "17").c_str(), nullptr, 10);
+  options.warm_start = GetArg(args, "cold", "0") == "0";
+  if (auto st = engine->AppendSeries(*delta, options); !st.ok()) return Fail(st);
+  // AppendSeries bumped engine_version, so the save below publishes a
+  // strictly newer snapshot: a SIGHUP'd adarts_serve accepts the swap.
+  const std::string out = GetArg(args, "out", model);
+  if (auto st = engine->Save(out); !st.ok()) return Fail(st);
+  const auto& counters = engine->train_report().stages.counters;
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const auto it = counters.find(name);
+    return it != counters.end() ? it->second : 0;
+  };
+  std::printf("appended %zu series (%llu assigned, %llu split into new "
+              "clusters, %llu warm elites survived); corpus now %zu series "
+              "in %zu clusters\n",
+              delta->size(),
+              static_cast<unsigned long long>(counter("update.assigned")),
+              static_cast<unsigned long long>(counter("update.splits")),
+              static_cast<unsigned long long>(
+                  counter("update.race_warm_hits")),
+              engine->training_data().size(),
+              engine->growth_state().clusters.size());
+  std::printf("saved engine v%llu to %s\n",
+              static_cast<unsigned long long>(engine->engine_version()),
+              out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  const std::string model = GetArg(args, "model", "");
+  if (model.empty()) return Usage();
+  // The header answers the cheap questions (version, creation time) without
+  // refitting the committee; the full Load supplies the corpus/cluster view.
+  auto header = ReadSnapshotHeader(model);
+  if (!header.ok()) return Fail(header.status());
+  auto engine = Adarts::Load(model);
+  if (!engine.ok()) return Fail(engine.status());
+  std::printf("snapshot:              %s\n", model.c_str());
+  std::printf("format_version:        %u\n", header->format_version);
+  std::printf("engine_version:        %llu\n",
+              static_cast<unsigned long long>(header->engine_version));
+  std::printf("snapshot_created_unix: %llu\n",
+              static_cast<unsigned long long>(header->created_unix));
+  std::printf("payload_bytes:         %llu\n",
+              static_cast<unsigned long long>(header->payload_bytes));
+  std::printf("corpus_series:         %zu\n", engine->training_data().size());
+  if (engine->has_growth_state()) {
+    std::printf("clusters:              %zu\n",
+                engine->growth_state().clusters.size());
+    std::printf("warm_start_elites:     %zu\n",
+                engine->growth_state().warm_start.elites.size());
+  } else {
+    std::printf("clusters:              n/a (no growth state; append "
+                "unsupported)\n");
+  }
+  std::printf("committee_size:        %zu\n", engine->committee_size());
+  std::printf("algorithm_pool:       ");
+  for (const auto algo : engine->algorithm_pool()) {
+    std::printf(" %s", std::string(impute::AlgorithmToString(algo)).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
 int CmdRecommend(const Args& args) {
   auto engine = ObtainEngine(args);
   if (!engine.ok()) return Fail(engine.status());
@@ -247,6 +325,8 @@ int Main(int argc, char** argv) {
   if (command == "inject") return CmdInject(args);
   if (command == "label") return CmdLabel(args);
   if (command == "train") return CmdTrain(args);
+  if (command == "append") return CmdAppend(args);
+  if (command == "info") return CmdInfo(args);
   if (command == "recommend") return CmdRecommend(args);
   if (command == "repair") return CmdRepair(args);
   return Usage();

@@ -176,6 +176,7 @@ bool MetricHigherIsBetter(const std::string& name) {
   static const char* const kHigherBetter[] = {
       "win_rate", "accuracy", "precision", "recall",  "f1",
       "mrr",      "throughput", "qps",     "agreement", "coverage",
+      "speedup",
   };
   for (const char* token : kHigherBetter) {
     if (name.find(token) != std::string::npos) return true;
