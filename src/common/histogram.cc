@@ -80,6 +80,15 @@ void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
   }
 }
 
+void LatencyHistogram::Reset() {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
 HistogramSnapshot LatencyHistogram::Snapshot() const {
   HistogramSnapshot snap;
   // Load the buckets once so every percentile reads the same state; the

@@ -70,8 +70,17 @@ class LatencyHistogram {
   /// Adds every bucket, the count/sum, and the max of `other` into this
   /// histogram. Because the layout is fixed, merging per-thread histograms
   /// is bucket-wise addition and commutes — merge order cannot change the
-  /// result.
+  /// result. Safe to call while `other`'s recorders are still writing: all
+  /// reads are relaxed atomics, so a live merge sees some consistent-enough
+  /// prefix of the traffic (the scrape path of DESIGN.md §14) and never
+  /// tears.
   void MergeFrom(const LatencyHistogram& other);
+
+  /// Zeroes every bucket, the count/sum, and the max (relaxed stores). Used
+  /// by `SlidingHistogram` to recycle an expired window bucket. Concurrent
+  /// `Record`s during a reset land before or after it nondeterministically —
+  /// benign for a rotating observability window, never a data race.
+  void Reset();
 
   /// Count / exact max / p50-p90-p99 summary. Safe to call concurrently
   /// with `Record`; for a bit-exact snapshot, quiesce recorders first (the

@@ -1,7 +1,9 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 #include <utility>
 
@@ -21,6 +23,16 @@ LogSink& SinkSlot() {
   return sink;
 }
 
+/// Small process-local sequential thread id (1, 2, 3, ... in first-log
+/// order) — readable in a drain transcript where the kernel's tids are
+/// seven-digit noise, and stable for a thread's whole lifetime.
+std::uint64_t CurrentLogThreadId() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local std::uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void DefaultSink(LogLevel level, const std::string& message) {
   // Re-read the environment on every call: the old implementation latched
   // ADARTS_QUIET in a function-local static, so a test that set the
@@ -29,8 +41,22 @@ void DefaultSink(LogLevel level, const std::string& message) {
   if (level != LogLevel::kError && std::getenv("ADARTS_QUIET") != nullptr) {
     return;
   }
-  std::fprintf(stderr, "[adarts] %s: %s\n", LogLevelName(level),
-               message.c_str());
+  // Wall-clock stamp (UTC, millisecond precision): the serving daemon's
+  // lines must line up with scrape timestamps and other processes' logs,
+  // which a steady-clock offset cannot do.
+  struct timespec ts = {};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm_utc = {};
+  gmtime_r(&ts.tv_sec, &tm_utc);
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(ts.tv_nsec / 1000000));
+  std::fprintf(stderr, "[adarts] %s t%llu %s: %s\n", stamp,
+               static_cast<unsigned long long>(CurrentLogThreadId()),
+               LogLevelName(level), message.c_str());
 }
 
 }  // namespace

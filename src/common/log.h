@@ -28,11 +28,15 @@ using LogSink = std::function<void(LogLevel, const std::string& message)>;
 void SetLogSink(LogSink sink);
 
 /// Routes one line to the active sink. The default sink writes
-/// `[adarts] LEVEL: message` to stderr; `ADARTS_QUIET` (re-read on every
-/// call, never latched) suppresses INFO and WARN there, ERROR always
-/// prints. While a trace session is active, WARN and ERROR also record an
-/// instant event (`log.warn` / `log.error`) so fallbacks show up on the
-/// timeline next to the spans that caused them.
+/// `[adarts] <UTC timestamp> t<tid> LEVEL: message` to stderr, where the
+/// timestamp is wall-clock with millisecond precision and `t<tid>` is a
+/// small process-local sequential thread id — a drained daemon's
+/// transcript interleaves many threads, and lines must line up with scrape
+/// timestamps. `ADARTS_QUIET` (re-read on every call, never latched)
+/// suppresses INFO and WARN there, ERROR always prints. While a trace
+/// session is active, WARN and ERROR also record an instant event
+/// (`log.warn` / `log.error`) so fallbacks show up on the timeline next to
+/// the spans that caused them.
 void LogMessage(LogLevel level, const std::string& message);
 
 inline void LogInfo(const std::string& message) {

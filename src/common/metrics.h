@@ -102,8 +102,13 @@ class Metrics {
   /// add, histograms merge bucket-wise (`LatencyHistogram::MergeFrom`, so
   /// percentiles of the union are exact, not an average of percentiles).
   /// The serving daemon uses this to fold per-worker `ExecContext` metrics
-  /// into the one exported registry. Quiesce recorders first for an exact
-  /// fold; `dst` must not be `this`.
+  /// into one exported registry — both at shutdown and on every live
+  /// `/metrics` / `kStats` scrape (DESIGN.md §14). Safe against recorders
+  /// that are still writing: counter and histogram reads are relaxed
+  /// atomics, so a live fold observes a consistent monotone prefix of the
+  /// traffic (successive scrapes never see a count regress); quiesce
+  /// recorders first only when a bit-exact fold matters (the engine's
+  /// determinism tests do). `dst` must not be `this`.
   void MergeInto(Metrics* dst) const;
 
  private:

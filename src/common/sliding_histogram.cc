@@ -1,0 +1,100 @@
+#include "common/sliding_histogram.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace adarts {
+
+namespace {
+
+constexpr std::uint64_t kUninitialized = ~std::uint64_t{0};
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SlidingHistogram::SlidingHistogram(std::size_t num_buckets,
+                                   std::uint64_t bucket_ns)
+    : num_buckets_(std::max<std::size_t>(1, num_buckets)),
+      bucket_ns_(std::max<std::uint64_t>(1, bucket_ns)),
+      buckets_(new Bucket[std::max<std::size_t>(1, num_buckets)]),
+      current_slice_(kUninitialized) {
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    buckets_[i].slice.store(kUninitialized, std::memory_order_relaxed);
+  }
+}
+
+void SlidingHistogram::Rotate(std::uint64_t slice) const {
+  std::uint64_t seen = current_slice_.load(std::memory_order_acquire);
+  while (seen == kUninitialized || slice > seen) {
+    if (!current_slice_.compare_exchange_weak(seen, slice,
+                                              std::memory_order_acq_rel)) {
+      continue;  // another thread advanced; re-check against its value
+    }
+    // CAS winner: reset every ring slot whose slice just expired. A slot is
+    // reset at most once per slice it is reused for; losers see the advanced
+    // current_slice_ and never enter this block for the same transition.
+    const std::uint64_t oldest =
+        slice >= num_buckets_ - 1 ? slice - (num_buckets_ - 1) : 0;
+    const std::uint64_t from =
+        seen == kUninitialized ? oldest : std::max(oldest, seen + 1);
+    for (std::uint64_t s = from; s <= slice; ++s) {
+      Bucket& bucket = buckets_[s % num_buckets_];
+      bucket.histogram.Reset();
+      bucket.slice.store(s, std::memory_order_release);
+    }
+    if (first_slice_.load(std::memory_order_relaxed) == kUninitialized) {
+      first_slice_.store(slice, std::memory_order_relaxed);
+    }
+    return;
+  }
+}
+
+void SlidingHistogram::RecordAt(std::uint64_t value_ns, std::uint64_t now_ns) {
+  const std::uint64_t slice = now_ns / bucket_ns_;
+  Rotate(slice);
+  // Record into the slot for our slice even if a racing rotation is about
+  // to clear it — losing one edge sample beats taking a lock per record.
+  buckets_[slice % num_buckets_].histogram.Record(value_ns);
+}
+
+void SlidingHistogram::Record(std::uint64_t value_ns) {
+  RecordAt(value_ns, SteadyNowNs());
+}
+
+WindowedSnapshot SlidingHistogram::SnapshotAt(std::uint64_t now_ns) const {
+  const std::uint64_t slice = now_ns / bucket_ns_;
+  Rotate(slice);  // expire buckets that fell out of the window while idle
+  WindowedSnapshot out;
+  out.window_seconds = window_seconds();
+
+  LatencyHistogram merged;
+  const std::uint64_t oldest =
+      slice >= num_buckets_ - 1 ? slice - (num_buckets_ - 1) : 0;
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    const std::uint64_t tag = buckets_[i].slice.load(std::memory_order_acquire);
+    if (tag == kUninitialized || tag < oldest || tag > slice) continue;
+    merged.MergeFrom(buckets_[i].histogram);
+  }
+  out.histogram = merged.Snapshot();
+
+  const std::uint64_t first = first_slice_.load(std::memory_order_relaxed);
+  if (first != kUninitialized) {
+    const std::uint64_t observed_ns =
+        now_ns > first * bucket_ns_ ? now_ns - first * bucket_ns_ : 0;
+    out.covered_seconds =
+        std::min(out.window_seconds, static_cast<double>(observed_ns) / 1e9);
+  }
+  return out;
+}
+
+WindowedSnapshot SlidingHistogram::Snapshot() const {
+  return SnapshotAt(SteadyNowNs());
+}
+
+}  // namespace adarts

@@ -1,0 +1,103 @@
+#ifndef ADARTS_COMMON_SLIDING_HISTOGRAM_H_
+#define ADARTS_COMMON_SLIDING_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/histogram.h"
+
+namespace adarts {
+
+/// Point-in-time summary of the sliding window: the merged percentile
+/// snapshot of every live bucket plus how many seconds of history it
+/// actually covers (less than the configured span right after startup or
+/// after an idle gap expired every bucket).
+struct WindowedSnapshot {
+  HistogramSnapshot histogram;
+  /// Seconds the snapshot spans: number of live buckets x bucket width,
+  /// capped at the configured window. 0 when nothing was recorded inside
+  /// the window.
+  double covered_seconds = 0.0;
+  /// Width of the whole configured window in seconds (buckets x width).
+  double window_seconds = 0.0;
+};
+
+/// Last-N-seconds percentiles over `LatencyHistogram` (DESIGN.md §14): a
+/// ring of `num_buckets` fixed-layout histograms, each covering one
+/// `bucket_ns` slice of time. Recording lands wait-free in the bucket the
+/// timestamp falls into; a snapshot merges every bucket still inside the
+/// window, so scrapes report "p99 over the last minute" next to the
+/// cumulative since-start percentiles (which can never show "latency right
+/// now" once hours of history flattened them).
+///
+/// Rotation: the first recorder (or snapshotter) to observe that time moved
+/// into a new slice CASes the window forward and resets the buckets whose
+/// slices expired. Resets are relaxed atomic stores — a racing recorder
+/// holding the previous slice index can lose its one sample into a freshly
+/// cleared bucket, which is acceptable for an observability window and
+/// keeps the hot path free of locks; there is no data race, only benign
+/// imprecision at bucket edges.
+///
+/// Time is caller-supplied in the `*At(now_ns)` variants (monotone
+/// nanoseconds, e.g. steady_clock) so rotation and expiry are unit-testable
+/// without sleeping; the clockless overloads read steady_clock themselves.
+class SlidingHistogram {
+ public:
+  /// `num_buckets` slices of `bucket_ns` each; defaults give a 60-second
+  /// window at 5-second granularity (12 x 5 s).
+  explicit SlidingHistogram(std::size_t num_buckets = 12,
+                            std::uint64_t bucket_ns = 5'000'000'000ull);
+
+  SlidingHistogram(const SlidingHistogram&) = delete;
+  SlidingHistogram& operator=(const SlidingHistogram&) = delete;
+
+  /// Records one duration at the given timestamp (both nanoseconds).
+  void RecordAt(std::uint64_t value_ns, std::uint64_t now_ns);
+
+  /// Records one duration now (steady clock).
+  void Record(std::uint64_t value_ns);
+
+  /// Merged snapshot of every bucket whose slice is still inside the
+  /// window ending at `now_ns`. Safe to call concurrently with recorders.
+  WindowedSnapshot SnapshotAt(std::uint64_t now_ns) const;
+
+  /// Merged snapshot of the window ending now (steady clock).
+  WindowedSnapshot Snapshot() const;
+
+  std::size_t num_buckets() const { return num_buckets_; }
+  std::uint64_t bucket_ns() const { return bucket_ns_; }
+  double window_seconds() const {
+    return static_cast<double>(num_buckets_) *
+           static_cast<double>(bucket_ns_) / 1e9;
+  }
+
+ private:
+  /// One ring slot: the histogram plus the slice index it currently holds
+  /// samples for. `slice` is updated only under rotation; readers treat a
+  /// mismatched slice as "expired, skip".
+  struct Bucket {
+    LatencyHistogram histogram;
+    std::atomic<std::uint64_t> slice{0};
+  };
+
+  /// Advances the ring so `slice` is current: resets every bucket whose
+  /// slice expired. Called by recorders and snapshotters alike; only the
+  /// CAS winner does the resets.
+  void Rotate(std::uint64_t slice) const;
+
+  const std::size_t num_buckets_;
+  const std::uint64_t bucket_ns_;
+  std::unique_ptr<Bucket[]> buckets_;
+  /// Most recent slice index any caller has observed.
+  mutable std::atomic<std::uint64_t> current_slice_{0};
+  /// First slice ever observed — the start of observation, for
+  /// `covered_seconds` (a window scraped 10 s after startup only covers
+  /// 10 s of history, whatever its configured span).
+  mutable std::atomic<std::uint64_t> first_slice_{~std::uint64_t{0}};
+};
+
+}  // namespace adarts
+
+#endif  // ADARTS_COMMON_SLIDING_HISTOGRAM_H_

@@ -166,7 +166,7 @@ Status DecodeSeriesVector(Reader* in, std::size_t max_count,
 
 bool IsValidMessageType(std::uint8_t value) {
   return value >= static_cast<std::uint8_t>(MessageType::kPing) &&
-         value <= static_cast<std::uint8_t>(MessageType::kReload);
+         value <= static_cast<std::uint8_t>(MessageType::kStats);
 }
 
 std::string EncodeRequest(const Request& request) {
@@ -207,7 +207,8 @@ Result<Request> DecodeRequest(std::string_view body) {
     return Status::InvalidArgument("frame: trailing bytes in request");
   }
   const bool no_series = request.type == MessageType::kPing ||
-                         request.type == MessageType::kReload;
+                         request.type == MessageType::kReload ||
+                         request.type == MessageType::kStats;
   const std::size_t expected =
       no_series ? 0
                 : (request.type == MessageType::kRecommendBatch
@@ -239,6 +240,7 @@ std::string EncodeResponse(const Response& response) {
     AppendSeries(&out, series);
   }
   AppendU64(&out, response.engine_version);
+  AppendBytes(&out, response.text);
   return out;
 }
 
@@ -279,8 +281,16 @@ Result<Response> DecodeResponse(std::string_view body) {
   if (!in.ReadU64(&response.engine_version)) {
     return Status::InvalidArgument("frame: truncated engine_version");
   }
+  std::uint32_t text_len = 0;
+  if (!in.ReadU32(&text_len) || text_len > kMaxTextBytes ||
+      !in.ReadBytes(text_len, &response.text)) {
+    return Status::InvalidArgument("frame: bad response text field");
+  }
   if (!in.exhausted()) {
     return Status::InvalidArgument("frame: trailing bytes in response");
+  }
+  if (response.type != MessageType::kStats && !response.text.empty()) {
+    return Status::InvalidArgument("frame: text field on non-stats response");
   }
   return response;
 }

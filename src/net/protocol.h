@@ -22,10 +22,10 @@ namespace adarts::net {
 /// Request body:
 ///
 ///   u8   type          (kPing | kRecommend | kRecommendBatch | kRepair |
-///                       kReload)
+///                       kReload | kStats)
 ///   u64  id            (echoed verbatim in the response)
 ///   f64  deadline_ms   (<= 0: use the server's default deadline)
-///   u32  series_count  (0 for ping/reload, 1 for recommend/repair,
+///   u32  series_count  (0 for ping/reload/stats, 1 for recommend/repair,
 ///                       N for batch)
 ///   series...
 ///   u32  text_len + bytes   (kReload: snapshot path, empty = the path the
@@ -41,6 +41,8 @@ namespace adarts::net {
 ///   u32  series_count + series each   (repair results)
 ///   u64  engine_version               (version of the engine that answered;
 ///                                      lets clients detect a live swap)
+///   u32  text_len + bytes             (kStats: the telemetry-snapshot JSON;
+///                                      others: empty)
 ///
 /// A series is `u32 name_len + bytes, u64 length, length f64 values`
 /// (IEEE-754 bit patterns, little-endian); NaN marks a missing position in
@@ -61,9 +63,14 @@ enum class MessageType : std::uint8_t {
   /// only after the reload pipeline finishes: kOk with the new version, or
   /// the validation error with the old engine still serving.
   kReload = 5,
+  /// Scrape the live telemetry snapshot (DESIGN.md §14). Answered directly
+  /// from the reader thread — it bypasses the admission queue, so an
+  /// operator can still see a saturated server. The response's `text`
+  /// field carries the folded snapshot as JSON.
+  kStats = 6,
 };
 
-/// True for the five known message types.
+/// True for the six known message types.
 bool IsValidMessageType(std::uint8_t value);
 
 /// Hard caps a well-formed frame can never exceed; decode rejects anything
@@ -73,6 +80,9 @@ inline constexpr std::size_t kMaxSeriesPerRequest = 4096;
 inline constexpr std::size_t kMaxSeriesLength = std::size_t{1} << 21;
 inline constexpr std::size_t kMaxNameBytes = 4096;
 inline constexpr std::size_t kMaxMessageBytes = std::size_t{1} << 16;
+/// Response `text` cap (telemetry-snapshot JSON grows with the number of
+/// registered metrics, so it gets more headroom than error messages).
+inline constexpr std::size_t kMaxTextBytes = std::size_t{1} << 20;
 
 struct Request {
   MessageType type = MessageType::kPing;
@@ -100,6 +110,9 @@ struct Response {
   /// A burst of requests straddling a hot-swap can partition its responses
   /// into exactly two version groups — never a mix within one response.
   std::uint64_t engine_version = 0;
+  /// kStats: the telemetry-snapshot JSON (capped at kMaxTextBytes). Empty
+  /// for every other type.
+  std::string text;
 
   bool ok() const { return code == StatusCode::kOk; }
 };

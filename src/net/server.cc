@@ -6,7 +6,9 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -46,7 +48,99 @@ ts::TimeSeries CanarySeries() {
   return series;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+void AppendHistogramJson(std::ostringstream* out,
+                         const HistogramSnapshot& snapshot) {
+  *out << "{\"count\":" << snapshot.count << ",\"sum_ns\":" << snapshot.sum_ns
+       << ",\"max_ns\":" << snapshot.max_ns << ",\"p50_ns\":" << snapshot.p50_ns
+       << ",\"p90_ns\":" << snapshot.p90_ns << ",\"p99_ns\":" << snapshot.p99_ns
+       << "}";
+}
+
+void AppendWindowJson(std::ostringstream* out,
+                      const WindowedSnapshot& window) {
+  *out << "{\"window_seconds\":" << FormatDouble(window.window_seconds)
+       << ",\"covered_seconds\":" << FormatDouble(window.covered_seconds)
+       << ",\"histogram\":";
+  AppendHistogramJson(out, window.histogram);
+  *out << "}";
+}
+
 }  // namespace
+
+std::string ServeTelemetry::ToJson() const {
+  std::ostringstream out;
+  out << "{\"engine_version\":" << engine_version
+      << ",\"uptime_seconds\":" << FormatDouble(uptime_seconds)
+      << ",\"queue_depth\":" << queue_depth
+      << ",\"queue_capacity\":" << queue_capacity
+      << ",\"ready\":" << (ready ? "true" : "false")
+      << ",\"draining\":" << (draining ? "true" : "false");
+  out << ",\"stats\":{\"connections_accepted\":" << stats.connections_accepted
+      << ",\"connections_refused\":" << stats.connections_refused
+      << ",\"requests_received\":" << stats.requests_received
+      << ",\"requests_ok\":" << stats.requests_ok
+      << ",\"requests_error\":" << stats.requests_error
+      << ",\"requests_shed\":" << stats.requests_shed
+      << ",\"requests_deadline_exceeded\":" << stats.requests_deadline_exceeded
+      << ",\"responses_sent\":" << stats.responses_sent
+      << ",\"drained_in_flight\":" << stats.drained_in_flight
+      << ",\"reloads_ok\":" << stats.reloads_ok
+      << ",\"reloads_failed\":" << stats.reloads_failed
+      << ",\"stats_scrapes\":" << stats.stats_scrapes << "}";
+  out << ",\"swap_count\":" << swap_count << ",\"swap_tail\":[";
+  bool first = true;
+  for (const SwapRecord& record : swap_tail) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"engine_version\":" << record.engine_version << ",\"path\":\""
+        << JsonEscape(record.path) << "\",\"success\":"
+        << (record.success ? "true" : "false") << ",\"detail\":\""
+        << JsonEscape(record.detail) << "\"}";
+  }
+  out << "],\"window_latency\":";
+  AppendWindowJson(&out, window_latency);
+  out << ",\"window_queue_wait\":";
+  AppendWindowJson(&out, window_queue_wait);
+  out << ",\"metrics\":" << metrics.ToJson() << "}";
+  return out.str();
+}
 
 Server::Server(const Adarts& engine, ServeOptions options)
     : Server(std::shared_ptr<const Adarts>(&engine, [](const Adarts*) {}),
@@ -93,6 +187,7 @@ Status Server::Start() {
     worker_contexts_.push_back(std::make_unique<ExecContext>(
         options_.threads_per_worker, nullptr, TraceOptions{}));
   }
+  start_steady_ns_ = SteadyNowNs();
   started_.store(true, std::memory_order_release);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -246,6 +341,22 @@ void Server::ReaderLoop(std::shared_ptr<ConnState> conn) {
       break;
     }
 
+    if (request->type == MessageType::kStats) {
+      // Telemetry scrapes never enter the admission queue: answered right
+      // here on the reader thread, so a saturated (or draining) server is
+      // still observable. Like reloads they are control-plane traffic —
+      // counted in stats_scrapes, never in the ok/error verdict counters.
+      stats_.stats_scrapes.fetch_add(1, std::memory_order_relaxed);
+      metrics_.Increment("serve.stats_scrapes");
+      Response response;
+      response.type = MessageType::kStats;
+      response.id = request->id;
+      response.engine_version = registry_.ActiveVersion();
+      response.text = Telemetry().ToJson();
+      SendResponse(conn, response);
+      continue;
+    }
+
     if (request->type == MessageType::kReload) {
       // Reloads bypass the admission queue: the single reload thread
       // validates + swaps, then answers on this connection. Capacity 1
@@ -323,6 +434,7 @@ void Server::WorkerLoop(std::size_t worker_index) {
     }
     const std::uint64_t wait_ns = SteadyNowNs() - item.enqueue_steady_ns;
     queue_wait->Record(wait_ns);
+    window_queue_wait_.Record(wait_ns);
     Tracer& tracer = Tracer::Global();
     if (tracer.enabled()) {
       tracer.RecordComplete("serve.queue_wait", item.enqueue_trace_ns,
@@ -364,6 +476,9 @@ void Server::WorkerLoop(std::size_t worker_index) {
       errors->Increment();
     }
     SendResponse(item.conn, response);
+    // Admission-to-response, queue wait included — the latency a client of
+    // this request actually saw, feeding the scrape-time window.
+    window_latency_.Record(SteadyNowNs() - item.enqueue_steady_ns);
     item = WorkItem{};  // release the connection reference promptly
   }
 }
@@ -378,6 +493,11 @@ void Server::Execute(ExecContext& ctx, const Adarts& engine,
       // Routed to the reload thread in ReaderLoop; reaching here is a bug.
       response->code = StatusCode::kInternal;
       response->message = "reload request reached a worker";
+      return;
+    case MessageType::kStats:
+      // Answered inline by ReaderLoop; reaching here is a bug.
+      response->code = StatusCode::kInternal;
+      response->message = "stats request reached a worker";
       return;
     case MessageType::kRecommend: {
       auto rec = engine.Recommend(request.series[0], ctx);
@@ -558,6 +678,7 @@ ServeStats Server::stats() const {
       stats_.drained_in_flight.load(std::memory_order_relaxed);
   out.reloads_ok = stats_.reloads_ok.load(std::memory_order_relaxed);
   out.reloads_failed = stats_.reloads_failed.load(std::memory_order_relaxed);
+  out.stats_scrapes = stats_.stats_scrapes.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -568,6 +689,31 @@ StageMetrics Server::MetricsSnapshot() const {
     ctx->metrics().MergeInto(&merged);
   }
   return merged.Snapshot();
+}
+
+ServeTelemetry Server::Telemetry() const {
+  ServeTelemetry out;
+  out.engine_version = registry_.ActiveVersion();
+  out.uptime_seconds =
+      start_steady_ns_ == 0
+          ? 0.0
+          : static_cast<double>(SteadyNowNs() - start_steady_ns_) / 1e9;
+  out.queue_depth = queue_.size();
+  out.queue_capacity = options_.queue_capacity;
+  out.draining = shutdown_requested_.load(std::memory_order_acquire);
+  out.ready = started_.load(std::memory_order_acquire) && !out.draining;
+  out.stats = stats();
+  out.swap_count = registry_.swap_count();
+  std::vector<SwapRecord> log = registry_.SwapLog();
+  const std::size_t tail =
+      log.size() > ServeTelemetry::kSwapTail ? ServeTelemetry::kSwapTail
+                                             : log.size();
+  out.swap_tail.assign(log.end() - static_cast<std::ptrdiff_t>(tail),
+                       log.end());
+  out.metrics = MetricsSnapshot();
+  out.window_latency = window_latency_.Snapshot();
+  out.window_queue_wait = window_queue_wait_.Snapshot();
+  return out;
 }
 
 }  // namespace adarts::net

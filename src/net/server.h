@@ -15,6 +15,7 @@
 #include "common/cancellation.h"
 #include "common/exec_context.h"
 #include "common/metrics.h"
+#include "common/sliding_histogram.h"
 #include "common/status.h"
 #include "net/engine_registry.h"
 #include "net/protocol.h"
@@ -76,6 +77,44 @@ struct ServeStats {
   /// old engine left serving.
   std::uint64_t reloads_ok = 0;
   std::uint64_t reloads_failed = 0;
+  /// kStats telemetry scrapes answered (directly from reader threads; they
+  /// never enter the admission queue and never touch the verdict counters).
+  std::uint64_t stats_scrapes = 0;
+};
+
+/// One live telemetry scrape (DESIGN.md §14): everything an operator needs
+/// to see "right now" folded into a copyable snapshot — identity (engine
+/// version, uptime), pressure (queue depth, shed/refused totals), the swap
+/// log tail, the cumulative folded metrics, and the last-minute windowed
+/// latency percentiles the cumulative histograms cannot show. Produced by
+/// `Server::Telemetry()` against live recorders; rendered as JSON for the
+/// kStats frame and as Prometheus exposition text for `GET /metrics`.
+struct ServeTelemetry {
+  std::uint64_t engine_version = 0;
+  double uptime_seconds = 0.0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  /// False once a drain began: the readiness signal `/readyz` reports.
+  bool ready = false;
+  bool draining = false;
+  ServeStats stats;
+  /// Successful swaps since startup plus the most recent swap-log entries
+  /// (newest last, at most kSwapTail).
+  std::uint64_t swap_count = 0;
+  std::vector<SwapRecord> swap_tail;
+  /// Cumulative: serve-level registry + every worker context, folded live.
+  StageMetrics metrics;
+  /// Last-window percentiles of request latency (admission to response,
+  /// queue wait included) and of queue wait alone.
+  WindowedSnapshot window_latency;
+  WindowedSnapshot window_queue_wait;
+
+  static constexpr std::size_t kSwapTail = 8;
+
+  /// The kStats JSON document (one object; keys are stable and sorted
+  /// within each section — tools/adarts_top and the tests parse it with
+  /// common/json).
+  std::string ToJson() const;
 };
 
 /// The long-lived serving front end: accepts length-prefixed request frames
@@ -120,7 +159,15 @@ class Server {
 
   /// Serve-level metrics plus every worker context's engine metrics
   /// (`recommend.latency`, per-stage spans) folded into one snapshot.
+  /// Callable at any time — workers record wait-free, so folding live
+  /// registries observes a consistent monotone prefix of the traffic.
   StageMetrics MetricsSnapshot() const;
+
+  /// The full live telemetry snapshot (DESIGN.md §14): MetricsSnapshot
+  /// plus identity, queue pressure, windowed percentiles and the swap-log
+  /// tail. This is what a kStats frame or a `GET /metrics` scrape renders;
+  /// it never stops the workers.
+  ServeTelemetry Telemetry() const;
 
   /// Queues an out-of-band reload (the SIGHUP path): load-validate the
   /// snapshot at `path` (empty = ServeOptions::model_path), canary-check it,
@@ -198,6 +245,14 @@ class Server {
 
   mutable Metrics metrics_;
 
+  /// Steady-clock origin for `ServeTelemetry::uptime_seconds` (set in
+  /// Start).
+  std::uint64_t start_steady_ns_ = 0;
+  /// Last-minute request-latency / queue-wait windows (12 × 5 s buckets);
+  /// workers record wait-free, scrapes fold without stopping them.
+  SlidingHistogram window_latency_;
+  SlidingHistogram window_queue_wait_;
+
   struct AtomicStats {
     std::atomic<std::uint64_t> connections_accepted{0};
     std::atomic<std::uint64_t> connections_refused{0};
@@ -210,6 +265,7 @@ class Server {
     std::atomic<std::uint64_t> drained_in_flight{0};
     std::atomic<std::uint64_t> reloads_ok{0};
     std::atomic<std::uint64_t> reloads_failed{0};
+    std::atomic<std::uint64_t> stats_scrapes{0};
   };
   AtomicStats stats_;
 };

@@ -67,6 +67,15 @@ Status Socket::ReadExact(void* buf, std::size_t n) {
   return Status::OK();
 }
 
+Result<std::size_t> Socket::ReadSome(void* buf, std::size_t n) {
+  while (true) {
+    const ssize_t got = ::recv(fd_, buf, n, 0);
+    if (got >= 0) return static_cast<std::size_t>(got);
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv", errno);
+  }
+}
+
 Status Socket::WriteAll(const void* buf, std::size_t n) {
   const char* in = static_cast<const char*>(buf);
   std::size_t done = 0;

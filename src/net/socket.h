@@ -49,6 +49,13 @@ class Socket {
   /// mid-read or errno failures.
   Status ReadExact(void* buf, std::size_t n);
 
+  /// Reads at most `n` bytes and returns how many arrived: 0 on clean EOF,
+  /// otherwise >= 1 (retries EINTR only). The HTTP sidecar needs this —
+  /// a request has no length prefix, so it must be parsed from whatever
+  /// the wire delivers. errno failures (including a receive-timeout
+  /// EAGAIN) surface as `kInternal`.
+  Result<std::size_t> ReadSome(void* buf, std::size_t n);
+
   /// Writes exactly `n` bytes, retrying on EINTR and short writes. SIGPIPE
   /// is suppressed (MSG_NOSIGNAL); a closed peer surfaces as `kInternal`.
   Status WriteAll(const void* buf, std::size_t n);

@@ -1,0 +1,227 @@
+// adarts_top — live terminal dashboard for a running adarts_serve
+// (DESIGN.md §14).
+//
+//   adarts_top (--port N | --port-file FILE) [--interval-ms N]
+//              [--iterations N] [--once] [--plain]
+//
+// Polls the daemon's kStats telemetry frame on one long-lived connection
+// and renders a refreshing one-screen view: request rate and shed rate
+// (computed from counter deltas between polls), windowed p50/p90/p99
+// latency (the last-minute view, not lifetime averages), queue pressure,
+// engine version, uptime, and the tail of the hot-swap log.
+//
+//   --interval-ms   poll period (default 1000)
+//   --iterations    stop after N polls (default 0 = run until killed)
+//   --once          poll once, print, exit (implies --plain); the
+//                   scriptable mode CI uses
+//   --plain         append screens instead of ANSI-redrawing in place
+//
+// Exit status: 0 on a clean run, 1 when the daemon cannot be reached or a
+// scrape goes unanswered.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace adarts::top {
+namespace {
+
+using Args = std::map<std::string, std::string>;
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    // Boolean flags take no operand.
+    if (key == "once" || key == "plain") {
+      args[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) break;
+    args[key] = argv[++i];
+  }
+  return args;
+}
+
+std::string GetArg(const Args& args, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = args.find(key);
+  return it != args.end() ? it->second : fallback;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: adarts_top (--port N | --port-file FILE)\n"
+               "                  [--interval-ms N] [--iterations N]\n"
+               "                  [--once] [--plain]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+double Num(const json::JsonValue& v, const char* key) {
+  return v.NumberOr(key, 0.0);
+}
+
+/// `object.member` drill-down that tolerates absence (renders as zeros
+/// rather than crashing on an older daemon's snapshot).
+const json::JsonValue* Member(const json::JsonValue& v, const char* key) {
+  return v.Find(key);
+}
+
+std::string FormatMs(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ns / 1e6);
+  return buf;
+}
+
+struct PrevCounters {
+  bool valid = false;
+  double requests_received = 0.0;
+  double requests_shed = 0.0;
+  std::chrono::steady_clock::time_point at;
+};
+
+void Render(const json::JsonValue& snap, PrevCounters* prev, bool plain) {
+  const auto now = std::chrono::steady_clock::now();
+  const json::JsonValue* stats = Member(snap, "stats");
+  const double received = stats ? Num(*stats, "requests_received") : 0.0;
+  const double shed = stats ? Num(*stats, "requests_shed") : 0.0;
+
+  double qps = 0.0;
+  double shed_ps = 0.0;
+  if (prev->valid) {
+    const double dt =
+        std::chrono::duration<double>(now - prev->at).count();
+    if (dt > 0.0) {
+      qps = (received - prev->requests_received) / dt;
+      shed_ps = (shed - prev->requests_shed) / dt;
+    }
+  }
+  prev->valid = true;
+  prev->requests_received = received;
+  prev->requests_shed = shed;
+  prev->at = now;
+
+  if (!plain) {
+    std::printf("\x1b[2J\x1b[H");  // clear screen, cursor home
+  }
+  const json::JsonValue* ready = snap.Find("ready");
+  std::printf("adarts_top — engine v%.0f, up %.0f s, %s\n",
+              Num(snap, "engine_version"), Num(snap, "uptime_seconds"),
+              (ready != nullptr && ready->boolean) ? "ready"
+                                                   : "NOT READY (draining)");
+  std::printf("queue %.0f/%.0f\n", Num(snap, "queue_depth"),
+              Num(snap, "queue_capacity"));
+  std::printf("rate  %8.1f req/s   shed %8.1f req/s\n", qps, shed_ps);
+  if (stats != nullptr) {
+    std::printf(
+        "total %8.0f req     ok %8.0f   shed %6.0f   err %6.0f   "
+        "scrapes %.0f\n",
+        received, Num(*stats, "requests_ok"), shed,
+        Num(*stats, "requests_error"), Num(*stats, "stats_scrapes"));
+  }
+  const json::JsonValue* window = Member(snap, "window_latency");
+  if (window != nullptr) {
+    const json::JsonValue* hist = Member(*window, "histogram");
+    if (hist != nullptr) {
+      std::printf(
+          "last %.0fs latency   p50 %s ms   p90 %s ms   p99 %s ms   "
+          "(%.0f samples)\n",
+          Num(*window, "covered_seconds"),
+          FormatMs(Num(*hist, "p50_ns")).c_str(),
+          FormatMs(Num(*hist, "p90_ns")).c_str(),
+          FormatMs(Num(*hist, "p99_ns")).c_str(), Num(*hist, "count"));
+    }
+  }
+  std::printf("swaps %.0f\n", Num(snap, "swap_count"));
+  const json::JsonValue* tail = Member(snap, "swap_tail");
+  if (tail != nullptr && tail->is_array()) {
+    for (const json::JsonValue& record : tail->array) {
+      const json::JsonValue* success = record.Find("success");
+      const json::JsonValue* path = record.Find("path");
+      const json::JsonValue* detail = record.Find("detail");
+      std::printf("  v%.0f %-8s %s%s%s\n", Num(record, "engine_version"),
+                  (success != nullptr && success->boolean) ? "LIVE"
+                                                           : "rejected",
+                  path != nullptr ? path->str.c_str() : "",
+                  (detail != nullptr && !detail->str.empty()) ? " — " : "",
+                  detail != nullptr ? detail->str.c_str() : "");
+    }
+  }
+  std::fflush(stdout);
+}
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+
+  int port = std::atoi(GetArg(args, "port", "0").c_str());
+  const std::string port_file = GetArg(args, "port-file", "");
+  if (port == 0 && !port_file.empty()) {
+    std::ifstream in(port_file);
+    in >> port;
+  }
+  if (port <= 0 || port > 65535) return Usage();
+
+  const bool once = args.count("once") != 0;
+  const bool plain = once || args.count("plain") != 0;
+  const double interval_ms =
+      std::atof(GetArg(args, "interval-ms", "1000").c_str());
+  const std::uint64_t iterations =
+      once ? 1
+           : static_cast<std::uint64_t>(
+                 std::atoll(GetArg(args, "iterations", "0").c_str()));
+
+  // A SIGPIPE from a daemon that exits mid-poll must not kill the
+  // dashboard; the write error is handled below.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  auto sock = net::ConnectTcp("127.0.0.1", static_cast<std::uint16_t>(port));
+  if (!sock.ok()) return Fail(sock.status());
+  Status timeout_set = sock->SetReceiveTimeout(10.0);
+  if (!timeout_set.ok()) return Fail(timeout_set);
+
+  PrevCounters prev;
+  for (std::uint64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(interval_ms));
+    }
+    net::Request request;
+    request.type = net::MessageType::kStats;
+    request.id = i;
+    Status written = WriteFrame(*sock, EncodeRequest(request));
+    if (!written.ok()) return Fail(written);
+    auto frame = ReadFrame(*sock);
+    if (!frame.ok()) return Fail(frame.status());
+    auto response = net::DecodeResponse(*frame);
+    if (!response.ok()) return Fail(response.status());
+    if (response->type != net::MessageType::kStats || response->id != i) {
+      return Fail(Status::Internal("mismatched stats reply"));
+    }
+    auto snap = json::ParseJson(response->text);
+    if (!snap.ok()) return Fail(snap.status());
+    Render(*snap, &prev, plain);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace adarts::top
+
+int main(int argc, char** argv) { return adarts::top::Main(argc, argv); }

@@ -4,7 +4,7 @@
 //               [--dir PATH] [--keep 1]
 //
 // Boots an in-process `net::Server` on a freshly trained engine and runs
-// five adversarial phases against it, under sustained loadgen traffic:
+// six adversarial phases against it, under sustained loadgen traffic:
 //
 //   1. swap-storm    — hot-swap the engine repeatedly (kReload frames with
 //                      strictly increasing versions) while clients hammer
@@ -22,7 +22,13 @@
 //                      mid-frame read/write, queue push, reload verify/swap)
 //                      and prove the server degrades cleanly and recovers
 //                      once the site disarms.
-//   5. drain         — graceful shutdown under live traffic: every admitted
+//   5. scrape-storm  — concurrent kStats telemetry scrapes from several
+//                      clients while an idempotent reload storm re-publishes
+//                      the live snapshot (DESIGN.md §14). Every scrape must
+//                      be answered with parseable JSON, no reply may be
+//                      lost, and each client's successive scrapes must
+//                      observe monotone request counts.
+//   6. drain         — graceful shutdown under live traffic: every admitted
 //                      request is answered, Wait() returns OK.
 //
 // Exit code 0 iff every phase's assertions hold. Any violation prints
@@ -49,6 +55,7 @@
 
 #include "adarts/adarts.h"
 #include "common/failpoint.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "data/generators.h"
 #include "net/protocol.h"
@@ -692,7 +699,116 @@ void PhaseFailpoints(net::Server* server, const Fixtures& fx) {
   std::printf("phase failpoints: 6 net.* sites fired and recovered\n");
 }
 
-/// Phase 5: graceful drain under live traffic — every admitted request is
+/// Phase 5: scrape storm — the telemetry plane must stay coherent while
+/// clients hammer kStats concurrently AND the reload pipeline re-publishes
+/// the live snapshot. Each scraper holds its own connection and asserts
+/// every scrape is answered with parseable JSON whose request count never
+/// regresses from its previous scrape (the live-fold monotone-prefix
+/// contract under real concurrency).
+void PhaseScrapeStorm(net::Server* server, const Fixtures& fx, double qps,
+                      std::size_t* reloads_fired) {
+  TrafficPool traffic(server->port(), 2, qps / 2, /*tolerant=*/false);
+  traffic.Start();
+
+  constexpr std::size_t kScrapers = 4;
+  constexpr std::size_t kScrapesEach = 25;
+  std::atomic<std::uint64_t> scrapes_answered{0};
+  std::vector<std::thread> scrapers;
+  for (std::size_t s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([&, s] {
+      auto connected = net::ConnectTcp("127.0.0.1", server->port());
+      Check(connected.ok(), "scrape-storm: scraper cannot connect: " +
+                                connected.status().ToString());
+      net::Socket sock = std::move(connected).value();
+      Check(sock.SetReceiveTimeout(10.0).ok(),
+            "scrape-storm: cannot set scraper timeout");
+      double last_received = -1.0;
+      for (std::size_t i = 0; i < kScrapesEach; ++i) {
+        net::Request scrape;
+        scrape.type = net::MessageType::kStats;
+        scrape.id = 20000 + s * 1000 + i;
+        Check(net::WriteFrame(sock, net::EncodeRequest(scrape)).ok(),
+              "scrape-storm: scrape write failed");
+        auto frame = net::ReadFrame(sock);
+        Check(frame.ok(), "scrape-storm: scrape reply lost: " +
+                              frame.status().ToString());
+        auto response = net::DecodeResponse(*frame);
+        Check(response.ok() && response->ok() &&
+                  response->type == net::MessageType::kStats &&
+                  response->id == scrape.id,
+              "scrape-storm: malformed scrape reply");
+        auto parsed = json::ParseJson(response->text);
+        Check(parsed.ok() && parsed->is_object(),
+              "scrape-storm: snapshot is not parseable JSON: " +
+                  parsed.status().ToString());
+        const json::JsonValue* stats = parsed->Find("stats");
+        Check(stats != nullptr, "scrape-storm: snapshot lacks stats");
+        const double received = stats->NumberOr("requests_received", -1.0);
+        Check(received >= last_received,
+              "scrape-storm: request count regressed between scrapes (" +
+                  std::to_string(last_received) + " -> " +
+                  std::to_string(received) + ")");
+        last_received = received;
+        scrapes_answered.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      }
+    });
+  }
+
+  // The reload storm underneath: re-publishing the already-live snapshot is
+  // idempotent (same version, allowed), so every attempt either succeeds or
+  // is refused with "already in progress" — nothing else.
+  constexpr std::size_t kReloads = 10;
+  std::size_t reload_ok = 0;
+  for (std::size_t r = 0; r < kReloads; ++r) {
+    auto response = ReloadViaFrame(server->port(), fx.good, 21000 + r);
+    Check(response.ok(), "scrape-storm: reload transport failed: " +
+                             response.status().ToString());
+    if (response->ok()) {
+      ++reload_ok;
+    } else {
+      Check(response->code == StatusCode::kUnavailable,
+            "scrape-storm: reload failed with unexpected error: " +
+                response->message);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Check(reload_ok >= 1, "scrape-storm: not a single storm reload landed");
+  *reloads_fired = reload_ok;
+
+  for (std::thread& t : scrapers) t.join();
+  traffic.Stop();
+  Check(scrapes_answered.load() == kScrapers * kScrapesEach,
+        "scrape-storm: lost scrape replies (" +
+            std::to_string(scrapes_answered.load()) + " of " +
+            std::to_string(kScrapers * kScrapesEach) + ")");
+  Check(traffic.errors() == 0,
+        "scrape-storm: scrapes disturbed request traffic (" +
+            std::to_string(traffic.errors()) + " errors)");
+  Check(traffic.replies() == traffic.sent(),
+        "scrape-storm: request replies lost during the scrape storm");
+
+  // One last scrape reflects the storm: the stats_scrapes counter must have
+  // counted every one of them.
+  net::Request final_scrape;
+  final_scrape.type = net::MessageType::kStats;
+  final_scrape.id = 22000;
+  auto response = Call(server->port(), final_scrape);
+  Check(response.ok() && response->ok(),
+        "scrape-storm: final scrape failed");
+  auto parsed = json::ParseJson(response->text);
+  Check(parsed.ok(), "scrape-storm: final snapshot unparseable");
+  const json::JsonValue* stats = parsed->Find("stats");
+  Check(stats != nullptr &&
+            stats->NumberOr("stats_scrapes", 0.0) >=
+                static_cast<double>(kScrapers * kScrapesEach),
+        "scrape-storm: stats_scrapes undercounts the storm");
+  std::printf("phase scrape-storm: %zu concurrent scrapes answered, "
+              "%zu idempotent reloads landed, 0 lost replies\n",
+              kScrapers * kScrapesEach, reload_ok);
+}
+
+/// Phase 6: graceful drain under live traffic — every admitted request is
 /// answered, Wait() is clean. The accounting identity is taken as a delta
 /// over this phase only: earlier phases deliberately push reload frames and
 /// undecodable bodies through the reader, which count as received but are
@@ -772,16 +888,19 @@ int Main(int argc, char** argv) {
   PhaseBadReloads(&server, fx, qps);
   PhaseConnChaos(&server, chaos_iters, qps, options.max_connections);
   PhaseFailpoints(&server, fx);
+  std::size_t storm_reloads = 0;
+  PhaseScrapeStorm(&server, fx, qps, &storm_reloads);
   PhaseDrain(&server, qps);
 
   // Swap-log sanity: the seed publish, every storm swap, the two
-  // failpoint-recovery reloads; at least four rejections (bad-reloads)
-  // plus the two armed reload sites.
+  // failpoint-recovery reloads, the scrape-storm's idempotent re-publishes;
+  // at least four rejections (bad-reloads) plus the two armed reload sites.
   std::size_t successes = 0, failures = 0;
   for (const net::SwapRecord& record : server.registry().SwapLog()) {
     (record.success ? successes : failures)++;
   }
-  Check(successes >= 1 + swaps + 2, "swap log records too few successes");
+  Check(successes >= 1 + swaps + 2 + storm_reloads,
+        "swap log records too few successes");
   Check(failures >= 6, "swap log records too few rejections");
 
   if (!keep) {

@@ -4,7 +4,7 @@
 //                 [--connections N] [--type ping|recommend|batch|repair]
 //                 [--batch-size N] [--length N] [--missing F] [--seed N]
 //                 [--deadline-ms F] [--timeout-s F] [--retries N]
-//                 [--retry-base-ms F] [--json FILE]
+//                 [--retry-base-ms F] [--scrape N] [--json FILE]
 //
 // Open loop: every request has a scheduled send time on a fixed-QPS grid
 // (request i fires at start + i/qps), independent of when responses come
@@ -25,6 +25,13 @@
 // (shed/errors/lost/retries lower-better, throughput_rps higher-better)
 // and `stages.histograms["serve.latency"]` the p50/p90/p99 perf surface
 // for --check-perf. The flat legacy fields stay for scripts.
+//
+// --scrape N interleaves N kStats telemetry scrapes spaced evenly through
+// the burst on a dedicated connection (DESIGN.md §14) — proof the daemon
+// stays observable under the very load being generated. The last snapshot
+// is embedded verbatim in the --json record under "scrape" (NOT in the
+// bench_compare `metrics` map, so baseline gating is unaffected); a scrape
+// that goes unanswered fails the run.
 //
 // Exit status: 0 when every request was answered (ok, terminally-shed and
 // error responses all count as answered — shedding is correct behaviour
@@ -88,7 +95,7 @@ int Usage() {
       "                     [--batch-size N] [--length N] [--missing F]\n"
       "                     [--seed N] [--deadline-ms F] [--timeout-s F]\n"
       "                     [--retries N] [--retry-base-ms F]\n"
-      "                     [--json FILE]\n");
+      "                     [--scrape N] [--json FILE]\n");
   return 2;
 }
 
@@ -176,6 +183,8 @@ int Main(int argc, char** argv) {
       std::atoll(GetArg(args, "retries", "3").c_str()));
   const double retry_base_ms =
       std::atof(GetArg(args, "retry-base-ms", "2").c_str());
+  const std::size_t scrapes = static_cast<std::size_t>(
+      std::atol(GetArg(args, "scrape", "0").c_str()));
 
   net::MessageType type;
   if (type_name == "ping") {
@@ -251,6 +260,44 @@ int Main(int argc, char** argv) {
                                                              start)
             .count());
   };
+
+  // Mid-burst telemetry scrapes on a dedicated connection: the scraper's
+  // ids live in their own space and its frames never touch the load
+  // connections, so reply matching is unaffected. Only this thread writes
+  // last_scrape_json; main reads it after the join.
+  std::atomic<std::uint64_t> scrapes_ok{0};
+  std::string last_scrape_json;
+  std::thread scraper;
+  if (scrapes > 0) {
+    scraper = std::thread([&] {
+      auto sock =
+          net::ConnectTcp("127.0.0.1", static_cast<std::uint16_t>(port));
+      if (!sock.ok()) return;
+      if (!sock->SetReceiveTimeout(timeout_s).ok()) return;
+      const double run_s = static_cast<double>(requests) / qps;
+      for (std::size_t i = 0; i < scrapes; ++i) {
+        // Evenly inside the burst, never at its very edges.
+        const double at_s = run_s * static_cast<double>(i + 1) /
+                            static_cast<double>(scrapes + 1);
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(at_s)));
+        net::Request request;
+        request.type = net::MessageType::kStats;
+        request.id = 1'000'000'000ull + i;
+        if (!WriteFrame(*sock, EncodeRequest(request)).ok()) return;
+        auto frame = ReadFrame(*sock);
+        if (!frame.ok()) return;
+        auto response = net::DecodeResponse(*frame);
+        if (!response.ok() || response->type != net::MessageType::kStats ||
+            response->id != request.id || response->text.empty()) {
+          return;
+        }
+        scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+        last_scrape_json = response->text;
+      }
+    });
+  }
 
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < connections; ++c) {
@@ -387,6 +434,7 @@ int Main(int argc, char** argv) {
     });
   }
   for (std::thread& t : threads) t.join();
+  if (scraper.joinable()) scraper.join();
   const double elapsed_s = static_cast<double>(NowNs()) / 1e9;
   for (net::Socket& sock : socks) sock.Close();
 
@@ -427,6 +475,10 @@ int Main(int argc, char** argv) {
       static_cast<unsigned long long>(lost),
       static_cast<unsigned long long>(retries), p50_ms, p90_ms, p99_ms,
       throughput);
+  if (scrapes > 0) {
+    std::printf("serve_loadgen: %llu of %zu mid-burst scrapes answered\n",
+                static_cast<unsigned long long>(scrapes_ok.load()), scrapes);
+  }
 
   const std::string json_path = GetArg(args, "json", "");
   if (!json_path.empty()) {
@@ -461,7 +513,18 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(errors),
         static_cast<unsigned long long>(lost),
         static_cast<unsigned long long>(retries));
-    out << line << "\n";
+    std::string record(line);
+    if (scrapes > 0 && !last_scrape_json.empty()) {
+      // The snapshot is itself a JSON object, embedded verbatim as a
+      // top-level sub-object — bench_compare gates only the `metrics`
+      // map, so this stays purely informational.
+      record.insert(record.size() - 1,
+                    ",\"scrape\":{\"requested\":" + std::to_string(scrapes) +
+                        ",\"answered\":" +
+                        std::to_string(scrapes_ok.load()) +
+                        ",\"last\":" + last_scrape_json + "}");
+    }
+    out << record << "\n";
     if (!out.good()) {
       return Fail(Status::Internal("cannot write json: " + json_path));
     }
@@ -470,6 +533,13 @@ int Main(int argc, char** argv) {
   if (failed.load() || lost != 0) {
     std::fprintf(stderr, "serve_loadgen: lost %llu of %zu replies\n",
                  static_cast<unsigned long long>(lost), requests);
+    return 1;
+  }
+  if (scrapes > 0 && scrapes_ok.load() != scrapes) {
+    std::fprintf(stderr,
+                 "serve_loadgen: only %llu of %zu mid-burst scrapes "
+                 "answered\n",
+                 static_cast<unsigned long long>(scrapes_ok.load()), scrapes);
     return 1;
   }
   return 0;
